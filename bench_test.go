@@ -1,0 +1,96 @@
+// Package unizk's top-level benchmarks regenerate each table and figure
+// of the paper's evaluation (§7) through the testing.B interface:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs the corresponding generator from internal/bench at
+// a reduced scale (2^10 Plonk rows) so the whole suite completes in
+// minutes; cmd/unizk-bench runs the same generators at larger scales and
+// prints the rendered tables. The per-op time reported for each benchmark
+// is the cost of regenerating that table (proving, simulating, and
+// formatting).
+package unizk_test
+
+import (
+	"testing"
+
+	"unizk/internal/bench"
+)
+
+// benchOpts is the shared reduced scale for benchmark runs.
+func benchOpts() bench.Options {
+	o := bench.DefaultOptions()
+	o.LogRows = 10
+	o.StarkLogN = 10
+	return o
+}
+
+// runReport drives one generator, reusing the runner (and therefore the
+// memoized proving work) across iterations.
+func runReport(b *testing.B, gen func(*bench.Runner) (bench.Report, error)) {
+	b.Helper()
+	r := bench.NewRunner(benchOpts())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := gen(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Text) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the CPU proof-generation time breakdown
+// (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table1() })
+}
+
+// BenchmarkTable2 regenerates the area and power breakdown (paper
+// Table 2).
+func BenchmarkTable2(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table2() })
+}
+
+// BenchmarkTable3 regenerates the CPU/GPU/UniZK end-to-end comparison
+// (paper Table 3).
+func BenchmarkTable3(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table3() })
+}
+
+// BenchmarkTable4 regenerates the memory and VSA utilization breakdown
+// (paper Table 4).
+func BenchmarkTable4(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table4() })
+}
+
+// BenchmarkTable5 regenerates the Starky + Plonky2 recursion comparison
+// (paper Table 5).
+func BenchmarkTable5(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table5() })
+}
+
+// BenchmarkTable6 regenerates the PipeZK/Groth16 comparison (paper
+// Table 6).
+func BenchmarkTable6(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Table6() })
+}
+
+// BenchmarkFigure8 regenerates the UniZK time breakdown by kernel type
+// (paper Figure 8).
+func BenchmarkFigure8(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Figure8() })
+}
+
+// BenchmarkFigure9 regenerates the per-kernel speedups (paper Figure 9).
+func BenchmarkFigure9(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Figure9() })
+}
+
+// BenchmarkFigure10 regenerates the design space exploration (paper
+// Figure 10).
+func BenchmarkFigure10(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Figure10() })
+}

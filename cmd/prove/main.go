@@ -1,0 +1,79 @@
+// Command prove generates and verifies proofs from the command line: a
+// Plonky2-style proof for a Table 3 workload, or a Starky base proof.
+//
+// Usage:
+//
+//	prove -protocol plonky2 -app "Image Crop" -rows 10
+//	prove -protocol starky -app Fibonacci -rows 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unizk/internal/fri"
+	"unizk/internal/plonk"
+	"unizk/internal/workloads"
+)
+
+func main() {
+	protocol := flag.String("protocol", "plonky2", "plonky2 or starky")
+	app := flag.String("app", "Fibonacci", "workload name")
+	rows := flag.Int("rows", 10, "log2 of rows")
+	flag.Parse()
+
+	switch *protocol {
+	case "plonky2":
+		runPlonky2(*app, *rows)
+	case "starky":
+		runStarky(*app, *rows)
+	default:
+		fmt.Fprintf(os.Stderr, "prove: unknown protocol %q\n", *protocol)
+		os.Exit(1)
+	}
+}
+
+func runPlonky2(app string, rows int) {
+	w, err := workloads.ByName(app)
+	exitOn(err)
+	cfg := fri.PlonkyConfig()
+	circuit, wit, pub, err := w.Build(rows, cfg)
+	exitOn(err)
+	fmt.Printf("circuit: %s, %d rows (2^%d), %d public inputs\n",
+		app, circuit.N, circuit.LogN, circuit.NumPublic)
+
+	start := time.Now()
+	proof, err := circuit.Prove(wit, nil)
+	exitOn(err)
+	fmt.Printf("proved in %v\n", time.Since(start))
+
+	start = time.Now()
+	exitOn(plonk.Verify(circuit.VerificationKey(), pub, proof))
+	fmt.Printf("verified in %v\n", time.Since(start))
+}
+
+func runStarky(app string, rows int) {
+	w, err := workloads.StarkByName(app)
+	exitOn(err)
+	s, cols, err := w.Build(rows, fri.StarkyConfig())
+	exitOn(err)
+	fmt.Printf("trace: %s, %d rows (2^%d), width %d\n", app, s.N, s.LogN, s.Width)
+
+	start := time.Now()
+	proof, err := s.Prove(cols, nil)
+	exitOn(err)
+	fmt.Printf("proved in %v\n", time.Since(start))
+
+	start = time.Now()
+	exitOn(s.Verify(proof))
+	fmt.Printf("verified in %v\n", time.Since(start))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prove:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command unizk-bench regenerates the paper's tables and figures (the
+// experiment workflow of the paper's artifact appendix). It measures the
+// CPU baseline by running the Go provers, simulates UniZK on the recorded
+// kernel graphs, and prints each table side by side with the paper's
+// published values.
+//
+// Usage:
+//
+//	unizk-bench [-rows 11] [-stark 12] [-only "Table 3"] [-out EXPERIMENTS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"unizk/internal/bench"
+)
+
+func main() {
+	rows := flag.Int("rows", 11, "log2 of Plonk workload rows (paper: 20+)")
+	starkN := flag.Int("stark", 12, "log2 of Starky trace rows")
+	only := flag.String("only", "", "generate only the named report (e.g. 'Table 3')")
+	out := flag.String("out", "", "also append the reports to this file")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	opts.LogRows = *rows
+	opts.StarkLogN = *starkN
+	runner := bench.NewRunner(opts)
+
+	start := time.Now()
+	reports, err := runner.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-bench:", err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "UniZK experiment reproduction — 2^%d Plonk rows, 2^%d Starky rows (%.1fs total)\n\n",
+		*rows, *starkN, time.Since(start).Seconds())
+	for _, rep := range reports {
+		if *only != "" && rep.ID != *only {
+			continue
+		}
+		fmt.Fprintf(&b, "== %s: %s ==\n\n%s\n", rep.ID, rep.Title, rep.Text)
+	}
+	fmt.Print(b.String())
+
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unizk-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := f.WriteString(b.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "unizk-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command unizk-sim runs the UniZK cycle simulator on one workload and
+// prints per-kernel cycles, utilization, and the configuration knobs —
+// the equivalent of the artifact's per-application simulation runs, with
+// -r/-t/-e flags mirroring the original's command line (§A.7).
+//
+// Usage:
+//
+//	unizk-sim -app Fibonacci [-rows 12] [-r 8] [-t 32] [-e -1]
+//
+// -r is the scratchpad capacity in MB, -t the number of VSAs, and -e
+// restricts simulation to one kernel class (0 NTT, 1 hash, 2 poly;
+// -1 = entire proof generation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unizk/internal/core"
+	"unizk/internal/fri"
+	"unizk/internal/trace"
+	"unizk/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "Fibonacci", "workload (Table 3 name)")
+	rows := flag.Int("rows", 12, "log2 of circuit rows")
+	scratchMB := flag.Int("r", 8, "scratchpad capacity in MB")
+	vsas := flag.Int("t", 32, "number of VSAs")
+	kernel := flag.Int("e", -1, "kernel class filter: 0 NTT, 1 hash, 2 poly, -1 all")
+	schedules := flag.Bool("schedule", false, "print the compiler backend's per-kernel schedules (§5.5)")
+	flag.Parse()
+
+	w, err := workloads.ByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-sim:", err)
+		os.Exit(1)
+	}
+	cfg := fri.PlonkyConfig()
+	cfg.ProofOfWorkBits = 10
+	circuit, wit, _, err := w.Build(*rows, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-sim:", err)
+		os.Exit(1)
+	}
+	rec := trace.New()
+	if _, err := circuit.Prove(wit, rec); err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-sim:", err)
+		os.Exit(1)
+	}
+
+	nodes := rec.Nodes()
+	if *kernel >= 0 {
+		want := map[int][]trace.Kind{
+			0: {trace.NTT},
+			1: {trace.Hash, trace.MerkleTree},
+			2: {trace.VecOp, trace.PartialProd},
+		}[*kernel]
+		var filtered []trace.Node
+		for _, n := range nodes {
+			for _, k := range want {
+				if n.Kind == k {
+					filtered = append(filtered, n)
+				}
+			}
+		}
+		nodes = filtered
+	}
+
+	chip := core.DefaultConfig().
+		WithVSAs(*vsas).
+		WithScratchpad(int64(*scratchMB) << 20)
+	res := core.Simulate(nodes, chip)
+
+	fmt.Printf("workload: %s (2^%d rows), %d kernel nodes\n", *app, *rows, len(nodes))
+	fmt.Printf("config: %d VSAs, %d MB scratchpad, %.0f GB/s peak\n",
+		chip.NumVSAs, chip.ScratchpadBytes>>20,
+		chip.DRAM.PeakBytesPerCycle()*chip.FreqGHz)
+	fmt.Printf("total cycles: %d (%.3f ms at %.1f GHz)\n",
+		res.TotalCycles, res.Seconds()*1e3, chip.FreqGHz)
+	for c := core.Class(0); c < core.NumClasses; c++ {
+		fmt.Printf("  %-5s %12d cycles  mem %5.1f%%  vsa %5.1f%%  (%d nodes)\n",
+			c, res.Cycles[c],
+			100*res.MemUtilization(c), 100*res.VSAUtilization(c),
+			res.Nodes[c])
+	}
+
+	if *schedules {
+		fmt.Println("\nper-kernel schedules:")
+		for i, n := range nodes {
+			s := core.BuildSchedule(n, chip)
+			fmt.Printf("  [%3d] %-11s size=%-8d batch=%-4d tiles=%-3d compute=%-9d bytes=%-10d %s\n",
+				i, n.Kind, n.Size, n.Batch, len(s.Tiles),
+				s.ComputeCycles(), s.MemBytes(), s.Region)
+		}
+	}
+}

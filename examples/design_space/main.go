@@ -1,0 +1,73 @@
+// Design space exploration: run one application's kernel graph through
+// the UniZK simulator under different hardware configurations — the
+// Figure 10 experiment via the public API. The run prints simulated time
+// and per-kernel utilization as the VSA count, scratchpad size, and
+// memory bandwidth are varied around the paper's default chip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unizk/internal/core"
+	"unizk/internal/fri"
+	"unizk/internal/trace"
+	"unizk/internal/workloads"
+)
+
+func main() {
+	// Build and prove the MVM workload once, recording its kernel graph.
+	w, err := workloads.ByName("MVM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fri.PlonkyConfig()
+	cfg.ProofOfWorkBits = 10
+	circuit, wit, _, err := w.Build(11, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := trace.New()
+	if _, err := circuit.Prove(wit, rec); err != nil {
+		log.Fatal(err)
+	}
+	nodes := rec.Nodes()
+	fmt.Printf("MVM: %d rows × %d wire columns, %d kernel nodes\n\n",
+		circuit.N, circuit.NumCols, len(nodes))
+
+	base := core.DefaultConfig()
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default (32 VSAs, 8MB, 1TB/s)", base},
+		{"8 VSAs", base.WithVSAs(8)},
+		{"128 VSAs", base.WithVSAs(128)},
+		{"2MB scratchpad", base.WithScratchpad(2 << 20)},
+		{"32MB scratchpad", base.WithScratchpad(32 << 20)},
+		{"0.5x bandwidth", base.WithBandwidth(0.5)},
+		{"4x bandwidth", base.WithBandwidth(4)},
+	}
+
+	baseRes := core.Simulate(nodes, base)
+	fmt.Printf("%-32s %12s %8s %9s %9s\n",
+		"configuration", "cycles", "norm", "NTT-mem", "hash-VSA")
+	for _, c := range configs {
+		res := core.Simulate(nodes, c.cfg)
+		fmt.Printf("%-32s %12d %8.2f %8.1f%% %8.1f%%\n",
+			c.name, res.TotalCycles,
+			float64(baseRes.TotalCycles)/float64(res.TotalCycles),
+			100*res.MemUtilization(core.ClassNTT),
+			100*res.VSAUtilization(core.ClassHash))
+	}
+
+	// Area and power for two of the configurations (Table 2's model).
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{configs[0], configs[2]} {
+		rows := core.AreaPowerBreakdown(c.cfg)
+		total := rows[len(rows)-1]
+		fmt.Printf("\n%s: %.1f mm², %.1f W\n", c.name, total.AreaMM2, total.PowerW)
+	}
+}

@@ -1,0 +1,58 @@
+// Sum-check: the paper's §8.1 generality discussion made concrete. A
+// prover convinces a verifier that a 2^16-entry table (viewed as a
+// multilinear polynomial over 16 variables) sums to a claimed value,
+// using Algorithm 2 with Fiat–Shamir; the recorded vector kernels are
+// then simulated on UniZK, showing the accelerator executing a protocol
+// beyond Plonky2/Starky.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"unizk/internal/core"
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+	"unizk/internal/sumcheck"
+	"unizk/internal/trace"
+)
+
+func main() {
+	const logN = 16
+	rng := rand.New(rand.NewSource(7))
+	table := make([]field.Element, 1<<logN)
+	for i := range table {
+		table[i] = field.New(rng.Uint64())
+	}
+	claim := sumcheck.Sum(table)
+	fmt.Printf("claim: the %d-entry table sums to %d\n", len(table), claim)
+
+	mkCh := func() *poseidon.Challenger {
+		ch := poseidon.NewChallenger()
+		ch.Observe(claim)
+		return ch
+	}
+
+	rec := trace.New()
+	start := time.Now()
+	proof := sumcheck.Prove(table, mkCh(), rec)
+	fmt.Printf("proved in %v (%d rounds of y[j][0], y[j][1])\n",
+		time.Since(start), len(proof.Rounds))
+
+	point, value, err := sumcheck.Verify(claim, logN, proof, mkCh())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Oracle check: the residual claim equals A(point).
+	if sumcheck.EvalMultilinear(table, point) != value {
+		log.Fatal("oracle check failed")
+	}
+	fmt.Println("verified, including the multilinear oracle check")
+
+	res := core.Simulate(rec.Nodes(), core.DefaultConfig())
+	fmt.Printf("on UniZK: %d vector kernels, %d cycles (%.1f µs) — "+
+		"vector sums on the systolic datapaths, updates in vector mode (§8.1)\n",
+		len(rec.Nodes()), res.TotalCycles, res.Seconds()*1e6)
+}

@@ -1,0 +1,3 @@
+module unizk
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package baseline provides the comparison points of the paper's
+// evaluation: an analytic GPU model for the Plonky2 CUDA implementation
+// (Table 3), and the Groth16/PipeZK reference numbers and cost model for
+// Table 6. The CPU baseline is the measured Go implementation itself
+// (recorded per-kernel by internal/trace); see DESIGN.md §2.3–2.5 for the
+// substitutions.
+package baseline
+
+import (
+	"time"
+
+	"unizk/internal/trace"
+)
+
+// GPU model (paper §6: NVIDIA A100, 80 GB, 2 TB/s; the CUDA code
+// "primarily focuses on accelerating NTT, Merkle tree, and elementwise
+// polynomial computations. The other kernels are still executed on the
+// host CPU", with back-and-forth PCIe transfers).
+//
+// Per-kernel speedups over the CPU are bounded by the A100/CPU bandwidth
+// ratio (2 TB/s vs 200 GB/s = 10×) and discounted for the known GPU
+// inefficiencies the paper names: irregular NTT memory access and 64-bit
+// modular arithmetic in Poseidon.
+const (
+	gpuNTTSpeedup   = 5.0 // irregular access patterns cap NTT gains (§7.1)
+	gpuMerkleSpeed  = 3.5 // 64-bit modmul Poseidon is ALU-bound on GPUs
+	gpuVecOpSpeedup = 8.0 // streaming element-wise work is bandwidth-bound
+	pcieBytesPerSec = 16e9
+)
+
+// GPUTime estimates the end-to-end GPU proving time from the measured CPU
+// per-kernel times and the kernel graph (for transfer sizes).
+func GPUTime(cpuTimes [trace.NumKinds]time.Duration, nodes []trace.Node) time.Duration {
+	scale := func(d time.Duration, f float64) time.Duration {
+		return time.Duration(float64(d) / f)
+	}
+	total := scale(cpuTimes[trace.NTT], gpuNTTSpeedup) +
+		scale(cpuTimes[trace.MerkleTree], gpuMerkleSpeed) +
+		scale(cpuTimes[trace.VecOp], gpuVecOpSpeedup) +
+		cpuTimes[trace.PartialProd] + // host CPU
+		cpuTimes[trace.Hash] + // host CPU (Fiat–Shamir, PoW)
+		cpuTimes[trace.Transpose]
+
+	// Every CPU-resident kernel forces its operands across PCIe and back.
+	var transferBytes int64
+	for _, n := range nodes {
+		switch n.Kind {
+		case trace.PartialProd:
+			transferBytes += 2 * int64(n.Size) * 8
+		case trace.Transpose:
+			transferBytes += int64(n.Size) * 8
+		}
+	}
+	total += time.Duration(float64(transferBytes) / pcieBytesPerSec * float64(time.Second))
+	return total
+}
+
+// Reference numbers for Table 6, from the PipeZK paper as cited by the
+// UniZK evaluation (§7.5): single-block proving times and PipeZK's
+// amortized SHA-256 throughput.
+type PipeZKReference struct {
+	App             string
+	Groth16CPU      time.Duration // Groth16 proving on the CPU
+	PipeZKASIC      time.Duration // PipeZK end-to-end (ASIC + host CPU)
+	PipeZKBlocksSec float64       // amortized blocks/s (SHA-256 only)
+}
+
+// PipeZKReferences returns the published comparison points.
+func PipeZKReferences() []PipeZKReference {
+	return []PipeZKReference{
+		{App: "SHA-256", Groth16CPU: 1500 * time.Millisecond,
+			PipeZKASIC: 102 * time.Millisecond, PipeZKBlocksSec: 10},
+		{App: "AES-128", Groth16CPU: 1100 * time.Millisecond,
+			PipeZKASIC: 97 * time.Millisecond},
+	}
+}
+
+// Groth16Model sanity-checks the cited CPU numbers from first principles:
+// proving is dominated by multi-scalar multiplications over the BN254
+// curve — roughly 3n G1 points and n G2 points (≈3× G1 cost) for n
+// constraints — plus a handful of size-n NTTs.
+func Groth16Model(constraints int, threads int) time.Duration {
+	const g1PointNs = 5000.0 // amortized Pippenger cost per G1 point
+	n := float64(constraints)
+	work := 3*n*g1PointNs + n*3*g1PointNs // G1 MSMs + G2 MSM
+	work += 7 * n * 50                    // NTTs (256-bit field ops)
+	if threads < 1 {
+		threads = 1
+	}
+	return time.Duration(work / float64(threads))
+}
+
+// Groth16Constraints returns representative R1CS sizes for the Table 6
+// applications (one data block each).
+func Groth16Constraints(app string) int {
+	switch app {
+	case "SHA-256":
+		return 27000
+	case "AES-128":
+		return 20000
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"unizk/internal/trace"
+)
+
+func TestGPUTimeFasterThanCPUButBounded(t *testing.T) {
+	// A Table-1-shaped breakdown: Merkle ~60%, NTT ~20%, poly ~15%.
+	var times [trace.NumKinds]time.Duration
+	times[trace.MerkleTree] = 600 * time.Millisecond
+	times[trace.NTT] = 200 * time.Millisecond
+	times[trace.VecOp] = 130 * time.Millisecond
+	times[trace.PartialProd] = 20 * time.Millisecond
+	times[trace.Hash] = 10 * time.Millisecond
+	times[trace.Transpose] = 40 * time.Millisecond
+	var cpu time.Duration
+	for _, d := range times {
+		cpu += d
+	}
+
+	gpu := GPUTime(times, nil)
+	speedup := float64(cpu) / float64(gpu)
+	// The paper's GPU speedups are 1.2–4.6×; the model should land in a
+	// similar band for a representative mix.
+	if speedup < 1.2 || speedup > 6 {
+		t.Fatalf("GPU speedup %.2f outside plausible band", speedup)
+	}
+}
+
+func TestGPUTransfersAddTime(t *testing.T) {
+	var times [trace.NumKinds]time.Duration
+	times[trace.NTT] = 100 * time.Millisecond
+	without := GPUTime(times, nil)
+	with := GPUTime(times, []trace.Node{
+		{Kind: trace.PartialProd, Size: 1 << 26},
+	})
+	if with <= without {
+		t.Fatal("PCIe transfers should add time")
+	}
+}
+
+func TestPipeZKReferences(t *testing.T) {
+	refs := PipeZKReferences()
+	if len(refs) != 2 {
+		t.Fatalf("got %d references, want 2", len(refs))
+	}
+	if refs[0].App != "SHA-256" || refs[0].PipeZKBlocksSec != 10 {
+		t.Fatal("SHA-256 reference wrong")
+	}
+}
+
+func TestGroth16ModelPlausible(t *testing.T) {
+	// The model should land within ~2× of the cited single-block numbers.
+	for _, ref := range PipeZKReferences() {
+		n := Groth16Constraints(ref.App)
+		if n == 0 {
+			t.Fatalf("no constraint count for %s", ref.App)
+		}
+		est := Groth16Model(n, 1)
+		ratio := float64(est) / float64(ref.Groth16CPU)
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("%s: model %v vs cited %v (ratio %.2f)",
+				ref.App, est, ref.Groth16CPU, ratio)
+		}
+	}
+	if Groth16Constraints("nope") != 0 {
+		t.Error("unknown app should have 0 constraints")
+	}
+	if Groth16Model(1000, 0) <= 0 {
+		t.Error("thread floor broken")
+	}
+}

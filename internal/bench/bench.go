@@ -1,0 +1,288 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7). Each generator returns a formatted report comparing
+// the paper's published values with the values measured here: the CPU
+// baseline is the measured Go prover, the UniZK numbers come from the
+// cycle simulator running the recorded kernel graph, and the GPU/PipeZK
+// columns come from the models in internal/baseline.
+//
+// Workloads are scaled down relative to the paper (2^11–2^13 rows instead
+// of 2^20+) so a full run finishes in minutes; every report records the
+// scale used. Absolute times therefore differ from the paper; the claims
+// under reproduction are the shapes — who wins, by roughly what factor,
+// and where the bottlenecks sit (see DESIGN.md §4).
+package bench
+
+import (
+	"bytes"
+	"encoding"
+	"fmt"
+	"sync"
+	"time"
+
+	"unizk/internal/core"
+	"unizk/internal/fri"
+	"unizk/internal/plonk"
+	"unizk/internal/trace"
+	"unizk/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// LogRows is the Plonk workload size (2^LogRows gate rows).
+	LogRows int
+	// StarkLogN is the Starky trace length for Tables 5 and 6.
+	StarkLogN int
+	// PlonkCfg is the FRI configuration for Plonky2-style proofs.
+	PlonkCfg fri.Config
+	// StarkCfg is the FRI configuration for Starky base proofs.
+	StarkCfg fri.Config
+	// Chip is the simulated UniZK configuration.
+	Chip core.Config
+}
+
+// DefaultOptions returns the standard benchmark scale: Plonky2-like
+// parameters (blowup 8, 28 queries) with reduced grinding so that
+// proof-of-work does not dominate at small scales.
+func DefaultOptions() Options {
+	p := fri.PlonkyConfig()
+	p.ProofOfWorkBits = 10
+	s := fri.StarkyConfig()
+	s.ProofOfWorkBits = 10
+	s.NumQueries = 42
+	return Options{
+		LogRows:   11,
+		StarkLogN: 12,
+		PlonkCfg:  p,
+		StarkCfg:  s,
+		Chip:      core.DefaultConfig(),
+	}
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string // e.g. "Table 3"
+	Title string
+	Text  string // rendered table
+}
+
+// Runner memoizes workload runs so the generators share proving work.
+type Runner struct {
+	Opts Options
+
+	mu        sync.Mutex
+	plonkRuns map[string]*Run
+	starkRuns map[string]*StarkRun
+}
+
+// NewRunner returns a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		Opts:      opts,
+		plonkRuns: make(map[string]*Run),
+		starkRuns: make(map[string]*StarkRun),
+	}
+}
+
+// Run is one measured Plonky2 proof generation.
+type Run struct {
+	Name      string
+	LogRows   int
+	CPUTotal  time.Duration
+	CPUTimes  [trace.NumKinds]time.Duration
+	Nodes     []trace.Node
+	ProofSize int
+	Sim       *core.Result
+}
+
+// StarkRun is one measured Starky base proof.
+type StarkRun struct {
+	Name      string
+	LogN      int
+	CPUTotal  time.Duration
+	CPUTimes  [trace.NumKinds]time.Duration
+	Nodes     []trace.Node
+	ProofSize int
+	Sim       *core.Result
+}
+
+// Plonk returns the memoized run for a Table 3 workload.
+func (r *Runner) Plonk(name string) (*Run, error) {
+	return r.plonkAt(name, r.Opts.LogRows)
+}
+
+// PlonkRecursive returns the memoized run for the recursion stand-in
+// circuit (Table 5).
+func (r *Runner) PlonkRecursive() (*Run, error) {
+	return r.plonkAt("Recursive", 12)
+}
+
+func (r *Runner) plonkAt(name string, logRows int) (*Run, error) {
+	key := fmt.Sprintf("%s@%d", name, logRows)
+	r.mu.Lock()
+	if run, ok := r.plonkRuns[key]; ok {
+		r.mu.Unlock()
+		return run, nil
+	}
+	r.mu.Unlock()
+
+	var w workloads.Workload
+	if name == "Recursive" {
+		w = workloads.RecursionWorkload()
+	} else {
+		var err error
+		w, err = workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	circuit, wit, pub, err := w.Build(logRows, r.Opts.PlonkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build %s: %w", name, err)
+	}
+	rec := trace.New()
+	start := time.Now()
+	proof, err := circuit.Prove(wit, rec)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("bench: prove %s: %w", name, err)
+	}
+	if err := plonk.Verify(circuit.VerificationKey(), pub, proof); err != nil {
+		return nil, fmt.Errorf("bench: verify %s: %w", name, err)
+	}
+
+	run := &Run{
+		Name:      name,
+		LogRows:   logRows,
+		CPUTotal:  elapsed,
+		CPUTimes:  rec.CPUTime(),
+		Nodes:     rec.Nodes(),
+		ProofSize: proofSize(proof),
+		Sim:       core.Simulate(rec.Nodes(), r.Opts.Chip),
+	}
+	r.mu.Lock()
+	r.plonkRuns[key] = run
+	r.mu.Unlock()
+	return run, nil
+}
+
+// Stark returns the memoized Starky base-proof run for a workload.
+func (r *Runner) Stark(name string) (*StarkRun, error) {
+	r.mu.Lock()
+	if run, ok := r.starkRuns[name]; ok {
+		r.mu.Unlock()
+		return run, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.StarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s, cols, err := w.Build(r.Opts.StarkLogN, r.Opts.StarkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build stark %s: %w", name, err)
+	}
+	rec := trace.New()
+	start := time.Now()
+	proof, err := s.Prove(cols, rec)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("bench: prove stark %s: %w", name, err)
+	}
+	if err := s.Verify(proof); err != nil {
+		return nil, fmt.Errorf("bench: verify stark %s: %w", name, err)
+	}
+
+	run := &StarkRun{
+		Name:      name,
+		LogN:      r.Opts.StarkLogN,
+		CPUTotal:  elapsed,
+		CPUTimes:  rec.CPUTime(),
+		Nodes:     rec.Nodes(),
+		ProofSize: proofSize(proof),
+		Sim:       core.Simulate(rec.Nodes(), r.Opts.Chip),
+	}
+	r.mu.Lock()
+	r.starkRuns[name] = run
+	r.mu.Unlock()
+	return run, nil
+}
+
+// proofSize returns the wire-format size of a proof.
+func proofSize(p encoding.BinaryMarshaler) int {
+	data, err := p.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// cpuClassSeconds maps measured kernel times onto the simulator's three
+// evaluation classes.
+func cpuClassSeconds(times [trace.NumKinds]time.Duration) [core.NumClasses]float64 {
+	var out [core.NumClasses]float64
+	out[core.ClassNTT] = times[trace.NTT].Seconds()
+	out[core.ClassPoly] = times[trace.VecOp].Seconds() + times[trace.PartialProd].Seconds()
+	out[core.ClassHash] = times[trace.MerkleTree].Seconds() + times[trace.Hash].Seconds()
+	return out
+}
+
+// table is a minimal fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b bytes.Buffer
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func pct(x float64) string   { return fmt.Sprintf("%.1f%%", 100*x) }
+func secs(s float64) string  { return fmt.Sprintf("%.4gs", s) }
+func times(x float64) string { return fmt.Sprintf("%.1fx", x) }
+func msecs(d time.Duration) string {
+	return fmt.Sprintf("%.3gms", float64(d)/float64(time.Millisecond))
+}
+
+// fmtKB formats a byte count in kB.
+func fmtKB(n int) string { return fmt.Sprintf("%dkB", n/1024) }

@@ -1,0 +1,40 @@
+package core
+
+// Ablation switches disable individual UniZK hardware features so their
+// contribution can be quantified (the design-choice experiments DESIGN.md
+// §4 calls out). Each switch degrades the cost model to what the
+// architecture would pay without the feature:
+//
+//   - Reverse links (§4/§5.2): without the bottom-up links, the partial
+//     rounds cannot use the sparse 12×3 mapping; each partial round falls
+//     back to a dense 12×12 matrix pass like the pre-partial round.
+//   - Transpose buffer (§4): without it, layout transformations are
+//     explicit kernels paying DRAM round trips instead of being hidden
+//     behind neighbouring kernels ("this cost is eliminated in UniZK",
+//     §7.1).
+//   - Twiddle factor generator (§4/§5.1): without on-the-fly generation,
+//     inter-dimension twiddle factors stream from DRAM, adding one
+//     element of traffic per data element at every decomposed-dimension
+//     boundary.
+//
+// The zero value leaves every feature enabled.
+type Ablation struct {
+	NoReverseLinks  bool
+	NoTransposeUnit bool
+	NoTwiddleGen    bool
+}
+
+// densePartialPECycles is the cost of a partial round executed as a dense
+// matrix pass when the reverse links are unavailable (full 12×12 region
+// instead of 12×3).
+const densePartialPECycles = prePartialPECycles
+
+// permPECyclesFor returns the PE-occupancy cost of one Poseidon
+// permutation under the ablation.
+func permPECyclesFor(ab Ablation) float64 {
+	if !ab.NoReverseLinks {
+		return permPECycles
+	}
+	return 8*fullRoundPECycles + prePartialPECycles +
+		22*densePartialPECycles
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"unizk/internal/trace"
+)
+
+func TestAblationReverseLinksSlowHashing(t *testing.T) {
+	nodes := []trace.Node{{Kind: trace.MerkleTree, Size: 1 << 16, Batch: 16}}
+	base := Simulate(nodes, DefaultConfig())
+	ablated := Simulate(nodes, DefaultConfig().
+		WithAblation(Ablation{NoReverseLinks: true}))
+	ratio := float64(ablated.Cycles[ClassHash]) / float64(base.Cycles[ClassHash])
+	// Dense partial rounds cost 144 PE-cycles instead of 36: the
+	// permutation grows from 1704 to 4080 PE-cycles, ~2.4×.
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Fatalf("reverse-link ablation ratio %.2f, want ~2.4", ratio)
+	}
+}
+
+func TestAblationTransposeUnitAddsPolyTime(t *testing.T) {
+	nodes := []trace.Node{{Kind: trace.Transpose, Size: 1 << 20}}
+	base := Simulate(nodes, DefaultConfig())
+	if base.TotalCycles != 0 {
+		t.Fatalf("transpose should be free with the buffer, got %d", base.TotalCycles)
+	}
+	ablated := Simulate(nodes, DefaultConfig().
+		WithAblation(Ablation{NoTransposeUnit: true}))
+	if ablated.Cycles[ClassPoly] <= 0 {
+		t.Fatal("ablated transpose should cost poly cycles")
+	}
+}
+
+func TestAblationTwiddleGenAddsNTTTraffic(t *testing.T) {
+	nodes := []trace.Node{{Kind: trace.NTT, Size: 1 << 20, Batch: 8}}
+	base := Simulate(nodes, DefaultConfig())
+	ablated := Simulate(nodes, DefaultConfig().
+		WithAblation(Ablation{NoTwiddleGen: true}))
+	if ablated.MemBytes[ClassNTT] <= base.MemBytes[ClassNTT] {
+		t.Fatal("twiddle-gen ablation should add NTT traffic")
+	}
+	if ablated.Cycles[ClassNTT] <= base.Cycles[ClassNTT] {
+		t.Fatal("twiddle-gen ablation should slow memory-bound NTTs")
+	}
+}
+
+func TestZeroAblationIdentical(t *testing.T) {
+	nodes := sampleNodes(1)
+	a := Simulate(nodes, DefaultConfig())
+	b := Simulate(nodes, DefaultConfig().WithAblation(Ablation{}))
+	if a.TotalCycles != b.TotalCycles {
+		t.Fatal("zero ablation changed the simulation")
+	}
+}

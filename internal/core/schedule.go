@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"unizk/internal/dram"
+	"unizk/internal/trace"
+)
+
+// Schedule is the compiler backend's output for one kernel node (paper
+// §5.5: "The backend outputs detailed schedules that describe how the
+// kernels execute on the hardware, including how to fetch the data from
+// memory, parallelize the computations on multiple PEs in the VSAs, and
+// dictate the on-chip data communication between PEs"): the PE region the
+// mapping occupies, and the tile steps whose DMA traffic the
+// double-buffered scratchpad overlaps with computation.
+type Schedule struct {
+	Node   trace.Node
+	Region string // which PE structure the mapping uses (§5)
+
+	// Tiles are the scratchpad-sized steps. While tile i computes,
+	// tile i+1's data streams in (§4 double buffering).
+	Tiles []Tile
+
+	// Pattern is the DRAM access pattern of the tile transfers.
+	Pattern dram.Pattern
+	// FillCycles is the pipeline fill/reconfiguration latency.
+	FillCycles int64
+	// PEOps is the total ideal PE-occupancy (for utilization).
+	PEOps float64
+}
+
+// Tile is one double-buffered step.
+type Tile struct {
+	MemBytes      int64
+	ComputeCycles int64
+}
+
+// BuildSchedule maps one kernel node onto the chip (the §5 mapping
+// strategies) and tiles it by the scratchpad capacity.
+func BuildSchedule(n trace.Node, cfg Config) *Schedule {
+	cost := mapNode(n, cfg)
+	s := &Schedule{
+		Node:       n,
+		Region:     regionFor(n, cfg),
+		Pattern:    cost.pattern,
+		FillCycles: cost.fixedOverhead,
+		PEOps:      cost.peOps,
+	}
+	if cost.computeCycles == 0 && cost.memBytes == 0 {
+		return s // hidden kernel (transpose buffer)
+	}
+
+	// Tile by half the scratchpad (the other half holds the in-flight
+	// buffer), but never coarser than 1/16 of the transfer: streaming
+	// kernels start computing as soon as the first granule lands, so the
+	// fill cost must stay a small fraction of the kernel.
+	tileBytes := cfg.ScratchpadBytes / 2
+	if alt := cost.memBytes / 16; alt > 0 && alt < tileBytes {
+		tileBytes = alt
+	}
+	if min := int64(64 << 10); tileBytes < min {
+		tileBytes = min
+	}
+	numTiles := (cost.memBytes + tileBytes - 1) / tileBytes
+	if numTiles < 1 {
+		numTiles = 1
+	}
+	memPer := cost.memBytes / numTiles
+	computePer := cost.computeCycles / numTiles
+	for i := int64(0); i < numTiles; i++ {
+		t := Tile{MemBytes: memPer, ComputeCycles: computePer}
+		if i == numTiles-1 { // remainders land on the last tile
+			t.MemBytes = cost.memBytes - memPer*(numTiles-1)
+			t.ComputeCycles = cost.computeCycles - computePer*(numTiles-1)
+		}
+		s.Tiles = append(s.Tiles, t)
+	}
+	return s
+}
+
+// Execute runs the schedule against a memory model with double buffering:
+// tile i's computation overlaps tile i+1's transfer, so the kernel costs
+// the maximum of the two streams plus the first tile's fill.
+func (s *Schedule) Execute(mem *dram.Model) (cycles int64) {
+	if len(s.Tiles) == 0 {
+		return 0
+	}
+	var memDone, computeDone int64
+	for i, t := range s.Tiles {
+		memDone += mem.Transfer(t.MemBytes, s.Pattern)
+		// A tile's compute starts when its data has arrived and the
+		// previous tile's compute has drained.
+		start := computeDone
+		if memDone > start {
+			start = memDone
+		}
+		computeDone = start + t.ComputeCycles
+		_ = i
+	}
+	total := computeDone
+	if memDone > total {
+		total = memDone
+	}
+	return total + s.FillCycles
+}
+
+// MemBytes returns the schedule's total DRAM traffic.
+func (s *Schedule) MemBytes() int64 {
+	var total int64
+	for _, t := range s.Tiles {
+		total += t.MemBytes
+	}
+	return total
+}
+
+// ComputeCycles returns the schedule's total VSA compute time.
+func (s *Schedule) ComputeCycles() int64 {
+	var total int64
+	for _, t := range s.Tiles {
+		total += t.ComputeCycles
+	}
+	return total
+}
+
+// regionFor names the §5 mapping used for the node.
+func regionFor(n trace.Node, cfg Config) string {
+	switch n.Kind {
+	case trace.NTT:
+		return fmt.Sprintf("%d VSAs × %d MDC pipelines of %d PEs (§5.1)",
+			cfg.NumVSAs, 2*cfg.ArrayDim, cfg.PipelineLogN+1)
+	case trace.Hash, trace.MerkleTree:
+		return fmt.Sprintf("%d VSAs: 12×8 full-round regions + 12×3 partial-round columns (§5.2)",
+			cfg.NumVSAs)
+	case trace.VecOp:
+		return fmt.Sprintf("%d VSAs in vector mode, %d lanes (§5.4)",
+			cfg.NumVSAs, cfg.NumVSAs*cfg.PEsPerVSA())
+	case trace.PartialProd:
+		return "per-PE chunk products + 3-step group propagation (§5.4, Fig. 6)"
+	case trace.Transpose:
+		return "global transpose buffer (hidden, §4)"
+	default:
+		return "unmapped"
+	}
+}

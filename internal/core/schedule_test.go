@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"unizk/internal/dram"
+	"unizk/internal/trace"
+)
+
+func TestScheduleTiling(t *testing.T) {
+	cfg := DefaultConfig()
+	// A node moving much more than the scratchpad must be multi-tiled.
+	big := trace.Node{Kind: trace.NTT, Size: 1 << 22, Batch: 8}
+	s := BuildSchedule(big, cfg)
+	if len(s.Tiles) < 16 {
+		t.Fatalf("large NTT got %d tiles, want >= 16", len(s.Tiles))
+	}
+	// Tile totals must conserve the node's work.
+	cost := mapNode(big, cfg)
+	if s.MemBytes() != cost.memBytes {
+		t.Fatalf("tiles move %d bytes, node needs %d", s.MemBytes(), cost.memBytes)
+	}
+	if s.ComputeCycles() != cost.computeCycles {
+		t.Fatalf("tiles compute %d cycles, node needs %d",
+			s.ComputeCycles(), cost.computeCycles)
+	}
+}
+
+func TestScheduleHiddenTranspose(t *testing.T) {
+	s := BuildSchedule(trace.Node{Kind: trace.Transpose, Size: 1 << 20}, DefaultConfig())
+	if len(s.Tiles) != 0 {
+		t.Fatal("transpose should compile to an empty schedule")
+	}
+	if s.Execute(dram.NewModel(DefaultConfig().DRAM)) != 0 {
+		t.Fatal("hidden schedule should cost zero cycles")
+	}
+}
+
+func TestScheduleOverlap(t *testing.T) {
+	// Execution must overlap transfers with compute: total well below the
+	// serial sum for a balanced kernel.
+	cfg := DefaultConfig()
+	n := trace.Node{Kind: trace.MerkleTree, Size: 1 << 18, Batch: 16}
+	s := BuildSchedule(n, cfg)
+	mem := dram.NewModel(cfg.DRAM)
+	total := s.Execute(mem)
+	memOnly := dram.NewModel(cfg.DRAM).Transfer(s.MemBytes(), s.Pattern)
+	serial := memOnly + s.ComputeCycles() + s.FillCycles
+	if total >= serial {
+		t.Fatalf("no overlap: total %d >= serial %d", total, serial)
+	}
+	// And never below either stream alone.
+	if total < s.ComputeCycles() || total < memOnly {
+		t.Fatalf("total %d below a single stream (compute %d, mem %d)",
+			total, s.ComputeCycles(), memOnly)
+	}
+}
+
+func TestScheduleRegions(t *testing.T) {
+	cfg := DefaultConfig()
+	kinds := map[trace.Kind]string{
+		trace.NTT:         "MDC pipelines",
+		trace.MerkleTree:  "partial-round columns",
+		trace.VecOp:       "vector mode",
+		trace.PartialProd: "group propagation",
+		trace.Transpose:   "transpose buffer",
+	}
+	for k, want := range kinds {
+		s := BuildSchedule(trace.Node{Kind: k, Size: 1024, Batch: 4}, cfg)
+		if !strings.Contains(s.Region, want) {
+			t.Errorf("%v region = %q, want it to mention %q", k, s.Region, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"unizk/internal/dram"
+	"unizk/internal/trace"
+)
+
+// Class groups kernels the way the paper's evaluation does (Figure 8,
+// Table 4): NTT, element-wise polynomial computation, and hash (Merkle
+// tree plus other hashes).
+type Class int
+
+const (
+	// ClassNTT covers all transform kernels.
+	ClassNTT Class = iota
+	// ClassPoly covers element-wise vector kernels and partial products.
+	ClassPoly
+	// ClassHash covers Merkle construction and standalone hashing.
+	ClassHash
+
+	// NumClasses is the number of kernel classes.
+	NumClasses
+)
+
+// String returns the evaluation label.
+func (c Class) String() string {
+	switch c {
+	case ClassNTT:
+		return "NTT"
+	case ClassPoly:
+		return "Poly"
+	case ClassHash:
+		return "Hash"
+	default:
+		return "Unknown"
+	}
+}
+
+// classOf maps trace kinds to evaluation classes. Transpose nodes are
+// attributed to the poly class; with the transpose buffer enabled they
+// cost zero cycles there (§7.1), and under the NoTransposeUnit ablation
+// their explicit cost becomes visible.
+func classOf(k trace.Kind) Class {
+	switch k {
+	case trace.NTT:
+		return ClassNTT
+	case trace.VecOp, trace.PartialProd, trace.Transpose:
+		return ClassPoly
+	case trace.Hash, trace.MerkleTree:
+		return ClassHash
+	default:
+		return -1
+	}
+}
+
+// Result is the outcome of simulating one proof generation run.
+type Result struct {
+	Config Config
+
+	// TotalCycles is the end-to-end cycle count.
+	TotalCycles int64
+
+	// Per-class accumulators.
+	Cycles        [NumClasses]int64
+	ComputeCycles [NumClasses]int64
+	MemCycles     [NumClasses]int64
+	MemBytes      [NumClasses]int64
+	PEOps         [NumClasses]float64
+	Nodes         [NumClasses]int
+}
+
+// Simulate runs the recorded kernel graph on the configured chip: each
+// node is compiled to a Schedule (the §5.5 backend) and executed with the
+// double-buffered scratchpad overlapping tile transfers with computation
+// (§4). Kernels execute in recorded order using the whole chip.
+func Simulate(nodes []trace.Node, cfg Config) *Result {
+	res := &Result{Config: cfg}
+	mem := dram.NewModel(cfg.DRAM)
+
+	for _, n := range nodes {
+		cls := classOf(n.Kind)
+		if cls < 0 {
+			continue
+		}
+		sched := BuildSchedule(n, cfg)
+		before, _ := mem.Stats()
+		cycles := sched.Execute(mem)
+		after, _ := mem.Stats()
+
+		res.TotalCycles += cycles
+		res.Cycles[cls] += cycles
+		res.ComputeCycles[cls] += sched.ComputeCycles()
+		res.MemCycles[cls] += cycles - sched.FillCycles
+		res.MemBytes[cls] += after - before
+		res.PEOps[cls] += sched.PEOps
+		res.Nodes[cls]++
+	}
+	return res
+}
+
+// Seconds converts the total cycle count to wall time at the configured
+// frequency.
+func (r *Result) Seconds() float64 {
+	return float64(r.TotalCycles) / (r.Config.FreqGHz * 1e9)
+}
+
+// ClassSeconds returns one class's contribution in seconds.
+func (r *Result) ClassSeconds(c Class) float64 {
+	return float64(r.Cycles[c]) / (r.Config.FreqGHz * 1e9)
+}
+
+// MemUtilization returns the fraction of peak bandwidth used while the
+// class's kernels were running (Table 4, "Memory").
+func (r *Result) MemUtilization(c Class) float64 {
+	if r.Cycles[c] == 0 {
+		return 0
+	}
+	peak := r.Config.DRAM.PeakBytesPerCycle()
+	return float64(r.MemBytes[c]) / (peak * float64(r.Cycles[c]))
+}
+
+// VSAUtilization returns the fraction of PE capacity used while the
+// class's kernels were running (Table 4, "VSA").
+func (r *Result) VSAUtilization(c Class) float64 {
+	if r.Cycles[c] == 0 {
+		return 0
+	}
+	return r.PEOps[c] / (float64(r.Config.TotalPEs()) * float64(r.Cycles[c]))
+}
+
+// BreakdownFractions returns each class's share of total cycles (Fig. 8).
+func (r *Result) BreakdownFractions() [NumClasses]float64 {
+	var out [NumClasses]float64
+	if r.TotalCycles == 0 {
+		return out
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		out[c] = float64(r.Cycles[c]) / float64(r.TotalCycles)
+	}
+	return out
+}

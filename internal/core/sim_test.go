@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"unizk/internal/trace"
+)
+
+// sampleNodes is a representative kernel mix: batched NTTs, a Merkle tree
+// over the LDE rows, gate-evaluation vector work, and partial products.
+func sampleNodes(scale int) []trace.Node {
+	n := 1 << 14 * scale
+	return []trace.Node{
+		{Kind: trace.NTT, Size: n, Batch: 3, Inverse: true},
+		{Kind: trace.NTT, Size: 8 * n, Batch: 3, Coset: true, BitRev: true},
+		{Kind: trace.Transpose, Size: 24 * n},
+		{Kind: trace.MerkleTree, Size: 8 * n, Batch: 3},
+		{Kind: trace.VecOp, Size: 4 * n, Batch: 13, Ops: 30},
+		{Kind: trace.PartialProd, Size: n},
+		{Kind: trace.Hash, Size: 70000},
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	res := Simulate(sampleNodes(1), DefaultConfig())
+	if res.TotalCycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	sum := int64(0)
+	for c := Class(0); c < NumClasses; c++ {
+		if res.Cycles[c] < 0 {
+			t.Fatalf("negative cycles for %v", c)
+		}
+		sum += res.Cycles[c]
+	}
+	if sum != res.TotalCycles {
+		t.Fatalf("class cycles (%d) do not sum to total (%d)", sum, res.TotalCycles)
+	}
+	if res.Seconds() <= 0 {
+		t.Fatal("non-positive wall time")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	res := Simulate(sampleNodes(1), DefaultConfig())
+	for c := Class(0); c < NumClasses; c++ {
+		if u := res.MemUtilization(c); u < 0 || u > 1.001 {
+			t.Errorf("%v memory utilization %.3f out of [0,1]", c, u)
+		}
+		if u := res.VSAUtilization(c); u < 0 || u > 1.001 {
+			t.Errorf("%v VSA utilization %.3f out of [0,1]", c, u)
+		}
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	// Table 4's qualitative shape: NTT is memory-bound (memory util well
+	// above VSA util); hash is compute-bound (VSA util near 1, highest of
+	// all classes).
+	res := Simulate(sampleNodes(4), DefaultConfig())
+	if res.MemUtilization(ClassNTT) <= res.VSAUtilization(ClassNTT) {
+		t.Errorf("NTT should be memory-bound: mem=%.3f vsa=%.3f",
+			res.MemUtilization(ClassNTT), res.VSAUtilization(ClassNTT))
+	}
+	if res.VSAUtilization(ClassHash) < 0.8 {
+		t.Errorf("hash VSA utilization %.3f, want > 0.8", res.VSAUtilization(ClassHash))
+	}
+	if res.VSAUtilization(ClassHash) <= res.VSAUtilization(ClassNTT) {
+		t.Error("hash should have higher VSA utilization than NTT")
+	}
+}
+
+func TestMoreWorkMoreCycles(t *testing.T) {
+	small := Simulate(sampleNodes(1), DefaultConfig())
+	big := Simulate(sampleNodes(4), DefaultConfig())
+	if big.TotalCycles <= small.TotalCycles {
+		t.Fatal("4x work did not increase cycles")
+	}
+}
+
+func TestMoreBandwidthNeverSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	base := Simulate(sampleNodes(2), cfg)
+	fast := Simulate(sampleNodes(2), cfg.WithBandwidth(2))
+	if fast.TotalCycles > base.TotalCycles {
+		t.Fatalf("doubling bandwidth slowed the run: %d -> %d",
+			base.TotalCycles, fast.TotalCycles)
+	}
+}
+
+func TestMoreVSAsHelpHashWork(t *testing.T) {
+	nodes := []trace.Node{{Kind: trace.MerkleTree, Size: 1 << 18, Batch: 16}}
+	cfg := DefaultConfig()
+	base := Simulate(nodes, cfg)
+	more := Simulate(nodes, cfg.WithVSAs(128))
+	if more.TotalCycles >= base.TotalCycles {
+		t.Fatalf("4x VSAs did not speed up Merkle work: %d -> %d",
+			base.TotalCycles, more.TotalCycles)
+	}
+}
+
+func TestSmallerScratchpadHurtsNTT(t *testing.T) {
+	// A large multi-pass NTT spills intermediates when the scratchpad
+	// shrinks (Figure 10's scratchpad sensitivity).
+	nodes := []trace.Node{{Kind: trace.NTT, Size: 1 << 22, Batch: 4}}
+	cfg := DefaultConfig()
+	base := Simulate(nodes, cfg)
+	tiny := Simulate(nodes, cfg.WithScratchpad(1<<20))
+	if tiny.TotalCycles <= base.TotalCycles {
+		t.Fatalf("1MB scratchpad should slow large NTTs: %d -> %d",
+			base.TotalCycles, tiny.TotalCycles)
+	}
+}
+
+func TestTransposeIsFree(t *testing.T) {
+	nodes := []trace.Node{{Kind: trace.Transpose, Size: 1 << 20}}
+	res := Simulate(nodes, DefaultConfig())
+	if res.TotalCycles != 0 {
+		t.Fatalf("transpose should be hidden, got %d cycles", res.TotalCycles)
+	}
+}
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	res := Simulate(sampleNodes(1), DefaultConfig())
+	fr := res.BreakdownFractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %.4f", sum)
+	}
+}
+
+func TestAreaPowerBreakdown(t *testing.T) {
+	rows := AreaPowerBreakdown(DefaultConfig())
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	total := rows[len(rows)-1]
+	// Paper Table 2: 57.8 mm², 96.4 W at the default configuration.
+	if total.AreaMM2 < 55 || total.AreaMM2 > 60 {
+		t.Errorf("total area %.1f mm², want ≈ 57.8", total.AreaMM2)
+	}
+	if total.PowerW < 93 || total.PowerW > 100 {
+		t.Errorf("total power %.1f W, want ≈ 96.4", total.PowerW)
+	}
+	// VSAs dominate logic area and power.
+	if rows[0].Component != "VSAs" || rows[0].PowerW < rows[1].PowerW {
+		t.Error("VSAs should dominate logic power")
+	}
+}
+
+func TestAreaScalesWithVSAs(t *testing.T) {
+	base := AreaPowerBreakdown(DefaultConfig())
+	double := AreaPowerBreakdown(DefaultConfig().WithVSAs(64))
+	if double[0].AreaMM2 <= base[0].AreaMM2 {
+		t.Error("VSA area should scale with count")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassNTT.String() != "NTT" || ClassPoly.String() != "Poly" ||
+		ClassHash.String() != "Hash" || Class(9).String() != "Unknown" {
+		t.Fatal("class names wrong")
+	}
+}

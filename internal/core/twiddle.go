@@ -1,0 +1,58 @@
+package core
+
+import "unizk/internal/field"
+
+// TwiddleGenerator is the functional model of the on-chip twiddle factor
+// generator (§4: "consists of several modular multipliers and a set of
+// buffers to support on-the-fly twiddle factor generation during NTT
+// computations"). Each multiplier lane produces one factor per cycle by
+// chaining w^i → w^(i+lanes); the seed buffer holds the first `lanes`
+// powers so the lanes run independently.
+type TwiddleGenerator struct {
+	lanes int
+	// step is w^lanes, the per-cycle multiplier of every lane.
+	step field.Element
+	// cur holds each lane's next output.
+	cur []field.Element
+	// Cycles counts generation cycles (one batch of `lanes` factors per
+	// cycle).
+	Cycles int64
+}
+
+// NewTwiddleGenerator prepares generation of the powers of w using the
+// given number of multiplier lanes.
+func NewTwiddleGenerator(w field.Element, lanes int) *TwiddleGenerator {
+	if lanes < 1 {
+		panic("core: twiddle generator needs at least one lane")
+	}
+	g := &TwiddleGenerator{lanes: lanes}
+	// Seed buffer: w^0 .. w^(lanes-1).
+	g.cur = make([]field.Element, lanes)
+	acc := field.One
+	for i := 0; i < lanes; i++ {
+		g.cur[i] = acc
+		acc = field.Mul(acc, w)
+	}
+	g.step = acc // w^lanes
+	return g
+}
+
+// Next returns the next batch of `lanes` consecutive powers (one cycle of
+// generation).
+func (g *TwiddleGenerator) Next() []field.Element {
+	out := append([]field.Element(nil), g.cur...)
+	for i := range g.cur {
+		g.cur[i] = field.Mul(g.cur[i], g.step)
+	}
+	g.Cycles++
+	return out
+}
+
+// Generate returns the first n powers of w and the cycles spent.
+func (g *TwiddleGenerator) Generate(n int) []field.Element {
+	out := make([]field.Element, 0, n)
+	for len(out) < n {
+		out = append(out, g.Next()...)
+	}
+	return out[:n]
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/ntt"
+)
+
+func TestTwiddleGeneratorMatchesTable(t *testing.T) {
+	w := field.PrimitiveRootOfUnity(10)
+	for _, lanes := range []int{1, 3, 8} {
+		g := NewTwiddleGenerator(w, lanes)
+		got := g.Generate(100)
+		acc := field.One
+		for i, v := range got {
+			if v != acc {
+				t.Fatalf("lanes=%d: factor %d wrong", lanes, i)
+			}
+			acc = field.Mul(acc, w)
+		}
+		// Throughput: lanes factors per cycle.
+		wantCycles := int64((100 + lanes - 1) / lanes)
+		if g.Cycles != wantCycles {
+			t.Fatalf("lanes=%d: %d cycles, want %d", lanes, g.Cycles, wantCycles)
+		}
+	}
+}
+
+func TestTwiddleGeneratorRejectsZeroLanes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTwiddleGenerator(field.New(3), 0)
+}
+
+func TestTransposeBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{16, 16}, {32, 48}, {7, 5}, {100, 3}} {
+		rows, cols := dims[0], dims[1]
+		in := make([]field.Element, rows*cols)
+		for i := range in {
+			in[i] = field.New(rng.Uint64())
+		}
+		tb := NewTransposeBuffer(16)
+		out := tb.Transpose(in, rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if out[c*rows+r] != in[r*cols+c] {
+					t.Fatalf("%dx%d: transpose wrong at (%d,%d)", rows, cols, r, c)
+				}
+			}
+		}
+		if tb.Cycles <= 0 {
+			t.Fatal("no buffer passes counted")
+		}
+	}
+}
+
+func TestTransposeBufferCapacity(t *testing.T) {
+	// The paper's b=16 buffer holds 16×16 elements (§5.1).
+	if NewTransposeBuffer(16).Capacity() != 256 {
+		t.Fatal("capacity should be b²")
+	}
+}
+
+// TestBitReverseLocalShuffle reproduces the §5.1 layout claim: the full
+// bit-reverse permutation of the decomposed NTT output is achieved with
+// group-local shuffles only, every group written as one contiguous run.
+func TestBitReverseLocalShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ logN, inner int }{
+		{9, 3}, // the paper's size-512 example with 8-element groups
+		{10, 5},
+		{6, 0}, // degenerate: single-element groups
+		{6, 6}, // degenerate: one group
+	} {
+		n := 1 << tc.logN
+		data := make([]field.Element, n)
+		for i := range data {
+			data[i] = field.New(rng.Uint64())
+		}
+		got := BitReverseLocalShuffle(data, tc.inner)
+		want := append([]field.Element(nil), data...)
+		ntt.BitReversePermute(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("logN=%d inner=%d: mismatch at %d", tc.logN, tc.inner, i)
+			}
+		}
+	}
+}
+
+// TestPaperShuffleExample checks the concrete index list of §5.1: indices
+// 0, 64, ..., 448 of a size-512 transform bit-reverse to 0, 4, 2, 6, 1,
+// 5, 3, 7.
+func TestPaperShuffleExample(t *testing.T) {
+	want := []int{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := 0; i < 8; i++ {
+		idx := i * 64
+		if got := ntt.BitReverse(idx, 9); got != want[i] {
+			t.Fatalf("bitrev(%d) = %d, want %d", idx, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dram
+
+import "testing"
+
+func TestPeakBandwidth(t *testing.T) {
+	cfg := HBM2e()
+	// Two HBM2e PHYs: "peak bandwidth of approximately 1 TB/s" (paper §6)
+	// = ~1024 B/cycle at 1 GHz.
+	if got := cfg.PeakBytesPerCycle(); got != 1024 {
+		t.Fatalf("peak = %v B/cycle, want 1024", got)
+	}
+}
+
+func TestSequentialNearPeak(t *testing.T) {
+	m := NewModel(HBM2e())
+	bytes := int64(1 << 24) // 16 MB
+	cycles := m.Transfer(bytes, Sequential)
+	eff := float64(bytes) / float64(cycles) / m.cfg.PeakBytesPerCycle()
+	if eff < 0.6 || eff > 1.0 {
+		t.Fatalf("sequential efficiency = %.2f, want 0.6..1.0", eff)
+	}
+}
+
+func TestRandomSlowerThanSequential(t *testing.T) {
+	bytes := int64(1 << 22)
+	seq := NewModel(HBM2e()).Transfer(bytes, Sequential)
+	rnd := NewModel(HBM2e()).Transfer(bytes, Pattern{ChunkBytes: 64, MaxParallel: 32})
+	if rnd <= seq {
+		t.Fatalf("random (%d) should be slower than sequential (%d)", rnd, seq)
+	}
+}
+
+func TestLargerChunksFaster(t *testing.T) {
+	bytes := int64(1 << 22)
+	small := NewModel(HBM2e()).Transfer(bytes, Pattern{ChunkBytes: 64, MaxParallel: 32})
+	large := NewModel(HBM2e()).Transfer(bytes, Pattern{ChunkBytes: 1024, MaxParallel: 32})
+	if large >= small {
+		t.Fatalf("1KB chunks (%d) should beat 64B chunks (%d)", large, small)
+	}
+}
+
+func TestInterleavedSlower(t *testing.T) {
+	bytes := int64(1 << 22)
+	plain := NewModel(HBM2e()).Transfer(bytes, Sequential)
+	mixed := NewModel(HBM2e()).Transfer(bytes, Pattern{Interleaved: true})
+	if mixed <= plain {
+		t.Fatalf("interleaved (%d) should be slower than plain (%d)", mixed, plain)
+	}
+}
+
+func TestParallelismHelps(t *testing.T) {
+	bytes := int64(1 << 21)
+	narrow := NewModel(HBM2e()).Transfer(bytes, Pattern{ChunkBytes: 64, MaxParallel: 1})
+	wide := NewModel(HBM2e()).Transfer(bytes, Pattern{ChunkBytes: 64, MaxParallel: 64})
+	if wide >= narrow {
+		t.Fatalf("64 in flight (%d) should beat 1 in flight (%d)", wide, narrow)
+	}
+}
+
+func TestBandwidthScaling(t *testing.T) {
+	bytes := int64(1 << 23)
+	base := NewModel(HBM2e()).Transfer(bytes, Sequential)
+	double := NewModel(HBM2e().Scaled(2)).Transfer(bytes, Sequential)
+	halved := NewModel(HBM2e().Scaled(0.5)).Transfer(bytes, Sequential)
+	if double >= base {
+		t.Fatalf("2x bandwidth (%d) should beat 1x (%d)", double, base)
+	}
+	if halved <= base {
+		t.Fatalf("0.5x bandwidth (%d) should be slower than 1x (%d)", halved, base)
+	}
+}
+
+func TestTransferMonotoneInBytes(t *testing.T) {
+	m := NewModel(HBM2e())
+	prev := int64(0)
+	for _, b := range []int64{1 << 12, 1 << 16, 1 << 20, 1 << 24} {
+		c := m.Transfer(b, Sequential)
+		if c <= prev {
+			t.Fatalf("cycles not monotone: %d bytes -> %d cycles (prev %d)", b, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestZeroAndTinyTransfers(t *testing.T) {
+	m := NewModel(HBM2e())
+	if m.Transfer(0, Sequential) != 0 {
+		t.Fatal("zero-byte transfer should cost 0 cycles")
+	}
+	if m.Transfer(1, Sequential) < 1 {
+		t.Fatal("one-byte transfer should cost at least 1 cycle")
+	}
+}
+
+func TestSamplingConsistency(t *testing.T) {
+	// A transfer above the sampling threshold should cost roughly
+	// proportionally more than one just below it.
+	m1 := NewModel(HBM2e())
+	small := m1.Transfer(64*maxSimRequests, Sequential)
+	m2 := NewModel(HBM2e())
+	big := m2.Transfer(4*64*maxSimRequests, Sequential)
+	ratio := float64(big) / float64(small)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("sampled scaling ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := NewModel(HBM2e())
+	m.Transfer(1<<16, Sequential)
+	m.Transfer(1<<16, Sequential)
+	bytes, cycles := m.Stats()
+	if bytes != 2<<16 || cycles <= 0 {
+		t.Fatalf("stats = (%d, %d)", bytes, cycles)
+	}
+}

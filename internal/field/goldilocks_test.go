@@ -1,0 +1,262 @@
+package field
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var bigOrder = new(big.Int).SetUint64(Order)
+
+func bigMod(op func(a, b, p *big.Int) *big.Int, a, b uint64) uint64 {
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	return op(x, y, bigOrder).Uint64()
+}
+
+// canonical draws an arbitrary canonical element from quick's raw uint64.
+func canonical(v uint64) Element { return Element(v % Order) }
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := canonical(a), canonical(b)
+		want := bigMod(func(a, b, p *big.Int) *big.Int {
+			return new(big.Int).Mod(new(big.Int).Add(a, b), p)
+		}, uint64(x), uint64(y))
+		return uint64(Add(x, y)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := canonical(a), canonical(b)
+		want := bigMod(func(a, b, p *big.Int) *big.Int {
+			return new(big.Int).Mod(new(big.Int).Sub(a, b), p)
+		}, uint64(x), uint64(y))
+		return uint64(Sub(x, y)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := canonical(a), canonical(b)
+		want := bigMod(func(a, b, p *big.Int) *big.Int {
+			return new(big.Int).Mod(new(big.Int).Mul(a, b), p)
+		}, uint64(x), uint64(y))
+		return uint64(Mul(x, y)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	// Values near the boundaries of the reduction algorithm.
+	edges := []uint64{0, 1, 2, epsilon - 1, epsilon, epsilon + 1,
+		1 << 32, Order - 2, Order - 1}
+	for _, a := range edges {
+		for _, b := range edges {
+			want := bigMod(func(a, b, p *big.Int) *big.Int {
+				return new(big.Int).Mod(new(big.Int).Mul(a, b), p)
+			}, a, b)
+			if got := uint64(Mul(Element(a), Element(b))); got != want {
+				t.Errorf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestNewCanonicalizes(t *testing.T) {
+	if New(Order) != 0 {
+		t.Errorf("New(p) = %d, want 0", New(Order))
+	}
+	if New(Order+5) != 5 {
+		t.Errorf("New(p+5) = %d, want 5", New(Order+5))
+	}
+	if New(^uint64(0)) != Element(^uint64(0)-Order) {
+		t.Errorf("New(2^64-1) wrong")
+	}
+}
+
+func TestNegAndDouble(t *testing.T) {
+	f := func(a uint64) bool {
+		x := canonical(a)
+		return Add(x, Neg(x)) == 0 && Double(x) == Add(x, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(a uint64) bool {
+		x := canonical(a)
+		if x == 0 {
+			return Inverse(x) == 0
+		}
+		return Mul(x, Inverse(x)) == One
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExp(t *testing.T) {
+	x := New(12345)
+	if Exp(x, 0) != One {
+		t.Error("x^0 != 1")
+	}
+	if Exp(x, 1) != x {
+		t.Error("x^1 != x")
+	}
+	if Exp(x, 5) != Mul(Mul(Mul(Mul(x, x), x), x), x) {
+		t.Error("x^5 mismatch")
+	}
+	// Fermat: x^(p-1) = 1.
+	if Exp(x, Order-1) != One {
+		t.Error("x^(p-1) != 1")
+	}
+}
+
+func TestPowerOfTwoGenerator(t *testing.T) {
+	// The canonical plonky2 value for 7^((p-1)/2^32).
+	const want = 1753635133440165772
+	if got := uint64(powerOfTwoGenerator()); got != want {
+		t.Fatalf("powerOfTwoGenerator = %d, want %d", got, want)
+	}
+}
+
+func TestPrimitiveRootsOfUnity(t *testing.T) {
+	for logN := 0; logN <= 20; logN++ {
+		w := PrimitiveRootOfUnity(logN)
+		n := uint64(1) << logN
+		if Exp(w, n) != One {
+			t.Fatalf("logN=%d: w^n != 1", logN)
+		}
+		if logN > 0 && Exp(w, n/2) == One {
+			t.Fatalf("logN=%d: w has order < n", logN)
+		}
+	}
+}
+
+func TestPrimitiveRootOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for logN > TwoAdicity")
+		}
+	}()
+	PrimitiveRootOfUnity(TwoAdicity + 1)
+}
+
+func TestMulAdd(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := canonical(a), canonical(b), canonical(c)
+		return MulAdd(x, y, z) == Add(Mul(x, y), z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		a := make([]Element, n)
+		b := make([]Element, n)
+		want := Zero
+		for i := 0; i < n; i++ {
+			// Bias toward large values to stress the carry limb.
+			a[i] = canonical(Order - 1 - uint64(rng.Intn(1000)))
+			b[i] = canonical(Order - 1 - uint64(rng.Intn(1000)))
+			want = Add(want, Mul(a[i], b[i]))
+		}
+		if got := Dot(a, b); got != want {
+			t.Fatalf("trial %d: Dot = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestBatchInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(50)
+		xs := make([]Element, n)
+		want := make([]Element, n)
+		for i := range xs {
+			if rng.Intn(5) == 0 {
+				xs[i] = 0
+			} else {
+				xs[i] = canonical(rng.Uint64())
+			}
+			want[i] = Inverse(xs[i])
+		}
+		BatchInverse(xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("trial %d idx %d: got %d want %d", trial, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if Div(New(5), 0) != 0 {
+		t.Error("Div(x, 0) should be 0")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(0x123456789ABCDEF), New(0xFEDCBA987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(0x123456789ABCDEF), New(0xFEDCBA987654321)
+	for i := 0; i < b.N; i++ {
+		x = Add(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInverse(b *testing.B) {
+	x := New(0x123456789ABCDEF)
+	for i := 0; i < b.N; i++ {
+		x = Inverse(x)
+	}
+	_ = x
+}
+
+func TestAccessors(t *testing.T) {
+	if New(7).Uint64() != 7 {
+		t.Fatal("Uint64 wrong")
+	}
+	if !Zero.IsZero() || One.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if Neg(Zero) != Zero {
+		t.Fatal("Neg(0) != 0")
+	}
+}
+
+func TestReduce128Exported(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := canonical(a), canonical(b)
+		hi, lo := bits.Mul64(uint64(x), uint64(y))
+		return Reduce128(hi, lo) == Mul(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package fri
+
+import (
+	"unizk/internal/field"
+	"unizk/internal/merkle"
+	"unizk/internal/ntt"
+	"unizk/internal/poly"
+	"unizk/internal/trace"
+)
+
+// PolynomialBatch is a committed batch of polynomials: coefficients, their
+// low degree extension on the coset g·H (bit-reversed order), and the
+// Merkle tree over index-major rows. It corresponds to one "oracle" of the
+// protocol and one Wires/Z/Quotient commitment node in the paper's
+// computation graph (Fig. 7).
+type PolynomialBatch struct {
+	// Coeffs[i] is polynomial i's coefficient vector, length N.
+	Coeffs [][]field.Element
+	// LDE[i] is polynomial i's evaluations on g·H_M, M = N << RateBits,
+	// in bit-reversed order (polynomial-major layout).
+	LDE [][]field.Element
+	// Tree commits to the index-major rows of LDE.
+	Tree *merkle.Tree
+
+	N        int
+	RateBits int
+}
+
+// CommitValues commits polynomials given by their evaluations over the
+// size-N subgroup in natural order. This is the full FRI commitment flow
+// of paper Fig. 1 right: iNTT^NN (step 1), LDE with coset NTT^NR (step 2),
+// Merkle tree construction (step 3).
+func CommitValues(values [][]field.Element, rateBits, capHeight int, rec *trace.Recorder) *PolynomialBatch {
+	n := len(values[0])
+	coeffs := make([][]field.Element, len(values))
+	rec.NTT(n, len(values), true, false, false, func() {
+		for i, v := range values {
+			c := make([]field.Element, n)
+			copy(c, v)
+			ntt.InverseNN(c)
+			coeffs[i] = c
+		}
+	})
+	return CommitCoeffs(coeffs, rateBits, capHeight, rec)
+}
+
+// CommitCoeffs commits polynomials given by coefficient vectors of equal
+// power-of-two length.
+func CommitCoeffs(coeffs [][]field.Element, rateBits, capHeight int, rec *trace.Recorder) *PolynomialBatch {
+	n := len(coeffs[0])
+	for _, c := range coeffs {
+		if len(c) != n {
+			panic("fri: all polynomials in a batch must have equal length")
+		}
+	}
+	m := n << rateBits
+
+	lde := make([][]field.Element, len(coeffs))
+	rec.NTT(m, len(coeffs), false, true, true, func() {
+		for i, c := range coeffs {
+			lde[i] = ntt.LDE(c, rateBits, field.MultiplicativeGenerator)
+		}
+	})
+
+	// Transpose to index-major rows — on UniZK this layout change is
+	// handled implicitly by the global transpose buffer (§4, §5.1).
+	leaves := make([][]field.Element, m)
+	rec.TransposeOp(m*len(coeffs), func() {
+		flat := make([]field.Element, m*len(coeffs))
+		for j := 0; j < m; j++ {
+			row := flat[j*len(coeffs) : (j+1)*len(coeffs)]
+			for i := range coeffs {
+				row[i] = lde[i][j]
+			}
+			leaves[j] = row
+		}
+	})
+
+	var tree *merkle.Tree
+	rec.Merkle(m, len(coeffs), func() {
+		tree = merkle.Build(leaves, capHeight)
+	})
+
+	return &PolynomialBatch{
+		Coeffs:   coeffs,
+		LDE:      lde,
+		Tree:     tree,
+		N:        n,
+		RateBits: rateBits,
+	}
+}
+
+// Cap returns the batch's Merkle commitment.
+func (b *PolynomialBatch) Cap() merkle.Cap { return b.Tree.Cap() }
+
+// NumPolys returns the number of polynomials in the batch.
+func (b *PolynomialBatch) NumPolys() int { return len(b.Coeffs) }
+
+// EvalAll evaluates every polynomial of the batch at an extension point;
+// these are the opened values ("Prove Openings" in paper Fig. 7).
+func (b *PolynomialBatch) EvalAll(x field.Ext, rec *trace.Recorder) []field.Ext {
+	out := make([]field.Ext, len(b.Coeffs))
+	rec.VecOp(b.N, len(b.Coeffs), 2, func() {
+		for i, c := range b.Coeffs {
+			out[i] = poly.EvalExt(c, x)
+		}
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+// Package fri implements the Fast Reed-Solomon IOP of Proximity used as
+// the polynomial commitment scheme by both Plonky2 and Starky (paper §2.2,
+// "FRI for PCS"). It provides:
+//
+//   - PolynomialBatch: committing a batch of polynomials by iNTT → low
+//     degree extension (coset NTT^NR) → Merkle tree, exactly the three-step
+//     flow of paper Fig. 1 right;
+//   - batched opening proofs at arbitrary extension-field points, via a
+//     random linear combination of quotients, arity-2 folding with per-layer
+//     Merkle commitments, proof-of-work grinding, and a query phase;
+//   - the corresponding verifier.
+//
+// All committed evaluation vectors are stored in bit-reversed order so
+// that FRI folding pairs are adjacent — the memory-layout property the
+// paper's NTT^NR variant exists to produce (§5.1, "NTT variants").
+package fri
+
+// Config collects the FRI parameters.
+type Config struct {
+	// RateBits is the log2 of the blowup factor k: 3 for Plonky2's
+	// default k = 8, 1 for Starky's k = 2 (paper §2.2).
+	RateBits int
+	// CapHeight is the Merkle cap height for all commitments.
+	CapHeight int
+	// NumQueries is the number of FRI query rounds.
+	NumQueries int
+	// ProofOfWorkBits is the grinding difficulty.
+	ProofOfWorkBits int
+	// FinalPolyBits stops folding once the degree bound is 2^FinalPolyBits.
+	FinalPolyBits int
+}
+
+// PlonkyConfig mirrors Plonky2's standard recursion-friendly configuration
+// (blowup 8, 28 queries, 16-bit grinding — about 100 bits of conjectured
+// security, the setting used for every paper workload).
+func PlonkyConfig() Config {
+	return Config{
+		RateBits:        3,
+		CapHeight:       4,
+		NumQueries:      28,
+		ProofOfWorkBits: 16,
+		FinalPolyBits:   5,
+	}
+}
+
+// StarkyConfig mirrors Starky's configuration: blowup factor 2 (paper
+// §2.2, "the blowup factor k is set to a different value of 2") and
+// correspondingly more queries for the same security target.
+func StarkyConfig() Config {
+	return Config{
+		RateBits:        1,
+		CapHeight:       4,
+		NumQueries:      84,
+		ProofOfWorkBits: 16,
+		FinalPolyBits:   5,
+	}
+}
+
+// TestConfig is a small, fast configuration for unit tests: lower
+// security, same code paths.
+func TestConfig() Config {
+	return Config{
+		RateBits:        2,
+		CapHeight:       1,
+		NumQueries:      8,
+		ProofOfWorkBits: 4,
+		FinalPolyBits:   2,
+	}
+}

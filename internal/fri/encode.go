@@ -1,0 +1,62 @@
+package fri
+
+import (
+	"unizk/internal/merkle"
+	"unizk/internal/wire"
+)
+
+// EncodeTo serializes the FRI proof.
+func (p *Proof) EncodeTo(w *wire.Writer) {
+	w.Len(len(p.CommitPhaseCaps))
+	for _, c := range p.CommitPhaseCaps {
+		w.Hashes(c)
+	}
+	w.Len(len(p.QueryRounds))
+	for _, q := range p.QueryRounds {
+		w.Len(len(q.OracleRows))
+		for _, row := range q.OracleRows {
+			w.Elems(row.Values)
+			w.Hashes(row.Proof.Siblings)
+		}
+		w.Len(len(q.Steps))
+		for _, s := range q.Steps {
+			w.Ext(s.Pair[0])
+			w.Ext(s.Pair[1])
+			w.Hashes(s.Proof.Siblings)
+		}
+	}
+	w.Exts(p.FinalPoly)
+	w.Elem(p.PowWitness)
+}
+
+// DecodeProof deserializes a FRI proof.
+func DecodeProof(r *wire.Reader) *Proof {
+	p := &Proof{}
+	nCaps := r.Len()
+	for i := 0; i < nCaps && r.Err() == nil; i++ {
+		p.CommitPhaseCaps = append(p.CommitPhaseCaps, merkle.Cap(r.Hashes()))
+	}
+	nRounds := r.Len()
+	for i := 0; i < nRounds && r.Err() == nil; i++ {
+		var q QueryRound
+		nRows := r.Len()
+		for j := 0; j < nRows && r.Err() == nil; j++ {
+			q.OracleRows = append(q.OracleRows, OracleRow{
+				Values: r.Elems(),
+				Proof:  merkle.Proof{Siblings: r.Hashes()},
+			})
+		}
+		nSteps := r.Len()
+		for j := 0; j < nSteps && r.Err() == nil; j++ {
+			var s QueryStep
+			s.Pair[0] = r.Ext()
+			s.Pair[1] = r.Ext()
+			s.Proof = merkle.Proof{Siblings: r.Hashes()}
+			q.Steps = append(q.Steps, s)
+		}
+		p.QueryRounds = append(p.QueryRounds, q)
+	}
+	p.FinalPoly = r.Exts()
+	p.PowWitness = r.Elem()
+	return p
+}

@@ -1,0 +1,334 @@
+package fri
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/ntt"
+	"unizk/internal/poly"
+	"unizk/internal/poseidon"
+	"unizk/internal/trace"
+)
+
+func randValues(rng *rand.Rand, numPolys, n int) [][]field.Element {
+	out := make([][]field.Element, numPolys)
+	for i := range out {
+		out[i] = make([]field.Element, n)
+		for j := range out[i] {
+			out[i][j] = field.New(rng.Uint64())
+		}
+	}
+	return out
+}
+
+func TestCommitLDEMatchesEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := TestConfig()
+	n := 16
+	values := randValues(rng, 3, n)
+	b := CommitValues(values, cfg.RateBits, cfg.CapHeight, nil)
+
+	// The committed coefficients interpolate the input values.
+	w := field.PrimitiveRootOfUnity(ntt.Log2(n))
+	for i, vals := range values {
+		x := field.One
+		for j := 0; j < n; j++ {
+			if poly.Eval(b.Coeffs[i], x) != vals[j] {
+				t.Fatalf("poly %d does not interpolate value %d", i, j)
+			}
+			x = field.Mul(x, w)
+		}
+	}
+
+	// The LDE rows are the coset evaluations in bit-reversed order.
+	m := n << cfg.RateBits
+	logM := ntt.Log2(m)
+	wm := field.PrimitiveRootOfUnity(logM)
+	for j := 0; j < m; j++ {
+		x := field.Mul(field.MultiplicativeGenerator,
+			field.Exp(wm, uint64(ntt.BitReverse(j, logM))))
+		for i := range values {
+			if b.LDE[i][j] != poly.Eval(b.Coeffs[i], x) {
+				t.Fatalf("LDE[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestEvalAllMatchesCoeffs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := TestConfig()
+	b := CommitValues(randValues(rng, 2, 8), cfg.RateBits, cfg.CapHeight, nil)
+	z := field.Ext{A: field.New(rng.Uint64()), B: field.New(rng.Uint64())}
+	got := b.EvalAll(z, nil)
+	for i := range got {
+		if got[i] != poly.EvalExt(b.Coeffs[i], z) {
+			t.Fatalf("EvalAll poly %d mismatch", i)
+		}
+	}
+}
+
+// setup builds two committed oracles opened at two points (the second
+// oracle at both, mirroring the Z-polynomial opened at ζ and g·ζ).
+type friFixture struct {
+	oracles []*PolynomialBatch
+	voracle []VerifierOracle
+	groups  []PointGroup
+	opened  OpenedValues
+	cfg     Config
+	logN    int
+}
+
+func newFixture(t *testing.T, seed int64, logN int) *friFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := TestConfig()
+	n := 1 << logN
+	b1 := CommitValues(randValues(rng, 3, n), cfg.RateBits, cfg.CapHeight, nil)
+	b2 := CommitValues(randValues(rng, 2, n), cfg.RateBits, cfg.CapHeight, nil)
+	zeta := field.Ext{A: field.New(rng.Uint64()), B: field.New(rng.Uint64())}
+	g := field.PrimitiveRootOfUnity(logN)
+	gzeta := field.ExtScalarMul(g, zeta)
+	groups := []PointGroup{
+		{Point: zeta, Oracles: []int{0, 1}},
+		{Point: gzeta, Oracles: []int{1}},
+	}
+	opened := OpenedValues{
+		{b1.EvalAll(zeta, nil), b2.EvalAll(zeta, nil)},
+		{b2.EvalAll(gzeta, nil)},
+	}
+	return &friFixture{
+		oracles: []*PolynomialBatch{b1, b2},
+		voracle: []VerifierOracle{
+			{Cap: b1.Cap(), NumPolys: 3},
+			{Cap: b2.Cap(), NumPolys: 2},
+		},
+		groups: groups,
+		opened: opened,
+		cfg:    cfg,
+		logN:   logN,
+	}
+}
+
+func (f *friFixture) challenger() *poseidon.Challenger {
+	ch := poseidon.NewChallenger()
+	for _, o := range f.oracles {
+		observeCap(ch, o.Cap())
+	}
+	for _, g := range f.opened {
+		for _, vals := range g {
+			for _, v := range vals {
+				ch.ObserveExt(v)
+			}
+		}
+	}
+	return ch
+}
+
+func (f *friFixture) prove(rec *trace.Recorder) *Proof {
+	return Prove(f.oracles, f.groups, f.opened, f.challenger(), f.cfg, rec)
+}
+
+func (f *friFixture) verify(proof *Proof) error {
+	return Verify(f.voracle, f.groups, f.opened, proof, f.challenger(), f.cfg, f.logN)
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	for _, logN := range []int{3, 5, 7} {
+		f := newFixture(t, int64(logN), logN)
+		proof := f.prove(nil)
+		if err := f.verify(proof); err != nil {
+			t.Fatalf("logN=%d: valid proof rejected: %v", logN, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedOpening(t *testing.T) {
+	f := newFixture(t, 10, 5)
+	proof := f.prove(nil)
+	f.opened[0][0][1] = field.ExtAdd(f.opened[0][0][1], field.ExtOne)
+	if err := f.verify(proof); err == nil {
+		t.Fatal("tampered opening accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedFinalPoly(t *testing.T) {
+	f := newFixture(t, 11, 5)
+	proof := f.prove(nil)
+	proof.FinalPoly[0] = field.ExtAdd(proof.FinalPoly[0], field.ExtOne)
+	err := f.verify(proof)
+	if err == nil {
+		t.Fatal("tampered final polynomial accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedPow(t *testing.T) {
+	f := newFixture(t, 12, 5)
+	proof := f.prove(nil)
+	proof.PowWitness = field.Add(proof.PowWitness, field.One)
+	err := f.verify(proof)
+	if err == nil || !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("tampered PoW: got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedQueryValue(t *testing.T) {
+	f := newFixture(t, 13, 5)
+	proof := f.prove(nil)
+	proof.QueryRounds[0].OracleRows[0].Values[0] =
+		field.Add(proof.QueryRounds[0].OracleRows[0].Values[0], field.One)
+	if err := f.verify(proof); err == nil {
+		t.Fatal("tampered query row accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedFoldPair(t *testing.T) {
+	f := newFixture(t, 14, 5)
+	proof := f.prove(nil)
+	if len(proof.QueryRounds[0].Steps) == 0 {
+		t.Skip("no fold layers at this size")
+	}
+	proof.QueryRounds[0].Steps[0].Pair[0] =
+		field.ExtAdd(proof.QueryRounds[0].Steps[0].Pair[0], field.ExtOne)
+	if err := f.verify(proof); err == nil {
+		t.Fatal("tampered fold pair accepted")
+	}
+}
+
+func TestVerifyRejectsWrongCap(t *testing.T) {
+	f := newFixture(t, 15, 5)
+	proof := f.prove(nil)
+	other := newFixture(t, 16, 5)
+	f.voracle[0].Cap = other.voracle[0].Cap
+	if err := f.verify(proof); err == nil {
+		t.Fatal("proof accepted against wrong oracle cap")
+	}
+}
+
+func TestVerifyRejectsShapeErrors(t *testing.T) {
+	f := newFixture(t, 17, 5)
+	proof := f.prove(nil)
+
+	mut := func(name string, mutate func(p *Proof)) {
+		p := *proof
+		// Deep-ish copies of the mutated parts are made inside mutate.
+		mutate(&p)
+		err := f.verify(&p)
+		if err == nil || !errors.Is(err, ErrProofShape) {
+			t.Errorf("%s: got %v, want shape error", name, err)
+		}
+	}
+	mut("missing cap", func(p *Proof) {
+		p.CommitPhaseCaps = p.CommitPhaseCaps[:len(p.CommitPhaseCaps)-1]
+	})
+	mut("short final poly", func(p *Proof) {
+		p.FinalPoly = p.FinalPoly[:len(p.FinalPoly)-1]
+	})
+	mut("missing query round", func(p *Proof) {
+		p.QueryRounds = p.QueryRounds[:len(p.QueryRounds)-1]
+	})
+	mut("truncated merkle path", func(p *Proof) {
+		rounds := append([]QueryRound(nil), p.QueryRounds...)
+		rows := append([]OracleRow(nil), rounds[0].OracleRows...)
+		rows[0].Proof.Siblings = rows[0].Proof.Siblings[:1]
+		rounds[0].OracleRows = rows
+		p.QueryRounds = rounds
+	})
+}
+
+func TestSmallDomainNoFolding(t *testing.T) {
+	// When the committed domain is at or below the final-polynomial
+	// bound, FRI sends the polynomial directly with zero fold layers
+	// (regression: the verifier must clamp its expectations).
+	rng := rand.New(rand.NewSource(30))
+	cfg := PlonkyConfig() // FinalPolyBits 5 vs a degree-8 polynomial
+	cfg.ProofOfWorkBits = 4
+	logN := 3
+	b := CommitValues(randValues(rng, 2, 1<<logN), cfg.RateBits, cfg.CapHeight, nil)
+	zeta := field.Ext{A: field.New(rng.Uint64()), B: field.New(rng.Uint64())}
+	groups := []PointGroup{{Point: zeta, Oracles: []int{0}}}
+	opened := OpenedValues{{b.EvalAll(zeta, nil)}}
+
+	mkCh := func() *poseidon.Challenger {
+		ch := poseidon.NewChallenger()
+		observeCap(ch, b.Cap())
+		for _, v := range opened[0][0] {
+			ch.ObserveExt(v)
+		}
+		return ch
+	}
+	proof := Prove([]*PolynomialBatch{b}, groups, opened, mkCh(), cfg, nil)
+	if len(proof.CommitPhaseCaps) != 0 {
+		t.Fatalf("expected 0 fold layers, got %d", len(proof.CommitPhaseCaps))
+	}
+	oracles := []VerifierOracle{{Cap: b.Cap(), NumPolys: 2}}
+	if err := Verify(oracles, groups, opened, proof, mkCh(), cfg, logN); err != nil {
+		t.Fatalf("small-domain proof rejected: %v", err)
+	}
+}
+
+func TestProofIsDeterministic(t *testing.T) {
+	f1 := newFixture(t, 18, 4)
+	f2 := newFixture(t, 18, 4)
+	p1, p2 := f1.prove(nil), f2.prove(nil)
+	if p1.PowWitness != p2.PowWitness {
+		t.Fatal("proof generation not deterministic")
+	}
+	if len(p1.FinalPoly) != len(p2.FinalPoly) {
+		t.Fatal("final poly lengths differ")
+	}
+	for i := range p1.FinalPoly {
+		if p1.FinalPoly[i] != p2.FinalPoly[i] {
+			t.Fatal("final polys differ")
+		}
+	}
+}
+
+func TestProveRecordsKernels(t *testing.T) {
+	f := newFixture(t, 19, 5)
+	rec := trace.New()
+	// Re-commit through the recorder to capture the commitment kernels.
+	rng := rand.New(rand.NewSource(20))
+	CommitValues(randValues(rng, 2, 32), f.cfg.RateBits, f.cfg.CapHeight, rec)
+	f.prove(rec)
+	counts := map[trace.Kind]int{}
+	for _, n := range rec.Nodes() {
+		counts[n.Kind]++
+	}
+	for _, k := range []trace.Kind{trace.NTT, trace.MerkleTree, trace.VecOp, trace.Hash} {
+		if counts[k] == 0 {
+			t.Errorf("no %v kernels recorded", k)
+		}
+	}
+}
+
+func TestDomainPointsOrder(t *testing.T) {
+	logM := 4
+	xs := domainPoints(logM)
+	w := field.PrimitiveRootOfUnity(logM)
+	for j := range xs {
+		want := field.Mul(field.MultiplicativeGenerator,
+			field.Exp(w, uint64(ntt.BitReverse(j, logM))))
+		if xs[j] != want {
+			t.Fatalf("domain point %d wrong", j)
+		}
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := TestConfig()
+	logN := 8
+	batch := CommitValues(randValues(rng, 4, 1<<logN), cfg.RateBits, cfg.CapHeight, nil)
+	zeta := field.Ext{A: field.New(rng.Uint64()), B: field.New(rng.Uint64())}
+	groups := []PointGroup{{Point: zeta, Oracles: []int{0}}}
+	opened := OpenedValues{{batch.EvalAll(zeta, nil)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := poseidon.NewChallenger()
+		observeCap(ch, batch.Cap())
+		Prove([]*PolynomialBatch{batch}, groups, opened, ch, cfg, nil)
+	}
+}

@@ -1,0 +1,296 @@
+package fri
+
+import (
+	"time"
+
+	"unizk/internal/field"
+	"unizk/internal/merkle"
+	"unizk/internal/ntt"
+	"unizk/internal/poseidon"
+	"unizk/internal/trace"
+)
+
+// PointGroup names one opening point and the oracles (by index into the
+// Prove/Verify oracle list) whose polynomials are all opened there. The
+// proof systems use e.g. {ζ: wires, Z, quotient} and {g·ζ: Z}.
+type PointGroup struct {
+	Point   field.Ext
+	Oracles []int
+}
+
+// OpenedValues holds the claimed evaluations: OpenedValues[g][k][i] is the
+// value of polynomial i of the k-th oracle of group g at the group's point.
+type OpenedValues [][][]field.Ext
+
+// Proof is a batched FRI opening proof.
+type Proof struct {
+	// CommitPhaseCaps are the Merkle caps of the folded layers, in fold
+	// order.
+	CommitPhaseCaps []merkle.Cap
+	// QueryRounds holds one consistency check per FRI query.
+	QueryRounds []QueryRound
+	// FinalPoly is the last layer's coefficient vector, sent in clear.
+	FinalPoly []field.Ext
+	// PowWitness is the grinding witness.
+	PowWitness field.Element
+}
+
+// QueryRound is the data for one query index: the opened rows of every
+// oracle, and one folded pair per commit-phase layer.
+type QueryRound struct {
+	OracleRows []OracleRow
+	Steps      []QueryStep
+}
+
+// OracleRow is an opened Merkle leaf of a committed polynomial batch.
+type OracleRow struct {
+	Values []field.Element
+	Proof  merkle.Proof
+}
+
+// QueryStep is one opened fold pair with its Merkle proof.
+type QueryStep struct {
+	Pair  [2]field.Ext
+	Proof merkle.Proof
+}
+
+// observeCap absorbs a Merkle cap into the Fiat–Shamir transcript.
+func observeCap(ch *poseidon.Challenger, c merkle.Cap) {
+	for _, h := range c {
+		ch.ObserveHash(h)
+	}
+}
+
+// layerCapHeight clamps the configured cap height to the layer size.
+func layerCapHeight(cfg Config, numLeaves int) int {
+	h := cfg.CapHeight
+	if logN := ntt.Log2(numLeaves); h > logN {
+		h = logN
+	}
+	return h
+}
+
+// Prove produces a batched opening proof for the given oracles at the
+// given point groups. The challenger must have already observed the oracle
+// caps and the opened values (the outer protocol's transcript); Prove and
+// Verify then perform identical transcript operations.
+func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
+	ch *poseidon.Challenger, cfg Config, rec *trace.Recorder) *Proof {
+
+	n := oracles[0].N
+	for _, o := range oracles {
+		if o.N != n || o.RateBits != cfg.RateBits {
+			panic("fri: all oracles must share size and rate")
+		}
+	}
+	m := n << cfg.RateBits
+	logM := ntt.Log2(m)
+
+	alpha := ch.SampleExt()
+
+	// Combine all openings into the single quotient polynomial
+	//   F(X) = Σ_g (B_g(X) - y_g) / (X - z_g),
+	// B_g = Σ α^c · p_i with one fresh power of α per (group, poly),
+	// evaluated pointwise on the LDE domain. This is element-wise vector
+	// work — the "Poly" kernel class of the paper.
+	f := make([]field.Ext, m)
+	totalPolys := 0
+	for _, g := range groups {
+		for _, oi := range g.Oracles {
+			totalPolys += oracles[oi].NumPolys()
+		}
+	}
+	rec.VecOp(m, totalPolys, 4, func() {
+		xs := domainPoints(logM) // xs[j] = g·w^rev(j), matching LDE order
+		alphaPow := field.ExtOne
+		b := make([]field.Ext, m)
+		diff := make([]field.Ext, m)
+		for gi, g := range groups {
+			for j := range b {
+				b[j] = field.ExtZero
+			}
+			y := field.ExtZero
+			for ki, oi := range g.Oracles {
+				for pi, lde := range oracles[oi].LDE {
+					for j := 0; j < m; j++ {
+						b[j] = field.ExtAdd(b[j],
+							field.ExtScalarMul(lde[j], alphaPow))
+					}
+					y = field.ExtAdd(y,
+						field.ExtMul(alphaPow, opened[gi][ki][pi]))
+					alphaPow = field.ExtMul(alphaPow, alpha)
+				}
+			}
+			for j := 0; j < m; j++ {
+				diff[j] = field.ExtSub(field.FromBase(xs[j]), g.Point)
+			}
+			field.ExtBatchInverse(diff)
+			for j := 0; j < m; j++ {
+				f[j] = field.ExtAdd(f[j],
+					field.ExtMul(field.ExtSub(b[j], y), diff[j]))
+			}
+		}
+	})
+
+	// Commit-phase folding: arity 2, with the bit-reversed layout keeping
+	// fold pairs adjacent in memory.
+	layer := f
+	shift := field.MultiplicativeGenerator
+	finalSize := 1 << (cfg.FinalPolyBits + cfg.RateBits)
+	var caps []merkle.Cap
+	var trees []*merkle.Tree
+	for len(layer) > finalSize {
+		half := len(layer) / 2
+		leaves := make([][]field.Element, half)
+		var tree *merkle.Tree
+		rec.Merkle(half, 4, func() {
+			for k := 0; k < half; k++ {
+				a, bv := layer[2*k], layer[2*k+1]
+				leaves[k] = []field.Element{a.A, a.B, bv.A, bv.B}
+			}
+			tree = merkle.Build(leaves, layerCapHeight(cfg, half))
+		})
+		trees = append(trees, tree)
+		caps = append(caps, tree.Cap())
+		observeCap(ch, tree.Cap())
+		beta := ch.SampleExt()
+
+		next := make([]field.Ext, half)
+		rec.VecOp(half, 2, 6, func() {
+			logLayer := ntt.Log2(len(layer))
+			w := field.PrimitiveRootOfUnity(logLayer)
+			// x_k = shift·w^{rev(k)}; fold:
+			//   next[k] = [ x·(a+b) + β·(a−b) ] / (2x).
+			xPow := make([]field.Element, half)
+			acc := shift
+			for t := 0; t < half; t++ {
+				xPow[t] = acc
+				acc = field.Mul(acc, w)
+			}
+			inv2x := make([]field.Element, half)
+			for k := 0; k < half; k++ {
+				inv2x[k] = field.Double(xPow[ntt.BitReverse(k, logLayer-1)])
+			}
+			field.BatchInverse(inv2x)
+			for k := 0; k < half; k++ {
+				a, bv := layer[2*k], layer[2*k+1]
+				x := xPow[ntt.BitReverse(k, logLayer-1)]
+				num := field.ExtAdd(
+					field.ExtScalarMul(x, field.ExtAdd(a, bv)),
+					field.ExtMul(beta, field.ExtSub(a, bv)))
+				next[k] = field.ExtScalarMul(inv2x[k], num)
+			}
+		})
+		layer = next
+		shift = field.Square(shift)
+	}
+
+	// Recover the final polynomial's coefficients: component-wise
+	// un-bit-reverse + coset iNTT (NTT is base-linear, so the quadratic
+	// extension splits into two base transforms).
+	finalCoeffs := extCosetInverseNN(layer, shift, rec)
+	finalPoly := finalCoeffs[:len(layer)>>cfg.RateBits]
+	for _, c := range finalCoeffs[len(finalPoly):] {
+		if !c.IsZero() {
+			panic("fri: combined polynomial is not low degree — outer protocol bug")
+		}
+	}
+	for _, c := range finalPoly {
+		ch.ObserveExt(c)
+	}
+
+	// Proof-of-work grinding (part of "Other Hash" in Table 1). The
+	// permutation count is only known after the search, so the kernel
+	// node is recorded with a measured duration.
+	var witness field.Element
+	tries := 0
+	grindStart := time.Now()
+	for wv := uint64(0); ; wv++ {
+		tries++
+		c2 := ch.Clone()
+		c2.Observe(field.New(wv))
+		if c2.SampleBits(cfg.ProofOfWorkBits) == 0 {
+			witness = field.New(wv)
+			break
+		}
+	}
+	rec.RecordTimed(trace.Node{Kind: trace.Hash, Size: tries}, time.Since(grindStart))
+	ch.Observe(witness)
+	if ch.SampleBits(cfg.ProofOfWorkBits) != 0 {
+		panic("fri: internal proof-of-work inconsistency")
+	}
+
+	// Query phase.
+	rounds := make([]QueryRound, cfg.NumQueries)
+	for q := range rounds {
+		idx := int(ch.SampleBits(logM))
+		var round QueryRound
+		for _, o := range oracles {
+			values, mp := o.Tree.Open(idx)
+			round.OracleRows = append(round.OracleRows,
+				OracleRow{Values: values, Proof: mp})
+		}
+		i := idx
+		for _, tree := range trees {
+			k := i >> 1
+			leaf, mp := tree.Open(k)
+			round.Steps = append(round.Steps, QueryStep{
+				Pair: [2]field.Ext{
+					{A: leaf[0], B: leaf[1]},
+					{A: leaf[2], B: leaf[3]},
+				},
+				Proof: mp,
+			})
+			i = k
+		}
+		rounds[q] = round
+	}
+
+	return &Proof{
+		CommitPhaseCaps: caps,
+		QueryRounds:     rounds,
+		FinalPoly:       finalPoly,
+		PowWitness:      witness,
+	}
+}
+
+// domainPoints returns x_j = g·w^{BitReverse(j)} for the size-2^logM LDE
+// domain, indexed in the committed (bit-reversed) order.
+func domainPoints(logM int) []field.Element {
+	m := 1 << logM
+	w := field.PrimitiveRootOfUnity(logM)
+	pow := make([]field.Element, m)
+	acc := field.MultiplicativeGenerator
+	for t := 0; t < m; t++ {
+		pow[t] = acc
+		acc = field.Mul(acc, w)
+	}
+	out := make([]field.Element, m)
+	for j := 0; j < m; j++ {
+		out[j] = pow[ntt.BitReverse(j, logM)]
+	}
+	return out
+}
+
+// extCosetInverseNN interpolates bit-reversed-order extension values on
+// the coset shift·H back to natural-order coefficients, component-wise.
+func extCosetInverseNN(values []field.Ext, shift field.Element, rec *trace.Recorder) []field.Ext {
+	n := len(values)
+	out := make([]field.Ext, n)
+	rec.NTT(n, 2, true, true, true, func() {
+		as := make([]field.Element, n)
+		bs := make([]field.Element, n)
+		for i, v := range values {
+			as[i] = v.A
+			bs[i] = v.B
+		}
+		ntt.BitReversePermute(as)
+		ntt.BitReversePermute(bs)
+		ntt.CosetInverseNN(as, shift)
+		ntt.CosetInverseNN(bs, shift)
+		for i := range out {
+			out[i] = field.Ext{A: as[i], B: bs[i]}
+		}
+	})
+	return out
+}

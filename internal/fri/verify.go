@@ -1,0 +1,211 @@
+package fri
+
+import (
+	"errors"
+	"fmt"
+
+	"unizk/internal/field"
+	"unizk/internal/merkle"
+	"unizk/internal/ntt"
+	"unizk/internal/poly"
+	"unizk/internal/poseidon"
+)
+
+// VerifierOracle is the verifier's view of a committed batch: its Merkle
+// cap and polynomial count.
+type VerifierOracle struct {
+	Cap      merkle.Cap
+	NumPolys int
+}
+
+// Verification errors. ErrProofShape covers structural mismatches;
+// ErrProofInvalid covers cryptographic check failures.
+var (
+	ErrProofShape   = errors.New("fri: malformed proof")
+	ErrProofInvalid = errors.New("fri: proof rejected")
+)
+
+// Verify checks a batched FRI opening proof. The challenger must be in the
+// same transcript state as the prover's was when Prove was called. logN is
+// the log2 of the committed polynomials' length.
+func Verify(oracles []VerifierOracle, groups []PointGroup, opened OpenedValues,
+	proof *Proof, ch *poseidon.Challenger, cfg Config, logN int) error {
+
+	logM := logN + cfg.RateBits
+	m := 1 << logM
+
+	if len(opened) != len(groups) {
+		return fmt.Errorf("%w: opened values for %d groups, want %d",
+			ErrProofShape, len(opened), len(groups))
+	}
+	for gi, g := range groups {
+		if len(opened[gi]) != len(g.Oracles) {
+			return fmt.Errorf("%w: group %d opens %d oracles, want %d",
+				ErrProofShape, gi, len(opened[gi]), len(g.Oracles))
+		}
+		for ki, oi := range g.Oracles {
+			if oi < 0 || oi >= len(oracles) {
+				return fmt.Errorf("%w: oracle index %d out of range", ErrProofShape, oi)
+			}
+			if len(opened[gi][ki]) != oracles[oi].NumPolys {
+				return fmt.Errorf("%w: group %d oracle %d has %d openings, want %d",
+					ErrProofShape, gi, oi, len(opened[gi][ki]), oracles[oi].NumPolys)
+			}
+		}
+	}
+
+	alpha := ch.SampleExt()
+
+	// Re-derive the fold challenges. Domains smaller than the configured
+	// final-polynomial bound need no folding at all.
+	finalSize := 1 << (cfg.FinalPolyBits + cfg.RateBits)
+	if finalSize > m {
+		finalSize = m
+	}
+	numLayers := 0
+	for s := m; s > finalSize; s >>= 1 {
+		numLayers++
+	}
+	if len(proof.CommitPhaseCaps) != numLayers {
+		return fmt.Errorf("%w: %d commit-phase caps, want %d",
+			ErrProofShape, len(proof.CommitPhaseCaps), numLayers)
+	}
+	betas := make([]field.Ext, numLayers)
+	layerSize := m
+	for t := 0; t < numLayers; t++ {
+		wantCap := 1 << layerCapHeight(cfg, layerSize/2)
+		if len(proof.CommitPhaseCaps[t]) != wantCap {
+			return fmt.Errorf("%w: layer %d cap size %d, want %d",
+				ErrProofShape, t, len(proof.CommitPhaseCaps[t]), wantCap)
+		}
+		observeCap(ch, proof.CommitPhaseCaps[t])
+		betas[t] = ch.SampleExt()
+		layerSize >>= 1
+	}
+
+	if len(proof.FinalPoly) != finalSize>>cfg.RateBits {
+		return fmt.Errorf("%w: final polynomial has %d coefficients, want %d",
+			ErrProofShape, len(proof.FinalPoly), finalSize>>cfg.RateBits)
+	}
+	for _, c := range proof.FinalPoly {
+		ch.ObserveExt(c)
+	}
+
+	ch.Observe(proof.PowWitness)
+	if ch.SampleBits(cfg.ProofOfWorkBits) != 0 {
+		return fmt.Errorf("%w: proof-of-work witness fails", ErrProofInvalid)
+	}
+
+	if len(proof.QueryRounds) != cfg.NumQueries {
+		return fmt.Errorf("%w: %d query rounds, want %d",
+			ErrProofShape, len(proof.QueryRounds), cfg.NumQueries)
+	}
+
+	w := field.PrimitiveRootOfUnity(logM)
+	for q, round := range proof.QueryRounds {
+		idx := int(ch.SampleBits(logM))
+		if err := verifyQuery(oracles, groups, opened, proof, round,
+			alpha, betas, idx, logM, w, cfg); err != nil {
+			return fmt.Errorf("query %d (index %d): %w", q, idx, err)
+		}
+	}
+	return nil
+}
+
+func verifyQuery(oracles []VerifierOracle, groups []PointGroup, opened OpenedValues,
+	proof *Proof, round QueryRound, alpha field.Ext, betas []field.Ext,
+	idx, logM int, w field.Element, cfg Config) error {
+
+	if len(round.OracleRows) != len(oracles) {
+		return fmt.Errorf("%w: %d oracle rows, want %d",
+			ErrProofShape, len(round.OracleRows), len(oracles))
+	}
+	if len(round.Steps) != len(betas) {
+		return fmt.Errorf("%w: %d fold steps, want %d",
+			ErrProofShape, len(round.Steps), len(betas))
+	}
+
+	// Authenticate the oracle rows.
+	for oi, row := range round.OracleRows {
+		if len(row.Values) != oracles[oi].NumPolys {
+			return fmt.Errorf("%w: oracle %d row has %d values, want %d",
+				ErrProofShape, oi, len(row.Values), oracles[oi].NumPolys)
+		}
+		wantSiblings := logM - capHeightOf(oracles[oi].Cap)
+		if len(row.Proof.Siblings) != wantSiblings {
+			return fmt.Errorf("%w: oracle %d proof length %d, want %d",
+				ErrProofShape, oi, len(row.Proof.Siblings), wantSiblings)
+		}
+		if err := merkle.Verify(row.Values, idx, row.Proof, oracles[oi].Cap); err != nil {
+			return fmt.Errorf("%w: oracle %d row: %v", ErrProofInvalid, oi, err)
+		}
+	}
+
+	// Recompute the combined value F(x_idx) from the authenticated rows.
+	x := field.Mul(field.MultiplicativeGenerator,
+		field.Exp(w, uint64(ntt.BitReverse(idx, logM))))
+	v := field.ExtZero
+	alphaPow := field.ExtOne
+	for gi, g := range groups {
+		b := field.ExtZero
+		y := field.ExtZero
+		for ki, oi := range g.Oracles {
+			for pi, rv := range round.OracleRows[oi].Values {
+				b = field.ExtAdd(b, field.ExtScalarMul(rv, alphaPow))
+				y = field.ExtAdd(y, field.ExtMul(alphaPow, opened[gi][ki][pi]))
+				alphaPow = field.ExtMul(alphaPow, alpha)
+			}
+		}
+		diff := field.ExtSub(field.FromBase(x), g.Point)
+		if diff.IsZero() {
+			return fmt.Errorf("%w: opening point lies on the LDE domain", ErrProofInvalid)
+		}
+		v = field.ExtAdd(v, field.ExtMul(field.ExtSub(b, y), field.ExtInverse(diff)))
+	}
+
+	// Walk the fold layers.
+	i := idx
+	size := 1 << logM
+	shift := field.MultiplicativeGenerator
+	for t, step := range round.Steps {
+		k := i >> 1
+		if step.Pair[i&1] != v {
+			return fmt.Errorf("%w: fold layer %d value mismatch", ErrProofInvalid, t)
+		}
+		leaf := []field.Element{step.Pair[0].A, step.Pair[0].B,
+			step.Pair[1].A, step.Pair[1].B}
+		half := size / 2
+		wantSiblings := ntt.Log2(half) - layerCapHeight(cfg, half)
+		if len(step.Proof.Siblings) != wantSiblings {
+			return fmt.Errorf("%w: layer %d proof length %d, want %d",
+				ErrProofShape, t, len(step.Proof.Siblings), wantSiblings)
+		}
+		if err := merkle.Verify(leaf, k, step.Proof, proof.CommitPhaseCaps[t]); err != nil {
+			return fmt.Errorf("%w: fold layer %d: %v", ErrProofInvalid, t, err)
+		}
+		// Fold: v' = [x·(a+b) + β·(a−b)] / (2x).
+		wl := field.PrimitiveRootOfUnity(ntt.Log2(size))
+		xk := field.Mul(shift, field.Exp(wl, uint64(ntt.BitReverse(k, ntt.Log2(size)-1))))
+		a, bv := step.Pair[0], step.Pair[1]
+		num := field.ExtAdd(
+			field.ExtScalarMul(xk, field.ExtAdd(a, bv)),
+			field.ExtMul(betas[t], field.ExtSub(a, bv)))
+		v = field.ExtScalarMul(field.Inverse(field.Double(xk)), num)
+
+		i = k
+		size = half
+		shift = field.Square(shift)
+	}
+
+	// The folded value must match the final polynomial.
+	wf := field.PrimitiveRootOfUnity(ntt.Log2(size))
+	xf := field.Mul(shift, field.Exp(wf, uint64(ntt.BitReverse(i, ntt.Log2(size)))))
+	want := poly.EvalExtCoeffs(proof.FinalPoly, field.FromBase(xf))
+	if v != want {
+		return fmt.Errorf("%w: final polynomial mismatch", ErrProofInvalid)
+	}
+	return nil
+}
+
+// capHeightOf returns log2 of the cap size.
+func capHeightOf(c merkle.Cap) int { return ntt.Log2(len(c)) }

@@ -1,0 +1,159 @@
+// Package merkle implements Poseidon Merkle trees as used by FRI
+// commitments (paper §5.3): leaves are vectors of field elements hashed
+// with the absorb method, internal nodes compress two children with 4
+// zero-padding capacity elements, and the nodes are stored in level order
+// ("which ensures long sequential memory accesses" — the property UniZK's
+// Merkle mapping exploits). Trees support Plonky2-style caps: the top
+// capHeight levels are omitted and the commitment is the vector of 2^capHeight
+// subtree roots.
+package merkle
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"unizk/internal/field"
+	"unizk/internal/ntt"
+	"unizk/internal/poseidon"
+)
+
+// Tree is a Poseidon Merkle tree over a fixed set of leaves.
+type Tree struct {
+	// Leaves are the committed vectors, index-major: Leaves[i] is the data
+	// of leaf i (one "row" across all committed polynomials in FRI).
+	Leaves [][]field.Element
+	// levels[0] is the leaf digests; levels[k] has len(levels[k-1])/2
+	// digests; the last level is the cap.
+	levels    [][]poseidon.HashOut
+	capHeight int
+}
+
+// Cap is a Merkle commitment: the digests at height capHeight from the top.
+type Cap []poseidon.HashOut
+
+// Proof is an authentication path from a leaf to the cap.
+type Proof struct {
+	Siblings []poseidon.HashOut
+}
+
+// Build constructs a tree over the given leaves. The number of leaves must
+// be a power of two and at least 2^capHeight. Leaf hashing and each tree
+// level are parallelized across CPUs, the software analogue of the paper's
+// "hash computations at the same tree level are independent".
+func Build(leaves [][]field.Element, capHeight int) *Tree {
+	n := len(leaves)
+	logN := ntt.Log2(n) // panics on non-power-of-two, a programming error
+	if capHeight < 0 || capHeight > logN {
+		panic("merkle: cap height out of range")
+	}
+	t := &Tree{Leaves: leaves, capHeight: capHeight}
+
+	digests := make([]poseidon.HashOut, n)
+	parallelFor(n, func(i int) {
+		digests[i] = poseidon.HashOrNoop(leaves[i])
+	})
+	t.levels = append(t.levels, digests)
+
+	for len(digests) > 1<<capHeight {
+		next := make([]poseidon.HashOut, len(digests)/2)
+		prev := digests
+		parallelFor(len(next), func(i int) {
+			next[i] = poseidon.TwoToOne(prev[2*i], prev[2*i+1])
+		})
+		t.levels = append(t.levels, next)
+		digests = next
+	}
+	return t
+}
+
+// Cap returns the tree's commitment.
+func (t *Tree) Cap() Cap {
+	top := t.levels[len(t.levels)-1]
+	return append(Cap(nil), top...)
+}
+
+// Root returns the single root digest (only valid for capHeight 0 trees).
+func (t *Tree) Root() poseidon.HashOut {
+	if t.capHeight != 0 {
+		panic("merkle: Root called on a tree with a non-trivial cap")
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// Open returns the leaf data and authentication path for the given index.
+func (t *Tree) Open(index int) ([]field.Element, Proof) {
+	if index < 0 || index >= len(t.Leaves) {
+		panic("merkle: leaf index out of range")
+	}
+	var siblings []poseidon.HashOut
+	i := index
+	for _, level := range t.levels[:len(t.levels)-1] {
+		siblings = append(siblings, level[i^1])
+		i >>= 1
+	}
+	return t.Leaves[index], Proof{Siblings: siblings}
+}
+
+// ErrInvalidProof is returned when an authentication path does not lead to
+// the committed cap.
+var ErrInvalidProof = errors.New("merkle: invalid proof")
+
+// Verify checks that leafData at index authenticates against the cap.
+func Verify(leafData []field.Element, index int, proof Proof, c Cap) error {
+	h := poseidon.HashOrNoop(leafData)
+	i := index
+	for _, sib := range proof.Siblings {
+		if i&1 == 0 {
+			h = poseidon.TwoToOne(h, sib)
+		} else {
+			h = poseidon.TwoToOne(sib, h)
+		}
+		i >>= 1
+	}
+	if i >= len(c) || c[i] != h {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+// parallelFor runs fn(i) for i in [0,n) on up to NumCPU workers. Small n
+// runs inline to avoid goroutine overhead on tiny levels near the cap.
+func parallelFor(n int, fn func(int)) {
+	parallelForWorkers(n, runtime.NumCPU(), fn)
+}
+
+func parallelForWorkers(n, workers int, fn func(int)) {
+	if n < 256 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

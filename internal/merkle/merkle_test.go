@@ -1,0 +1,203 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+func randLeaves(rng *rand.Rand, n, width int) [][]field.Element {
+	leaves := make([][]field.Element, n)
+	for i := range leaves {
+		leaves[i] = make([]field.Element, width)
+		for j := range leaves[i] {
+			leaves[i][j] = field.New(rng.Uint64())
+		}
+	}
+	return leaves
+}
+
+func TestBuildAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, width, capH int }{
+		{2, 1, 0},
+		{8, 4, 0},
+		{64, 7, 0},
+		{64, 7, 2},
+		{16, 135, 1}, // wide leaves exercise multi-block absorption (§5.3)
+		{4, 4, 2},    // cap == leaf digests
+	} {
+		leaves := randLeaves(rng, tc.n, tc.width)
+		tree := Build(leaves, tc.capH)
+		c := tree.Cap()
+		if len(c) != 1<<tc.capH {
+			t.Fatalf("cap size %d, want %d", len(c), 1<<tc.capH)
+		}
+		for i := 0; i < tc.n; i++ {
+			data, proof := tree.Open(i)
+			if err := Verify(data, i, proof, c); err != nil {
+				t.Fatalf("n=%d capH=%d: valid proof rejected for leaf %d: %v",
+					tc.n, tc.capH, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := Build(randLeaves(rng, 32, 5), 0)
+	c := tree.Cap()
+	data, proof := tree.Open(7)
+	bad := append([]field.Element(nil), data...)
+	bad[2] = field.Add(bad[2], field.One)
+	if Verify(bad, 7, proof, c) == nil {
+		t.Fatal("tampered leaf accepted")
+	}
+}
+
+func TestVerifyRejectsWrongIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := Build(randLeaves(rng, 32, 5), 0)
+	c := tree.Cap()
+	data, proof := tree.Open(7)
+	if Verify(data, 8, proof, c) == nil {
+		t.Fatal("wrong index accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree := Build(randLeaves(rng, 32, 5), 1)
+	c := tree.Cap()
+	data, proof := tree.Open(13)
+	proof.Siblings[1][0] = field.Add(proof.Siblings[1][0], field.One)
+	if Verify(data, 13, proof, c) == nil {
+		t.Fatal("tampered sibling accepted")
+	}
+}
+
+func TestVerifyRejectsWrongCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := Build(randLeaves(rng, 16, 3), 0)
+	data, proof := tree.Open(0)
+	other := Build(randLeaves(rng, 16, 3), 0)
+	if Verify(data, 0, proof, other.Cap()) == nil {
+		t.Fatal("proof accepted against unrelated cap")
+	}
+}
+
+func TestRootMatchesManualCompression(t *testing.T) {
+	leaves := [][]field.Element{{1}, {2}, {3}, {4}}
+	tree := Build(leaves, 0)
+	l0 := poseidon.HashOrNoop(leaves[0])
+	l1 := poseidon.HashOrNoop(leaves[1])
+	l2 := poseidon.HashOrNoop(leaves[2])
+	l3 := poseidon.HashOrNoop(leaves[3])
+	want := poseidon.TwoToOne(poseidon.TwoToOne(l0, l1), poseidon.TwoToOne(l2, l3))
+	if tree.Root() != want {
+		t.Fatal("root does not match manual compression")
+	}
+}
+
+func TestProofLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree := Build(randLeaves(rng, 64, 2), 2)
+	_, proof := tree.Open(0)
+	if len(proof.Siblings) != 4 { // log2(64) - capHeight
+		t.Fatalf("proof length %d, want 4", len(proof.Siblings))
+	}
+}
+
+func TestRootPanicsWithCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := Build(randLeaves(rng, 8, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Root on capped tree should panic")
+		}
+	}()
+	tree.Root()
+}
+
+func TestBuildPanicsOnBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, f := range []func(){
+		func() { Build(randLeaves(rng, 3, 1), 0) },  // non power of two
+		func() { Build(randLeaves(rng, 8, 1), 4) },  // cap too high
+		func() { Build(randLeaves(rng, 8, 1), -1) }, // negative cap
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLargeParallelBuildConsistent(t *testing.T) {
+	// The parallel path (n >= 256) must agree with sequential verification.
+	rng := rand.New(rand.NewSource(9))
+	n := 1024
+	leaves := randLeaves(rng, n, 6)
+	tree := Build(leaves, 3)
+	c := tree.Cap()
+	for _, i := range []int{0, 1, 511, 512, 1023} {
+		data, proof := tree.Open(i)
+		if err := Verify(data, i, proof, c); err != nil {
+			t.Fatalf("leaf %d: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkBuild4096x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	leaves := randLeaves(rng, 4096, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(leaves, 4)
+	}
+}
+
+func TestParallelForWorkers(t *testing.T) {
+	// Force the multi-worker path regardless of GOMAXPROCS.
+	n := 1000
+	seen := make([]int32, n)
+	parallelForWorkers(n, 4, func(i int) { seen[i]++ })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	// More workers than items.
+	short := make([]int32, 300)
+	parallelForWorkers(300, 512, func(i int) { short[i]++ })
+	for i, c := range short {
+		if c != 1 {
+			t.Fatalf("short: index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestNumLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := Build(randLeaves(rng, 16, 2), 0)
+	if tree.NumLeaves() != 16 {
+		t.Fatalf("NumLeaves = %d, want 16", tree.NumLeaves())
+	}
+}
+
+func TestOpenPanicsOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tree := Build(randLeaves(rng, 8, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.Open(8)
+}

@@ -1,0 +1,151 @@
+package ntt
+
+import "unizk/internal/field"
+
+// Multi-dimensional NTT decomposition (SAM, paper §5.1): an NTT of variable
+// size N is decomposed into k dimensions of small fixed-size NTTs that match
+// the hardware pipeline size, with element-wise inter-dimension twiddle
+// multiplications between dimensions. UniZK instantiates n = 2^5 per
+// pipeline; this package implements the math generically so the hardware
+// mapping can be validated against the direct transform.
+
+// HardwareDims splits a size-2^logN transform into dimensions of at most
+// 2^logn each, the way the accelerator's fixed pipelines require. The
+// leading dimension absorbs the remainder so that the product is exact.
+func HardwareDims(logN, logn int) []int {
+	if logn <= 0 {
+		panic("ntt: pipeline size must be positive")
+	}
+	var dims []int
+	rem := logN
+	for rem > 0 {
+		d := logn
+		if rem < logn {
+			d = rem
+		}
+		dims = append(dims, 1<<d)
+		rem -= d
+	}
+	if len(dims) == 0 {
+		dims = []int{1}
+	}
+	return dims
+}
+
+// MultiDimForwardNN computes the natural-order NTT of data via the
+// decomposition dims (whose product must equal len(data)), returning a new
+// slice. Index convention: input index j = j1 + N1·j2 with j1 the first
+// dimension's digit; output index k = k2 + N2·k1. The recursion mirrors the
+// hardware: inner-dimension NTTs, inter-dimension twiddles (generated
+// on-the-fly by the twiddle factor generator in hardware), outer NTT, with
+// the data transpose between pipelines handled by the transpose buffer.
+func MultiDimForwardNN(data []field.Element, dims []int) []field.Element {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(data) {
+		panic("ntt: dims product must equal data length")
+	}
+	return multiDimNN(data, dims, rootTable(Log2(len(data))), false)
+}
+
+// MultiDimInverseNN computes the natural-order inverse NTT via the same
+// decomposition.
+func MultiDimInverseNN(data []field.Element, dims []int) []field.Element {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(data) {
+		panic("ntt: dims product must equal data length")
+	}
+	out := multiDimNN(data, dims, invRootTable(Log2(len(data))), true)
+	scale(out, field.Inverse(field.New(uint64(len(data)))))
+	return out
+}
+
+// multiDimNN is the recursive core. roots is the twiddle table for the
+// *total* size (w or w^-1 powers); inverse selects the small-NTT direction.
+func multiDimNN(data []field.Element, dims []int, roots []field.Element, inverse bool) []field.Element {
+	total := len(data)
+	if len(dims) == 1 {
+		out := make([]field.Element, total)
+		copy(out, data)
+		smallNN(out, inverse)
+		return out
+	}
+	n1 := dims[0]
+	n2 := total / n1
+
+	// Inner dimension: size-n2 transforms of the stride-n1 subsequences,
+	// followed by inter-dimension twiddles w_total^(j1*k2).
+	inner := make([][]field.Element, n1)
+	col := make([]field.Element, n2)
+	for j1 := 0; j1 < n1; j1++ {
+		for j2 := 0; j2 < n2; j2++ {
+			col[j2] = data[j1+n1*j2]
+		}
+		// The inner transform recursively uses the same decomposition; its
+		// own twiddles are powers of w_total^n1, i.e. a stride-n1 walk of
+		// the full table — exactly what the on-chip generator produces.
+		res := multiDimNN(col, dims[1:], strideTable(roots, n1, n2), inverse)
+		for k2 := 0; k2 < n2; k2++ {
+			res[k2] = field.Mul(res[k2], rootPower(roots, total, j1*k2))
+		}
+		inner[j1] = res
+	}
+
+	// Outer dimension: size-n1 transforms across j1 for each k2. In
+	// hardware this is the second half-array, after the transpose buffer.
+	out := make([]field.Element, total)
+	row := make([]field.Element, n1)
+	for k2 := 0; k2 < n2; k2++ {
+		for j1 := 0; j1 < n1; j1++ {
+			row[j1] = inner[j1][k2]
+		}
+		smallNN(row, inverse)
+		for k1 := 0; k1 < n1; k1++ {
+			out[k2+n2*k1] = row[k1]
+		}
+	}
+	return out
+}
+
+// smallNN applies the direct size-n transform in natural order, without the
+// 1/n scaling for the inverse direction (applied once at the top level).
+func smallNN(data []field.Element, inverse bool) {
+	logN := Log2(len(data))
+	if inverse {
+		difCore(data, invRootTable(logN))
+	} else {
+		difCore(data, rootTable(logN))
+	}
+	BitReversePermute(data)
+}
+
+// strideTable returns the half-table of (w^stride)^j for j < size/2, taken
+// from the parent table of w powers.
+func strideTable(parent []field.Element, stride, size int) []field.Element {
+	out := make([]field.Element, size/2)
+	for j := range out {
+		out[j] = rootPower(parent, 2*len(parent), j*stride)
+	}
+	return out
+}
+
+// rootPower looks up w^e where parent holds w^0..w^(n/2-1) for order n.
+// Exponents are reduced mod n; the upper half uses w^(e) = -w^(e-n/2).
+func rootPower(parent []field.Element, n, e int) field.Element {
+	e %= n
+	if e < n/2 {
+		if e == 0 {
+			return field.One
+		}
+		return parent[e]
+	}
+	if e == n/2 {
+		return field.Neg(field.One)
+	}
+	return field.Neg(parent[e-n/2])
+}

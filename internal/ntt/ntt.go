@@ -1,0 +1,245 @@
+// Package ntt implements number theoretic transforms over the Goldilocks
+// field: forward and inverse transforms, natural- and bit-reversed-order
+// variants (NN, NR, RN), coset transforms, low degree extension, and the
+// SAM-style multi-dimensional decomposition that UniZK's hardware mapping
+// relies on (paper §5.1).
+//
+// Order naming follows the paper: the first letter is the input order and
+// the second the output order; N = natural, R = bit-reversed. For example
+// ForwardNR consumes coefficients in natural order and produces evaluations
+// in bit-reversed order, which is the variant FRI's low degree extension
+// uses (paper Fig. 1, step 2).
+package ntt
+
+import (
+	"sync"
+
+	"unizk/internal/field"
+)
+
+// rootsCache memoizes twiddle tables per transform size. roots[logN] holds
+// w^0..w^(N/2-1) for the primitive 2^logN-th root of unity w.
+var rootsCache sync.Map // logN int -> []field.Element
+
+func rootTable(logN int) []field.Element {
+	if t, ok := rootsCache.Load(logN); ok {
+		return t.([]field.Element)
+	}
+	n := 1 << logN
+	w := field.PrimitiveRootOfUnity(logN)
+	table := make([]field.Element, n/2)
+	if n/2 > 0 {
+		table[0] = field.One
+		for i := 1; i < n/2; i++ {
+			table[i] = field.Mul(table[i-1], w)
+		}
+	}
+	actual, _ := rootsCache.LoadOrStore(logN, table)
+	return actual.([]field.Element)
+}
+
+var invRootsCache sync.Map
+
+func invRootTable(logN int) []field.Element {
+	if t, ok := invRootsCache.Load(logN); ok {
+		return t.([]field.Element)
+	}
+	n := 1 << logN
+	w := field.Inverse(field.PrimitiveRootOfUnity(logN))
+	table := make([]field.Element, n/2)
+	if n/2 > 0 {
+		table[0] = field.One
+		for i := 1; i < n/2; i++ {
+			table[i] = field.Mul(table[i-1], w)
+		}
+	}
+	actual, _ := invRootsCache.LoadOrStore(logN, table)
+	return actual.([]field.Element)
+}
+
+// Log2 returns log2(n) for a power of two n, panicking otherwise. Transform
+// sizes are structural parameters, so a non-power-of-two is a programming
+// error rather than a runtime condition.
+func Log2(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("ntt: size must be a positive power of two")
+	}
+	log := 0
+	for 1<<log < n {
+		log++
+	}
+	return log
+}
+
+// BitReverse returns x with its low `bits` bits reversed.
+func BitReverse(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// BitReversePermute reorders data in place into bit-reversed index order.
+// Applying it twice is the identity.
+func BitReversePermute(data []field.Element) {
+	n := len(data)
+	bits := Log2(n)
+	for i := 0; i < n; i++ {
+		j := BitReverse(i, bits)
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+}
+
+// difCore runs decimation-in-frequency butterflies in place: natural-order
+// input, bit-reversed-order output. This is the dataflow UniZK maps onto
+// the MDC pipeline (paper Fig. 4a). roots must be the (inverse) root table
+// of size len(data)/2.
+func difCore(data []field.Element, roots []field.Element) {
+	n := len(data)
+	for half := n / 2; half >= 1; half >>= 1 {
+		step := n / (2 * half) // twiddle stride into the size-n table
+		for start := 0; start < n; start += 2 * half {
+			for j := 0; j < half; j++ {
+				a := data[start+j]
+				b := data[start+j+half]
+				data[start+j] = field.Add(a, b)
+				data[start+j+half] = field.Mul(field.Sub(a, b), roots[j*step])
+			}
+		}
+	}
+}
+
+// ditCore runs decimation-in-time butterflies in place: bit-reversed-order
+// input, natural-order output.
+func ditCore(data []field.Element, roots []field.Element) {
+	n := len(data)
+	for half := 1; half < n; half <<= 1 {
+		step := n / (2 * half)
+		for start := 0; start < n; start += 2 * half {
+			for j := 0; j < half; j++ {
+				a := data[start+j]
+				b := field.Mul(data[start+j+half], roots[j*step])
+				data[start+j] = field.Add(a, b)
+				data[start+j+half] = field.Sub(a, b)
+			}
+		}
+	}
+}
+
+// ForwardNR transforms coefficients (natural order) to evaluations in
+// bit-reversed order, in place.
+func ForwardNR(data []field.Element) {
+	difCore(data, rootTable(Log2(len(data))))
+}
+
+// ForwardNN transforms coefficients to evaluations, both in natural order.
+func ForwardNN(data []field.Element) {
+	ForwardNR(data)
+	BitReversePermute(data)
+}
+
+// ForwardRN transforms coefficients given in bit-reversed order to
+// evaluations in natural order.
+func ForwardRN(data []field.Element) {
+	ditCore(data, rootTable(Log2(len(data))))
+}
+
+// InverseNN transforms evaluations to coefficients, both in natural order.
+// This is the iNTT^NN used by FRI step 1 (paper Fig. 1).
+func InverseNN(data []field.Element) {
+	InverseNR(data)
+	BitReversePermute(data)
+}
+
+// InverseNR transforms natural-order evaluations to bit-reversed-order
+// coefficients.
+func InverseNR(data []field.Element) {
+	n := len(data)
+	difCore(data, invRootTable(Log2(n)))
+	scale(data, field.Inverse(field.New(uint64(n))))
+}
+
+// InverseRN transforms bit-reversed-order evaluations to natural-order
+// coefficients.
+func InverseRN(data []field.Element) {
+	n := len(data)
+	ditCore(data, invRootTable(Log2(n)))
+	scale(data, field.Inverse(field.New(uint64(n))))
+}
+
+func scale(data []field.Element, c field.Element) {
+	for i := range data {
+		data[i] = field.Mul(data[i], c)
+	}
+}
+
+// CosetForwardNR evaluates the polynomial on the coset shift·H (H the
+// size-n subgroup), output bit-reversed: scale coefficient i by shift^i,
+// then transform. The paper maps the pre-scaling onto the idle
+// inter-dimension twiddle PE of the first DIT round (§5.1, "NTT variants").
+func CosetForwardNR(data []field.Element, shift field.Element) {
+	scaleByPowers(data, shift)
+	ForwardNR(data)
+}
+
+// CosetForwardNN is CosetForwardNR with natural-order output.
+func CosetForwardNN(data []field.Element, shift field.Element) {
+	scaleByPowers(data, shift)
+	ForwardNN(data)
+}
+
+// CosetInverseNN interpolates values on the coset shift·H back to
+// coefficients; the trailing shift^-i scaling is what the paper folds into
+// the last pipeline stage ("the last two PEs multiply with N^-1 g^-i").
+func CosetInverseNN(data []field.Element, shift field.Element) {
+	InverseNN(data)
+	scaleByPowers(data, field.Inverse(shift))
+}
+
+func scaleByPowers(data []field.Element, c field.Element) {
+	acc := field.One
+	for i := range data {
+		data[i] = field.Mul(data[i], acc)
+		acc = field.Mul(acc, c)
+	}
+}
+
+// LDE performs the low degree extension of FRI step 2: the coefficient
+// vector is zero-padded by the blowup factor (k ≥ 8 in Plonky2, k = 2 in
+// Starky) and evaluated on the shifted coset of the larger subgroup, with
+// bit-reversed output order (NTT^NR). A fresh slice is returned.
+func LDE(coeffs []field.Element, blowupBits int, shift field.Element) []field.Element {
+	n := len(coeffs)
+	out := make([]field.Element, n<<blowupBits)
+	copy(out, coeffs)
+	CosetForwardNR(out, shift)
+	return out
+}
+
+// PolyMulNTT multiplies two coefficient vectors via NTT, returning a
+// product of length len(a)+len(b)-1 (trailing zeros trimmed to that size).
+func PolyMulNTT(a, b []field.Element) []field.Element {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	fa := make([]field.Element, n)
+	fb := make([]field.Element, n)
+	copy(fa, a)
+	copy(fb, b)
+	ForwardNR(fa)
+	ForwardNR(fb)
+	for i := range fa {
+		fa[i] = field.Mul(fa[i], fb[i])
+	}
+	InverseRN(fa)
+	return fa[:outLen]
+}

@@ -1,0 +1,327 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"unizk/internal/field"
+)
+
+func randVec(rng *rand.Rand, n int) []field.Element {
+	v := make([]field.Element, n)
+	for i := range v {
+		v[i] = field.New(rng.Uint64())
+	}
+	return v
+}
+
+func clone(v []field.Element) []field.Element {
+	out := make([]field.Element, len(v))
+	copy(out, v)
+	return out
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x
+// (Horner), the ground truth for all transform tests.
+func evalPoly(coeffs []field.Element, x field.Element) field.Element {
+	acc := field.Zero
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = field.MulAdd(acc, x, coeffs[i])
+	}
+	return acc
+}
+
+func TestForwardNNMatchesEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, logN := range []int{0, 1, 2, 3, 5, 8} {
+		n := 1 << logN
+		coeffs := randVec(rng, n)
+		evals := clone(coeffs)
+		ForwardNN(evals)
+		w := field.PrimitiveRootOfUnity(logN)
+		x := field.One
+		for i := 0; i < n; i++ {
+			if evals[i] != evalPoly(coeffs, x) {
+				t.Fatalf("logN=%d: eval[%d] mismatch", logN, i)
+			}
+			x = field.Mul(x, w)
+		}
+	}
+}
+
+func TestForwardNROrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	coeffs := randVec(rng, n)
+	nn := clone(coeffs)
+	ForwardNN(nn)
+	nr := clone(coeffs)
+	ForwardNR(nr)
+	bits := Log2(n)
+	for i := 0; i < n; i++ {
+		if nr[i] != nn[BitReverse(i, bits)] {
+			t.Fatalf("NR[%d] != NN[bitrev(%d)]", i, i)
+		}
+	}
+}
+
+func TestForwardRN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	coeffs := randVec(rng, n)
+	want := clone(coeffs)
+	ForwardNN(want)
+	got := clone(coeffs)
+	BitReversePermute(got)
+	ForwardRN(got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("RN mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, logN := range []int{0, 1, 4, 7, 10} {
+		n := 1 << logN
+		orig := randVec(rng, n)
+
+		v := clone(orig)
+		ForwardNN(v)
+		InverseNN(v)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("logN=%d: ForwardNN/InverseNN not identity", logN)
+			}
+		}
+
+		v = clone(orig)
+		ForwardNR(v)
+		InverseRN(v)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("logN=%d: ForwardNR/InverseRN not identity", logN)
+			}
+		}
+
+		v = clone(orig)
+		InverseNR(v)
+		ForwardRN(v)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("logN=%d: InverseNR/ForwardRN not identity", logN)
+			}
+		}
+	}
+}
+
+func TestCosetTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 32
+	g := field.MultiplicativeGenerator
+	coeffs := randVec(rng, n)
+
+	evals := clone(coeffs)
+	CosetForwardNN(evals, g)
+	w := field.PrimitiveRootOfUnity(Log2(n))
+	x := g
+	for i := 0; i < n; i++ {
+		if evals[i] != evalPoly(coeffs, x) {
+			t.Fatalf("coset eval[%d] mismatch", i)
+		}
+		x = field.Mul(x, w)
+	}
+
+	back := clone(evals)
+	CosetInverseNN(back, g)
+	for i := range back {
+		if back[i] != coeffs[i] {
+			t.Fatalf("coset round trip failed at %d", i)
+		}
+	}
+}
+
+func TestCosetForwardNROrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	g := field.MultiplicativeGenerator
+	coeffs := randVec(rng, n)
+	nn := clone(coeffs)
+	CosetForwardNN(nn, g)
+	nr := clone(coeffs)
+	CosetForwardNR(nr, g)
+	bits := Log2(n)
+	for i := range nr {
+		if nr[i] != nn[BitReverse(i, bits)] {
+			t.Fatalf("coset NR order mismatch at %d", i)
+		}
+	}
+}
+
+func TestLDE(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, blowupBits := 16, 3
+	g := field.MultiplicativeGenerator
+	coeffs := randVec(rng, n)
+	lde := LDE(coeffs, blowupBits, g)
+	if len(lde) != n<<blowupBits {
+		t.Fatalf("LDE length %d, want %d", len(lde), n<<blowupBits)
+	}
+	big := 1 << (Log2(n) + blowupBits)
+	w := field.PrimitiveRootOfUnity(Log2(big))
+	bits := Log2(big)
+	for i := 0; i < big; i++ {
+		x := field.Mul(g, field.Exp(w, uint64(BitReverse(i, bits))))
+		if lde[i] != evalPoly(coeffs, x) {
+			t.Fatalf("LDE[%d] mismatch", i)
+		}
+	}
+}
+
+func TestPolyMulNTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		la, lb := 1+rng.Intn(20), 1+rng.Intn(20)
+		a, b := randVec(rng, la), randVec(rng, lb)
+		got := PolyMulNTT(a, b)
+		// Schoolbook reference.
+		want := make([]field.Element, la+lb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] = field.Add(want[i+j], field.Mul(a[i], b[j]))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: coeff %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestPolyMulEmpty(t *testing.T) {
+	if PolyMulNTT(nil, []field.Element{1}) != nil {
+		t.Error("expected nil for empty operand")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	if BitReverse(0b001, 3) != 0b100 {
+		t.Error("BitReverse(1,3) != 4")
+	}
+	if BitReverse(0b110, 3) != 0b011 {
+		t.Error("BitReverse(6,3) != 3")
+	}
+	for i := 0; i < 256; i++ {
+		if BitReverse(BitReverse(i, 8), 8) != i {
+			t.Fatalf("double reverse not identity for %d", i)
+		}
+	}
+}
+
+func TestLog2Panics(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Log2(%d) should panic", bad)
+				}
+			}()
+			Log2(bad)
+		}()
+	}
+}
+
+func TestHardwareDims(t *testing.T) {
+	cases := []struct {
+		logN, logn int
+		want       []int
+	}{
+		{9, 3, []int{8, 8, 8}},    // the paper's Fig. 4b example: 512 = 8×8×8
+		{10, 5, []int{32, 32}},    // two full pipelines
+		{12, 5, []int{32, 32, 4}}, // remainder dimension
+		{3, 5, []int{8}},
+		{0, 5, []int{1}},
+	}
+	for _, c := range cases {
+		got := HardwareDims(c.logN, c.logn)
+		if len(got) != len(c.want) {
+			t.Fatalf("HardwareDims(%d,%d) = %v, want %v", c.logN, c.logn, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("HardwareDims(%d,%d) = %v, want %v", c.logN, c.logn, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMultiDimMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := [][]int{
+		{8, 8, 8}, // paper Fig. 4b: size-512 as 3D size-8
+		{32, 32},  // hardware n=2^5 pipelines
+		{4, 2},
+		{2, 4, 8, 2},
+		{64},
+	}
+	for _, dims := range cases {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		data := randVec(rng, n)
+		want := clone(data)
+		ForwardNN(want)
+		got := MultiDimForwardNN(data, dims)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims %v: mismatch at %d", dims, i)
+			}
+		}
+	}
+}
+
+func TestMultiDimInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dims := []int{8, 8, 8}
+	data := randVec(rng, 512)
+	evals := MultiDimForwardNN(data, dims)
+	back := MultiDimInverseNN(evals, dims)
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("multi-dim inverse round trip failed at %d", i)
+		}
+	}
+}
+
+func TestMultiDimBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dims")
+		}
+	}()
+	MultiDimForwardNN(make([]field.Element, 16), []int{4, 8})
+}
+
+func BenchmarkForwardNR4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	data := randVec(rng, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForwardNR(data)
+	}
+}
+
+func BenchmarkForwardNR65536(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	data := randVec(rng, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForwardNR(data)
+	}
+}

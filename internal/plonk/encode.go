@@ -1,0 +1,42 @@
+package plonk
+
+import (
+	"unizk/internal/fri"
+	"unizk/internal/merkle"
+	"unizk/internal/wire"
+)
+
+// MarshalBinary serializes the proof (implements
+// encoding.BinaryMarshaler).
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.Hashes(p.WiresCap)
+	w.Hashes(p.ZCap)
+	w.Hashes(p.QuotientCap)
+	w.Exts(p.ConstantsOpen)
+	w.Exts(p.WiresOpen)
+	w.Exts(p.ZsOpen)
+	w.Exts(p.ZsNextOpen)
+	w.Exts(p.QuotientOpen)
+	w.Elems(p.PublicInputs)
+	p.FRI.EncodeTo(&w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a proof (implements
+// encoding.BinaryUnmarshaler). Structural validation beyond canonical
+// field encodings is left to Verify.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	p.WiresCap = merkle.Cap(r.Hashes())
+	p.ZCap = merkle.Cap(r.Hashes())
+	p.QuotientCap = merkle.Cap(r.Hashes())
+	p.ConstantsOpen = r.Exts()
+	p.WiresOpen = r.Exts()
+	p.ZsOpen = r.Exts()
+	p.ZsNextOpen = r.Exts()
+	p.QuotientOpen = r.Exts()
+	p.PublicInputs = r.Elems()
+	p.FRI = fri.DecodeProof(r)
+	return r.Done()
+}

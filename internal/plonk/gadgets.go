@@ -1,0 +1,107 @@
+package plonk
+
+import (
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+// In-circuit Poseidon: the gadget underlying Plonky2's recursive proofs
+// (a recursion circuit is mostly a FRI verifier, which is mostly Merkle
+// path hashing). The gadget follows the textbook permutation — constant
+// layer, x^7 S-box, dense MDS — whose equality with the optimized
+// implementation is proven in internal/poseidon.
+
+// SBox returns x^7 (four multiplication gates).
+func (b *Builder) SBox(x Target) Target {
+	x2 := b.Mul(x, x)
+	x3 := b.Mul(x2, x)
+	x4 := b.Mul(x2, x2)
+	return b.Mul(x4, x3)
+}
+
+// mdsRow computes one output lane of the MDS layer: Σ_j m[j]·state[j].
+func (b *Builder) mdsRow(m []field.Element, state []Target) Target {
+	acc := b.MulConst(m[0], state[0])
+	for j := 1; j < len(state); j++ {
+		acc = b.Add(acc, b.MulConst(m[j], state[j]))
+	}
+	return acc
+}
+
+// PoseidonPermute applies the full Poseidon permutation in-circuit.
+func (b *Builder) PoseidonPermute(state [poseidon.Width]Target) [poseidon.Width]Target {
+	mds := poseidon.MDSMatrix()
+	cur := state[:]
+
+	applyMDS := func(in []Target) []Target {
+		out := make([]Target, poseidon.Width)
+		for i := 0; i < poseidon.Width; i++ {
+			out[i] = b.mdsRow(mds[i], in)
+		}
+		return out
+	}
+
+	round := 0
+	for ; round < poseidon.HalfFullRounds; round++ {
+		for i := range cur {
+			cur[i] = b.SBox(b.AddConst(cur[i], poseidon.RoundConstant(round, i)))
+		}
+		cur = applyMDS(cur)
+	}
+	for p := 0; p < poseidon.PartialRounds; p++ {
+		for i := range cur {
+			cur[i] = b.AddConst(cur[i], poseidon.RoundConstant(round, i))
+		}
+		cur[0] = b.SBox(cur[0])
+		cur = applyMDS(cur)
+		round++
+	}
+	for ; round < poseidon.FullRounds+poseidon.PartialRounds; round++ {
+		for i := range cur {
+			cur[i] = b.SBox(b.AddConst(cur[i], poseidon.RoundConstant(round, i)))
+		}
+		cur = applyMDS(cur)
+	}
+
+	var out [poseidon.Width]Target
+	copy(out[:], cur)
+	return out
+}
+
+// PoseidonHashNoPad hashes the inputs in-circuit with the overwrite-mode
+// sponge (rate 8, capacity 4), mirroring poseidon.HashNoPad.
+func (b *Builder) PoseidonHashNoPad(inputs []Target) [poseidon.HashOutLen]Target {
+	var state [poseidon.Width]Target
+	zero := b.Constant(field.Zero)
+	for i := range state {
+		state[i] = zero
+	}
+	for len(inputs) > 0 {
+		n := poseidon.Rate
+		if len(inputs) < n {
+			n = len(inputs)
+		}
+		copy(state[:n], inputs[:n])
+		inputs = inputs[n:]
+		state = b.PoseidonPermute(state)
+	}
+	var out [poseidon.HashOutLen]Target
+	copy(out[:], state[:poseidon.HashOutLen])
+	return out
+}
+
+// PoseidonTwoToOne compresses two in-circuit digests, mirroring
+// poseidon.TwoToOne (Merkle node hashing, §5.3).
+func (b *Builder) PoseidonTwoToOne(left, right [poseidon.HashOutLen]Target) [poseidon.HashOutLen]Target {
+	var state [poseidon.Width]Target
+	zero := b.Constant(field.Zero)
+	copy(state[0:], left[:])
+	copy(state[poseidon.HashOutLen:], right[:])
+	for i := 2 * poseidon.HashOutLen; i < poseidon.Width; i++ {
+		state[i] = zero
+	}
+	state = b.PoseidonPermute(state)
+	var out [poseidon.HashOutLen]Target
+	copy(out[:], state[:poseidon.HashOutLen])
+	return out
+}

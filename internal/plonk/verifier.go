@@ -1,0 +1,159 @@
+package plonk
+
+import (
+	"errors"
+	"fmt"
+
+	"unizk/internal/field"
+	"unizk/internal/fri"
+	"unizk/internal/poseidon"
+)
+
+// ErrInvalidProof is returned for any verification failure.
+var ErrInvalidProof = errors.New("plonk: invalid proof")
+
+// Verify checks a proof against the verification key and the expected
+// public inputs.
+func Verify(vk VerificationKey, pub []field.Element, proof *Proof) error {
+	reps := vk.Reps
+	numCols := 3 * reps
+	if len(pub) != vk.NumPublic {
+		return fmt.Errorf("%w: %d public inputs, want %d",
+			ErrInvalidProof, len(pub), vk.NumPublic)
+	}
+	if len(proof.PublicInputs) != len(pub) {
+		return fmt.Errorf("%w: proof carries %d public inputs, want %d",
+			ErrInvalidProof, len(proof.PublicInputs), len(pub))
+	}
+	for i := range pub {
+		if proof.PublicInputs[i] != pub[i] {
+			return fmt.Errorf("%w: public input %d mismatch", ErrInvalidProof, i)
+		}
+	}
+	if len(proof.ConstantsOpen) != 8*reps ||
+		len(proof.WiresOpen) != numCols ||
+		len(proof.ZsOpen) != reps ||
+		len(proof.ZsNextOpen) != reps ||
+		len(proof.QuotientOpen) != quotientChunks ||
+		len(vk.Ks) != numCols {
+		return fmt.Errorf("%w: malformed openings", ErrInvalidProof)
+	}
+
+	n := uint64(1) << vk.LogN
+
+	// Replay the transcript.
+	ch := poseidon.NewChallenger()
+	observeCap(ch, vk.ConstantsCap)
+	ch.ObserveSlice(pub)
+	observeCap(ch, proof.WiresCap)
+	beta := ch.Sample()
+	gamma := ch.Sample()
+	observeCap(ch, proof.ZCap)
+	alpha := ch.Sample()
+	observeCap(ch, proof.QuotientCap)
+	zeta := ch.SampleExt()
+	g := field.PrimitiveRootOfUnity(vk.LogN)
+	zetaNext := field.ExtScalarMul(g, zeta)
+	observeOpenings(ch, proof.ConstantsOpen, proof.WiresOpen,
+		proof.ZsOpen, proof.QuotientOpen, proof.ZsNextOpen)
+
+	// --- Constraint equation at ζ. ---
+	zhZeta := field.ExtSub(field.ExtExp(zeta, n), field.ExtOne)
+	if zhZeta.IsZero() {
+		return fmt.Errorf("%w: ζ lies on the evaluation domain", ErrInvalidProof)
+	}
+
+	// PI(ζ) = Σ_i (−pub_i)·L_i(ζ),  L_i(ζ) = w^i·Z_H(ζ) / (N·(ζ − w^i)).
+	piZeta := field.ExtZero
+	wPow := field.One
+	nInv := field.Inverse(field.New(n))
+	for _, p := range pub {
+		den := field.ExtSub(zeta, field.FromBase(wPow))
+		li := field.ExtScalarMul(field.Mul(wPow, nInv),
+			field.ExtMul(zhZeta, field.ExtInverse(den)))
+		piZeta = field.ExtAdd(piZeta, field.ExtScalarMul(field.Neg(p), li))
+		wPow = field.Mul(wPow, g)
+	}
+
+	co := proof.ConstantsOpen
+	wo := proof.WiresOpen
+	aPow := field.ExtOne
+	lhs := field.ExtZero
+
+	// Gate constraints, one per repetition.
+	for rep := 0; rep < reps; rep++ {
+		gate := field.ExtMul(co[5*rep], wo[3*rep])
+		gate = field.ExtAdd(gate, field.ExtMul(co[5*rep+1], wo[3*rep+1]))
+		gate = field.ExtAdd(gate, field.ExtMul(co[5*rep+2],
+			field.ExtMul(wo[3*rep], wo[3*rep+1])))
+		gate = field.ExtAdd(gate, field.ExtMul(co[5*rep+3], wo[3*rep+2]))
+		gate = field.ExtAdd(gate, co[5*rep+4])
+		if rep == 0 {
+			gate = field.ExtAdd(gate, piZeta)
+		}
+		lhs = field.ExtAdd(lhs, field.ExtMul(aPow, gate))
+		aPow = field.ExtMul(aPow, field.FromBase(alpha))
+	}
+
+	// Permutation chain: π_{g+1}·gg_g − π_g·fg_g, with π_R = Z(g·ζ).
+	for grp := 0; grp < reps; grp++ {
+		fAcc := field.ExtOne
+		gAcc := field.ExtOne
+		for k := 0; k < groupCols; k++ {
+			col := groupCols*grp + k
+			id := field.ExtScalarMul(field.Mul(beta, vk.Ks[col]), zeta)
+			fAcc = field.ExtMul(fAcc, field.ExtAdd(field.ExtAdd(wo[col], id),
+				field.FromBase(gamma)))
+			sig := field.ExtScalarMul(beta, co[5*reps+col])
+			gAcc = field.ExtMul(gAcc, field.ExtAdd(field.ExtAdd(wo[col], sig),
+				field.FromBase(gamma)))
+		}
+		next := proof.ZsNextOpen[0]
+		if grp < reps-1 {
+			next = proof.ZsOpen[grp+1]
+		}
+		perm := field.ExtSub(field.ExtMul(next, gAcc),
+			field.ExtMul(proof.ZsOpen[grp], fAcc))
+		lhs = field.ExtAdd(lhs, field.ExtMul(aPow, perm))
+		aPow = field.ExtMul(aPow, field.FromBase(alpha))
+	}
+
+	// Boundary: L1·(Z − 1).
+	l1Den := field.ExtScalarMul(field.New(n), field.ExtSub(zeta, field.ExtOne))
+	l1 := field.ExtMul(zhZeta, field.ExtInverse(l1Den))
+	bound := field.ExtMul(l1, field.ExtSub(proof.ZsOpen[0], field.ExtOne))
+	lhs = field.ExtAdd(lhs, field.ExtMul(aPow, bound))
+
+	tZeta := field.ExtZero
+	zetaN := field.ExtExp(zeta, n)
+	pow := field.ExtOne
+	for _, tc := range proof.QuotientOpen {
+		tZeta = field.ExtAdd(tZeta, field.ExtMul(pow, tc))
+		pow = field.ExtMul(pow, zetaN)
+	}
+	rhs := field.ExtMul(zhZeta, tZeta)
+
+	if lhs != rhs {
+		return fmt.Errorf("%w: constraint equation fails at ζ", ErrInvalidProof)
+	}
+
+	// --- FRI opening proof. ---
+	oracles := []fri.VerifierOracle{
+		{Cap: vk.ConstantsCap, NumPolys: 8 * reps},
+		{Cap: proof.WiresCap, NumPolys: numCols},
+		{Cap: proof.ZCap, NumPolys: reps},
+		{Cap: proof.QuotientCap, NumPolys: quotientChunks},
+	}
+	groups := []fri.PointGroup{
+		{Point: zeta, Oracles: []int{0, 1, 2, 3}},
+		{Point: zetaNext, Oracles: []int{2}},
+	}
+	opened := fri.OpenedValues{
+		{proof.ConstantsOpen, proof.WiresOpen, proof.ZsOpen, proof.QuotientOpen},
+		{proof.ZsNextOpen},
+	}
+	if err := fri.Verify(oracles, groups, opened, proof.FRI, ch, vk.Cfg, vk.LogN); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package poseidon
+
+import "unizk/internal/field"
+
+// Challenger implements the Fiat–Shamir transform as a duplex sponge over
+// the Poseidon permutation, mirroring Plonky2. The prover and verifier
+// drive identical Challenger instances with the same observations to derive
+// the same challenges, removing interaction (paper §2.1). The "Get
+// Challenges" node of the paper's computation graph (Fig. 7) is exactly
+// this object's hash work.
+type Challenger struct {
+	state     State
+	inputBuf  []field.Element
+	outputBuf []field.Element
+}
+
+// NewChallenger returns a challenger with an all-zero initial state.
+func NewChallenger() *Challenger {
+	return &Challenger{}
+}
+
+// Clone returns an independent copy of the challenger, used by the FRI
+// prover to grind proof-of-work witnesses without disturbing the real
+// transcript.
+func (c *Challenger) Clone() *Challenger {
+	return &Challenger{
+		state:     c.state,
+		inputBuf:  append([]field.Element(nil), c.inputBuf...),
+		outputBuf: append([]field.Element(nil), c.outputBuf...),
+	}
+}
+
+// Observe absorbs one field element.
+func (c *Challenger) Observe(e field.Element) {
+	c.outputBuf = nil // new inputs invalidate pending outputs
+	c.inputBuf = append(c.inputBuf, e)
+	if len(c.inputBuf) == Rate {
+		c.duplex()
+	}
+}
+
+// ObserveSlice absorbs a slice of elements.
+func (c *Challenger) ObserveSlice(es []field.Element) {
+	for _, e := range es {
+		c.Observe(e)
+	}
+}
+
+// ObserveHash absorbs a digest.
+func (c *Challenger) ObserveHash(h HashOut) { c.ObserveSlice(h[:]) }
+
+// ObserveExt absorbs an extension-field element.
+func (c *Challenger) ObserveExt(e field.Ext) {
+	c.Observe(e.A)
+	c.Observe(e.B)
+}
+
+// Sample squeezes one base-field challenge.
+func (c *Challenger) Sample() field.Element {
+	if len(c.inputBuf) > 0 || len(c.outputBuf) == 0 {
+		c.duplex()
+	}
+	e := c.outputBuf[len(c.outputBuf)-1]
+	c.outputBuf = c.outputBuf[:len(c.outputBuf)-1]
+	return e
+}
+
+// SampleExt squeezes one extension-field challenge.
+func (c *Challenger) SampleExt() field.Ext {
+	a := c.Sample()
+	b := c.Sample()
+	return field.Ext{A: a, B: b}
+}
+
+// SampleBits squeezes an integer with the given number of low bits, used
+// for FRI query indices and proof-of-work checks.
+func (c *Challenger) SampleBits(bits int) uint64 {
+	return c.Sample().Uint64() & ((1 << bits) - 1)
+}
+
+// duplex overwrites the rate portion with pending inputs, permutes, and
+// refills the output buffer.
+func (c *Challenger) duplex() {
+	copy(c.state[:], c.inputBuf)
+	c.inputBuf = c.inputBuf[:0]
+	c.state = Permute(c.state)
+	c.outputBuf = append(c.outputBuf[:0], c.state[:Rate]...)
+}

@@ -1,0 +1,123 @@
+package poseidon
+
+import (
+	"fmt"
+
+	"unizk/internal/field"
+)
+
+// Matrix is a dense square matrix over the Goldilocks field, used to derive
+// the fast partial-round factorization (paper §5.2) from the MDS matrix.
+type Matrix [][]field.Element
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) Matrix {
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]field.Element, n)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m[i][i] = field.One
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := make(Matrix, len(m))
+	for i := range m {
+		out[i] = append([]field.Element(nil), m[i]...)
+	}
+	return out
+}
+
+// Mul returns m·other.
+func (m Matrix) Mul(other Matrix) Matrix {
+	n := len(m)
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m[i][k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] = field.MulAdd(a, other[k][j], out[i][j])
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m Matrix) MulVec(v []field.Element) []field.Element {
+	n := len(m)
+	out := make([]field.Element, n)
+	for i := 0; i < n; i++ {
+		var acc field.Element
+		for j := 0; j < n; j++ {
+			acc = field.MulAdd(m[i][j], v[j], acc)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Submatrix returns the block m[r0:][c0:].
+func (m Matrix) Submatrix(r0, c0 int) Matrix {
+	n := len(m) - r0
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		copy(out[i], m[r0+i][c0:])
+	}
+	return out
+}
+
+// Inverse returns m^-1 by Gauss–Jordan elimination, or an error if the
+// matrix is singular. The matrices inverted here are fixed at package init
+// (derived from the MDS matrix), so singularity is a construction-time
+// failure, not a runtime condition.
+func (m Matrix) Inverse() (Matrix, error) {
+	n := len(m)
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("poseidon: singular matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Normalize the pivot row.
+		pinv := field.Inverse(a[col][col])
+		for j := 0; j < n; j++ {
+			a[col][j] = field.Mul(a[col][j], pinv)
+			inv[col][j] = field.Mul(inv[col][j], pinv)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < n; j++ {
+				a[r][j] = field.Sub(a[r][j], field.Mul(f, a[col][j]))
+				inv[r][j] = field.Sub(inv[r][j], field.Mul(f, inv[col][j]))
+			}
+		}
+	}
+	return inv, nil
+}

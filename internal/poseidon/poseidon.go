@@ -1,0 +1,182 @@
+package poseidon
+
+import (
+	"math/bits"
+
+	"unizk/internal/field"
+)
+
+// State is the permutation state.
+type State [Width]field.Element
+
+// SBox exposes the x^7 S-box for the hardware mapping models.
+func SBox(x field.Element) field.Element { return sbox(x) }
+
+// RoundConstant exposes the round constant for round r, lane i, for the
+// hardware mapping models.
+func RoundConstant(r, i int) field.Element { return roundConstants[r][i] }
+
+// FastScalarConstant exposes the derived post-S-box scalar constant of
+// partial round p (paper Algorithm 1, PartialRoundConst).
+func FastScalarConstant(p int) field.Element { return fastScalarConstants[p] }
+
+// FastFirstConstant exposes the derived pre-partial-round constant vector
+// (paper Algorithm 1, PrePartialRoundConst).
+func FastFirstConstant() [Width]field.Element { return fastFirstConstant }
+
+// sbox is the x^7 S-box (4 multiplications).
+func sbox(x field.Element) field.Element {
+	x2 := field.Square(x)
+	x3 := field.Mul(x2, x)
+	x4 := field.Square(x2)
+	return field.Mul(x4, x3)
+}
+
+// mdsLayer multiplies the state by the circulant-plus-diagonal MDS matrix.
+// The matrix entries are at most 6 bits wide, so the twelve products per
+// output lane fit a 128-bit accumulator with a single modular reduction at
+// the end — the same small-constant property that keeps the hardware's
+// modular multipliers cheap (§4).
+func mdsLayer(s *State) {
+	var out State
+	for r := 0; r < Width; r++ {
+		var hi, lo uint64
+		for c := 0; c < Width; c++ {
+			ph, pl := bits.Mul64(uint64(mdsCirc[(c-r+Width)%Width]), uint64(s[c]))
+			var carry uint64
+			lo, carry = bits.Add64(lo, pl, 0)
+			hi += ph + carry
+		}
+		if mdsDiag[r] != 0 {
+			ph, pl := bits.Mul64(uint64(mdsDiag[r]), uint64(s[r]))
+			var carry uint64
+			lo, carry = bits.Add64(lo, pl, 0)
+			hi += ph + carry
+		}
+		out[r] = field.Reduce128(hi, lo)
+	}
+	*s = out
+}
+
+// fullRound applies one full round with constants for round index r:
+// constant layer, S-box on every element, MDS layer.
+func fullRound(s *State, r int) {
+	for i := 0; i < Width; i++ {
+		s[i] = sbox(field.Add(s[i], roundConstants[r][i]))
+	}
+	mdsLayer(s)
+}
+
+// PermuteNaive is the reference Poseidon permutation: 4 full rounds, 22
+// partial rounds in the textbook form (full constant vector, S-box on
+// element 0, dense MDS), 4 full rounds. It exists as the correctness oracle
+// for the optimized Permute below.
+func PermuteNaive(s State) State {
+	r := 0
+	for ; r < HalfFullRounds; r++ {
+		fullRound(&s, r)
+	}
+	for p := 0; p < PartialRounds; p++ {
+		for i := 0; i < Width; i++ {
+			s[i] = field.Add(s[i], roundConstants[r][i])
+		}
+		s[0] = sbox(s[0])
+		mdsLayer(&s)
+		r++
+	}
+	for ; r < FullRounds+PartialRounds; r++ {
+		fullRound(&s, r)
+	}
+	return s
+}
+
+// Permute is the optimized permutation in the form of the paper's
+// Algorithm 1: full rounds, a pre-partial round (constant vector + dense
+// matrix touching only elements 1..11), then partial rounds that S-box
+// element 0, add a scalar constant, and multiply by a sparse matrix with
+// non-zeros only in the first row, first column, and diagonal — the form
+// UniZK maps onto 12×3 PE regions using the reverse links (paper Fig. 5b).
+func Permute(s State) State {
+	r := 0
+	for ; r < HalfFullRounds; r++ {
+		fullRound(&s, r)
+	}
+
+	// Pre-partial round (paper Algorithm 1, PrePartialRound).
+	for i := 0; i < Width; i++ {
+		s[i] = field.Add(s[i], fastFirstConstant[i])
+	}
+	prePartialMatrix(&s)
+
+	// Partial rounds (paper Algorithm 1, PartialRound).
+	for p := 0; p < PartialRounds; p++ {
+		s[0] = field.Add(sbox(s[0]), fastScalarConstants[p])
+		fastSparse[p].apply(&s)
+	}
+	r += PartialRounds
+
+	for ; r < FullRounds+PartialRounds; r++ {
+		fullRound(&s, r)
+	}
+	return s
+}
+
+// prePartialMatrix multiplies by the initial dense matrix, which has an
+// identity first row and column, so element 0 passes through unchanged.
+// Rows accumulate lazily with one reduction each (see field.Dot).
+func prePartialMatrix(s *State) {
+	var out State
+	out[0] = s[0]
+	for i := 1; i < Width; i++ {
+		out[i] = field.Dot(fastInitMatrix[i][1:], s[1:])
+	}
+	*s = out
+}
+
+// Sparse is the SparseMDSMatrix of the paper's Algorithm 1/Fig. 5b: row 0
+// is [M00, Row...], column 0 below the corner is Col, the rest is the
+// identity. Applying it needs 2·(Width-1)+1 multiplies — the u/v/E
+// decomposition UniZK exploits.
+type Sparse struct {
+	M00 field.Element
+	Row [Width - 1]field.Element // row 0, columns 1..11 (u in Fig. 5b)
+	Col [Width - 1]field.Element // column 0, rows 1..11 (v in Fig. 5b)
+}
+
+func (m *Sparse) apply(s *State) {
+	// Row dot product with a single reduction (see field.Dot); the first
+	// term folds in M00·s[0].
+	var lo, hi, top uint64
+	mac := func(a, b field.Element) {
+		ph, pl := bits.Mul64(uint64(a), uint64(b))
+		var c uint64
+		lo, c = bits.Add64(lo, pl, 0)
+		hi, c = bits.Add64(hi, ph, c)
+		top += c
+	}
+	mac(m.M00, s[0])
+	for j := 1; j < Width; j++ {
+		mac(m.Row[j-1], s[j])
+	}
+	acc := field.Reduce128(hi, lo)
+	if top != 0 {
+		acc = field.Sub(acc, field.Element(top<<32)) // 2^128 ≡ -2^32 (mod p)
+	}
+	s0 := s[0]
+	s[0] = acc
+	for i := 1; i < Width; i++ {
+		s[i] = field.MulAdd(m.Col[i-1], s0, s[i])
+	}
+}
+
+// Dense returns the sparse matrix in dense form (used by the derivation
+// and by tests).
+func (m *Sparse) Dense() Matrix {
+	d := Identity(Width)
+	d[0][0] = m.M00
+	for j := 1; j < Width; j++ {
+		d[0][j] = m.Row[j-1]
+		d[j][0] = m.Col[j-1]
+	}
+	return d
+}

@@ -1,0 +1,34 @@
+package stark
+
+import (
+	"unizk/internal/fri"
+	"unizk/internal/merkle"
+	"unizk/internal/wire"
+)
+
+// MarshalBinary serializes the proof (implements
+// encoding.BinaryMarshaler).
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.Hashes(p.TraceCap)
+	w.Hashes(p.QuotientCap)
+	w.Exts(p.TraceOpen)
+	w.Exts(p.TraceNextOpen)
+	w.Exts(p.QuotientOpen)
+	p.FRI.EncodeTo(&w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a proof (implements
+// encoding.BinaryUnmarshaler). Structural validation beyond canonical
+// field encodings is left to Verify.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	p.TraceCap = merkle.Cap(r.Hashes())
+	p.QuotientCap = merkle.Cap(r.Hashes())
+	p.TraceOpen = r.Exts()
+	p.TraceNextOpen = r.Exts()
+	p.QuotientOpen = r.Exts()
+	p.FRI = fri.DecodeProof(r)
+	return r.Done()
+}

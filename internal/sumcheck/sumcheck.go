@@ -1,0 +1,146 @@
+// Package sumcheck implements the sum-check protocol of paper §8.1
+// (Algorithm 2), the "challenging new primitive" of recent protocols like
+// Spartan and Basefold that the paper uses to argue UniZK's generality.
+//
+// A prover holds a multilinear polynomial A over n variables, given by
+// its 2^n evaluations on the boolean hypercube, and convinces a verifier
+// that Σ_{x∈{0,1}^n} A(x) equals a claimed sum. Each round sends the two
+// partial sums y[j][0], y[j][1] of Algorithm 2 and folds the vector with
+// a verifier challenge: A[i] ← A[2i]·(1−r) + A[2i+1]·r — exactly the
+// "summing up the updated vector elements" and "updating the vector
+// itself" loop body the paper maps onto the VSAs (vector sums over the
+// systolic datapaths, vector updates in vector mode).
+//
+// The interaction is made non-interactive with the Poseidon challenger,
+// and every round is recorded as vector kernels so the UniZK simulator
+// can execute sum-check traces.
+package sumcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"unizk/internal/field"
+	"unizk/internal/ntt"
+	"unizk/internal/poseidon"
+	"unizk/internal/trace"
+)
+
+// Proof is a non-interactive sum-check proof: the per-round partial sums
+// (Algorithm 2's y[n][2]) and the final folded value A(r).
+type Proof struct {
+	Rounds [][2]field.Ext
+	Final  field.Ext
+}
+
+// Sum returns the claimed statement: the sum of A over the hypercube.
+func Sum(a []field.Element) field.Element {
+	var s field.Element
+	for _, v := range a {
+		s = field.Add(s, v)
+	}
+	return s
+}
+
+// Prove runs Algorithm 2 with Fiat–Shamir challenges. len(a) must be a
+// power of two. The challenger must already have observed the claimed sum
+// (Verify observes it symmetrically).
+func Prove(a []field.Element, ch *poseidon.Challenger, rec *trace.Recorder) *Proof {
+	n := ntt.Log2(len(a))
+
+	cur := make([]field.Ext, len(a))
+	for i, v := range a {
+		cur[i] = field.FromBase(v)
+	}
+
+	proof := &Proof{}
+	for round := 0; round < n; round++ {
+		half := len(cur) / 2
+		var y0, y1 field.Ext
+		// "Summing up the updated vector elements" — accumulated on the
+		// inter-PE datapaths like matmul partial sums (§8.1).
+		rec.VecOp(len(cur), 1, 1, func() {
+			for j := 0; j < half; j++ {
+				y0 = field.ExtAdd(y0, cur[2*j])
+				y1 = field.ExtAdd(y1, cur[2*j+1])
+			}
+		})
+		proof.Rounds = append(proof.Rounds, [2]field.Ext{y0, y1})
+		ch.ObserveExt(y0)
+		ch.ObserveExt(y1)
+		r := ch.SampleExt()
+
+		// "Updating the vector itself" — element-wise vector work.
+		next := make([]field.Ext, half)
+		rec.VecOp(half, 2, 3, func() {
+			for j := 0; j < half; j++ {
+				next[j] = field.ExtAdd(cur[2*j],
+					field.ExtMul(r, field.ExtSub(cur[2*j+1], cur[2*j])))
+			}
+		})
+		cur = next
+	}
+	proof.Final = cur[0]
+	return proof
+}
+
+// ErrInvalidProof is returned when a round's partial sums do not match
+// the running claim.
+var ErrInvalidProof = errors.New("sumcheck: invalid proof")
+
+// Verify checks the proof against a claimed sum for an n-variable
+// polynomial, returning the challenge point and the claimed evaluation
+// A(point) that the caller must check against its polynomial oracle
+// (tests evaluate the multilinear directly; a PCS would open a
+// commitment).
+func Verify(claimed field.Element, numVars int, proof *Proof,
+	ch *poseidon.Challenger) ([]field.Ext, field.Ext, error) {
+
+	if len(proof.Rounds) != numVars {
+		return nil, field.ExtZero, fmt.Errorf("%w: %d rounds, want %d",
+			ErrInvalidProof, len(proof.Rounds), numVars)
+	}
+	claim := field.FromBase(claimed)
+	point := make([]field.Ext, 0, numVars)
+	for round, ys := range proof.Rounds {
+		if got := field.ExtAdd(ys[0], ys[1]); got != claim {
+			return nil, field.ExtZero, fmt.Errorf(
+				"%w: round %d sums to wrong claim", ErrInvalidProof, round)
+		}
+		ch.ObserveExt(ys[0])
+		ch.ObserveExt(ys[1])
+		r := ch.SampleExt()
+		point = append(point, r)
+		// The round polynomial is linear (A is multilinear):
+		// g(r) = y0 + r·(y1 − y0).
+		claim = field.ExtAdd(ys[0], field.ExtMul(r, field.ExtSub(ys[1], ys[0])))
+	}
+	if proof.Final != claim {
+		return nil, field.ExtZero, fmt.Errorf("%w: final value mismatch", ErrInvalidProof)
+	}
+	return point, claim, nil
+}
+
+// EvalMultilinear evaluates the multilinear extension of a at an
+// extension-field point (variable 0 is the lowest hypercube bit, matching
+// the fold order of Prove).
+func EvalMultilinear(a []field.Element, point []field.Ext) field.Ext {
+	n := ntt.Log2(len(a))
+	if len(point) != n {
+		panic("sumcheck: point arity mismatch")
+	}
+	cur := make([]field.Ext, len(a))
+	for i, v := range a {
+		cur[i] = field.FromBase(v)
+	}
+	for _, r := range point {
+		half := len(cur) / 2
+		next := make([]field.Ext, half)
+		for j := 0; j < half; j++ {
+			next[j] = field.ExtAdd(cur[2*j],
+				field.ExtMul(r, field.ExtSub(cur[2*j+1], cur[2*j])))
+		}
+		cur = next
+	}
+	return cur[0]
+}

@@ -1,0 +1,223 @@
+// Package wire implements the binary serialization used for proofs: field
+// elements as fixed 8-byte little-endian words, extension elements as two
+// words, digests as four, and collection lengths as uvarints. The format
+// is what Table 5's proof sizes measure.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+// Writer accumulates an encoded byte stream.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len writes a collection length.
+func (w *Writer) Len(n int) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(n))
+}
+
+// U64 writes a raw 64-bit word.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Elem writes a field element.
+func (w *Writer) Elem(e field.Element) { w.U64(e.Uint64()) }
+
+// Elems writes a length-prefixed element slice.
+func (w *Writer) Elems(es []field.Element) {
+	w.Len(len(es))
+	for _, e := range es {
+		w.Elem(e)
+	}
+}
+
+// Ext writes an extension element.
+func (w *Writer) Ext(e field.Ext) {
+	w.Elem(e.A)
+	w.Elem(e.B)
+}
+
+// Exts writes a length-prefixed extension slice.
+func (w *Writer) Exts(es []field.Ext) {
+	w.Len(len(es))
+	for _, e := range es {
+		w.Ext(e)
+	}
+}
+
+// Hash writes a digest.
+func (w *Writer) Hash(h poseidon.HashOut) {
+	for _, e := range h {
+		w.Elem(e)
+	}
+}
+
+// Hashes writes a length-prefixed digest slice.
+func (w *Writer) Hashes(hs []poseidon.HashOut) {
+	w.Len(len(hs))
+	for _, h := range hs {
+		w.Hash(h)
+	}
+}
+
+// ErrTruncated is returned when the stream ends early; ErrInvalid when a
+// value is out of range.
+var (
+	ErrTruncated = errors.New("wire: truncated stream")
+	ErrInvalid   = errors.New("wire: invalid value")
+)
+
+// maxLen bounds decoded collection lengths against resource-exhaustion
+// attacks from malformed proofs.
+const maxLen = 1 << 28
+
+// Reader decodes a byte stream. The first error sticks; check Err once
+// after decoding.
+type Reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewReader wraps an encoded stream.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decode error.
+func (r *Reader) Err() error { return r.err }
+
+// Done reports an error unless the stream was fully consumed without
+// errors.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrInvalid, len(r.data)-r.pos)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Len reads a collection length.
+func (r *Reader) Len() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || v > maxLen {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return int(v)
+}
+
+// lenFor reads a collection length whose elements each occupy at least
+// elemBytes, rejecting lengths the remaining stream cannot possibly hold
+// (so corrupted lengths cannot trigger huge allocations).
+func (r *Reader) lenFor(elemBytes int) int {
+	n := r.Len()
+	if r.err != nil {
+		return 0
+	}
+	if n*elemBytes > len(r.data)-r.pos {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	return n
+}
+
+// U64 reads a raw 64-bit word.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// Elem reads a field element, rejecting non-canonical encodings.
+func (r *Reader) Elem() field.Element {
+	v := r.U64()
+	if v >= field.Order {
+		r.fail(fmt.Errorf("%w: non-canonical field element", ErrInvalid))
+		return 0
+	}
+	return field.Element(v)
+}
+
+// Elems reads a length-prefixed element slice.
+func (r *Reader) Elems() []field.Element {
+	n := r.lenFor(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = r.Elem()
+	}
+	return out
+}
+
+// Ext reads an extension element.
+func (r *Reader) Ext() field.Ext {
+	a := r.Elem()
+	b := r.Elem()
+	return field.Ext{A: a, B: b}
+}
+
+// Exts reads a length-prefixed extension slice.
+func (r *Reader) Exts() []field.Ext {
+	n := r.lenFor(16)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]field.Ext, n)
+	for i := range out {
+		out[i] = r.Ext()
+	}
+	return out
+}
+
+// Hash reads a digest.
+func (r *Reader) Hash() poseidon.HashOut {
+	var h poseidon.HashOut
+	for i := range h {
+		h[i] = r.Elem()
+	}
+	return h
+}
+
+// Hashes reads a length-prefixed digest slice.
+func (r *Reader) Hashes() []poseidon.HashOut {
+	n := r.lenFor(32)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]poseidon.HashOut, n)
+	for i := range out {
+		out[i] = r.Hash()
+	}
+	return out
+}

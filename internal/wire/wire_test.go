@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var w Writer
+	w.Len(7)
+	w.U64(0xDEADBEEF)
+	w.Elem(field.New(42))
+	w.Elems([]field.Element{1, 2, 3})
+	w.Ext(field.NewExt(5, 6))
+	w.Exts([]field.Ext{field.NewExt(7, 8)})
+	h := poseidon.HashOut{9, 10, 11, 12}
+	w.Hash(h)
+	w.Hashes([]poseidon.HashOut{h, h})
+
+	r := NewReader(w.Bytes())
+	if r.Len() != 7 {
+		t.Fatal("Len round trip")
+	}
+	if r.U64() != 0xDEADBEEF {
+		t.Fatal("U64 round trip")
+	}
+	if r.Elem() != field.New(42) {
+		t.Fatal("Elem round trip")
+	}
+	es := r.Elems()
+	if len(es) != 3 || es[2] != 3 {
+		t.Fatal("Elems round trip")
+	}
+	if r.Ext() != field.NewExt(5, 6) {
+		t.Fatal("Ext round trip")
+	}
+	xs := r.Exts()
+	if len(xs) != 1 || xs[0] != field.NewExt(7, 8) {
+		t.Fatal("Exts round trip")
+	}
+	if r.Hash() != h {
+		t.Fatal("Hash round trip")
+	}
+	hs := r.Hashes()
+	if len(hs) != 2 || hs[1] != h {
+		t.Fatal("Hashes round trip")
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var w Writer
+	w.Elems([]field.Element{1, 2, 3})
+	data := w.Bytes()
+	r := NewReader(data[:len(data)-4])
+	r.Elems()
+	if r.Err() == nil {
+		t.Fatal("truncated stream not detected")
+	}
+}
+
+func TestNonCanonicalElementRejected(t *testing.T) {
+	var w Writer
+	w.U64(field.Order) // = p, not canonical
+	r := NewReader(w.Bytes())
+	r.Elem()
+	if r.Err() == nil {
+		t.Fatal("non-canonical element accepted")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	var w Writer
+	w.Elem(1)
+	r := NewReader(append(w.Bytes(), 0xFF))
+	r.Elem()
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	var w Writer
+	w.Len(maxLen + 1)
+	r := NewReader(w.Bytes())
+	if r.Len() != 0 || r.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestErrorSticks(t *testing.T) {
+	r := NewReader(nil)
+	r.U64() // fails
+	var wtr Writer
+	wtr.Elem(5)
+	// Subsequent reads keep failing even on a fresh appetite.
+	if r.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+	if r.Elem() != 0 {
+		t.Fatal("post-error read should return zero")
+	}
+}
+
+func TestCorruptedLengthCannotOverAllocate(t *testing.T) {
+	// A length far larger than the remaining stream must fail before
+	// allocating (regression: a flipped varint byte once triggered a
+	// multi-GB allocation attempt).
+	var w Writer
+	w.Len(1 << 27)
+	r := NewReader(append(w.Bytes(), 1, 2, 3))
+	if got := r.Elems(); got != nil || r.Err() == nil {
+		t.Fatal("oversized collection not rejected cheaply")
+	}
+}

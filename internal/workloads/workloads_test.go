@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"testing"
+
+	"unizk/internal/fri"
+	"unizk/internal/plonk"
+	"unizk/internal/trace"
+)
+
+// TestAllPlonkWorkloadsProveAndVerify runs every paper application
+// end to end at a small scale.
+func TestAllPlonkWorkloadsProveAndVerify(t *testing.T) {
+	cfg := fri.TestConfig()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			circuit, wit, pub, err := w.Build(8, cfg)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			proof, err := circuit.Prove(wit, nil)
+			if err != nil {
+				t.Fatalf("prove: %v", err)
+			}
+			if err := plonk.Verify(circuit.VerificationKey(), pub, proof); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestRecursionWorkload(t *testing.T) {
+	cfg := fri.TestConfig()
+	w := RecursionWorkload()
+	circuit, wit, pub, err := w.Build(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := circuit.Prove(wit, nil)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := plonk.Verify(circuit.VerificationKey(), pub, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestAllStarkWorkloadsProveAndVerify(t *testing.T) {
+	cfg := fri.TestConfig()
+	all := append(Starks(), func() StarkWorkload {
+		w, err := StarkByName("AES-128")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}())
+	for _, w := range all {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			s, cols, err := w.Build(6, cfg)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			proof, err := s.Prove(cols, nil)
+			if err != nil {
+				t.Fatalf("prove: %v", err)
+			}
+			if err := s.Verify(proof); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("MVM"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := StarkByName("Fibonacci"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StarkByName("nope"); err == nil {
+		t.Fatal("unknown stark workload accepted")
+	}
+}
+
+func TestWorkloadRowBudget(t *testing.T) {
+	// Circuits stay within their 2^logRows budget (no accidental
+	// doubling from padding).
+	cfg := fri.TestConfig()
+	for _, w := range All() {
+		circuit, _, _, err := w.Build(9, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if circuit.N != 1<<9 {
+			t.Errorf("%s: padded to %d rows, want %d", w.Name, circuit.N, 1<<9)
+		}
+	}
+}
+
+func TestWorkloadTraceShapesDiffer(t *testing.T) {
+	// Different applications should produce different kernel mixes
+	// (Table 1's per-application variation).
+	cfg := fri.TestConfig()
+	vecOps := map[string]int{}
+	for _, name := range []string{"Fibonacci", "ECDSA"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuit, wit, _, err := w.Build(8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.New()
+		if _, err := circuit.Prove(wit, rec); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range rec.Nodes() {
+			if n.Kind == trace.VecOp {
+				total += n.Size
+			}
+		}
+		vecOps[name] = total
+	}
+	if vecOps["Fibonacci"] <= 0 || vecOps["ECDSA"] <= 0 {
+		t.Fatal("no vector work recorded")
+	}
+}
