@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the full local CI gate: static checks, build, the complete test
+# suite under the race detector (includes the adversarial fault-injection
+# harness in internal/faultinject), and short coverage-guided fuzz runs of
+# both proof decoders+verifiers. See README.md "Robustness and CI".
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# Fuzz the decode+verify boundary of each protocol for a fixed budget.
+# -run='^$' skips unit tests so the whole budget goes to fuzzing.
+go test -run='^$' -fuzz='^FuzzPlonkUnmarshalVerify$' -fuzztime=10s ./internal/plonk
+go test -run='^$' -fuzz='^FuzzStarkUnmarshalVerify$' -fuzztime=10s ./internal/stark

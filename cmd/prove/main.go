@@ -4,10 +4,18 @@
 // Usage:
 //
 //	prove -protocol plonky2 -app "Image Crop" -rows 10
-//	prove -protocol starky -app Fibonacci -rows 12
+//	prove -protocol starky -app Fibonacci -rows 12 -timeout 30s
+//
+// Exit codes distinguish failure stages so scripts can react:
+//
+//	1  usage error (bad flags, unknown protocol or workload)
+//	2  circuit/trace build failure
+//	3  proving failure (including -timeout expiry)
+//	4  verification failure
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,62 +26,78 @@ import (
 	"unizk/internal/workloads"
 )
 
+// Exit codes, one per pipeline stage.
+const (
+	exitUsage  = 1
+	exitBuild  = 2
+	exitProve  = 3
+	exitVerify = 4
+)
+
 func main() {
 	protocol := flag.String("protocol", "plonky2", "plonky2 or starky")
 	app := flag.String("app", "Fibonacci", "workload name")
 	rows := flag.Int("rows", 10, "log2 of rows")
+	timeout := flag.Duration("timeout", 0, "abort proving after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch *protocol {
 	case "plonky2":
-		runPlonky2(*app, *rows)
+		runPlonky2(ctx, *app, *rows)
 	case "starky":
-		runStarky(*app, *rows)
+		runStarky(ctx, *app, *rows)
 	default:
 		fmt.Fprintf(os.Stderr, "prove: unknown protocol %q\n", *protocol)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 }
 
-func runPlonky2(app string, rows int) {
+func runPlonky2(ctx context.Context, app string, rows int) {
 	w, err := workloads.ByName(app)
-	exitOn(err)
+	exitOn(err, exitUsage)
 	cfg := fri.PlonkyConfig()
 	circuit, wit, pub, err := w.Build(rows, cfg)
-	exitOn(err)
+	exitOn(err, exitBuild)
 	fmt.Printf("circuit: %s, %d rows (2^%d), %d public inputs\n",
 		app, circuit.N, circuit.LogN, circuit.NumPublic)
 
 	start := time.Now()
-	proof, err := circuit.Prove(wit, nil)
-	exitOn(err)
+	proof, err := circuit.ProveContext(ctx, wit, nil)
+	exitOn(err, exitProve)
 	fmt.Printf("proved in %v\n", time.Since(start))
 
 	start = time.Now()
-	exitOn(plonk.Verify(circuit.VerificationKey(), pub, proof))
+	exitOn(plonk.Verify(circuit.VerificationKey(), pub, proof), exitVerify)
 	fmt.Printf("verified in %v\n", time.Since(start))
 }
 
-func runStarky(app string, rows int) {
+func runStarky(ctx context.Context, app string, rows int) {
 	w, err := workloads.StarkByName(app)
-	exitOn(err)
+	exitOn(err, exitUsage)
 	s, cols, err := w.Build(rows, fri.StarkyConfig())
-	exitOn(err)
+	exitOn(err, exitBuild)
 	fmt.Printf("trace: %s, %d rows (2^%d), width %d\n", app, s.N, s.LogN, s.Width)
 
 	start := time.Now()
-	proof, err := s.Prove(cols, nil)
-	exitOn(err)
+	proof, err := s.ProveContext(ctx, cols, nil)
+	exitOn(err, exitProve)
 	fmt.Printf("proved in %v\n", time.Since(start))
 
 	start = time.Now()
-	exitOn(s.Verify(proof))
+	exitOn(s.Verify(proof), exitVerify)
 	fmt.Printf("verified in %v\n", time.Since(start))
 }
 
-func exitOn(err error) {
+func exitOn(err error, code int) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prove:", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 }

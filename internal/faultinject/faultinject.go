@@ -1,0 +1,307 @@
+// Package faultinject is an adversarial robustness harness for the proof
+// pipeline: given any serialized proof it deterministically generates
+// thousands of mutants — bit flips at every byte offset, truncations at
+// every prefix, uvarint length corruption at every recorded length
+// boundary, field-element de-canonicalization, proof-of-work witness
+// corruption, plus protocol-aware structured mutations (Merkle cap/path
+// swaps, opening swaps) supplied by the target — and drives the target's
+// decode+verify function over all of them. Every mutant must be rejected
+// with a classified error (prooferr.ErrMalformedProof or
+// prooferr.ErrProofRejected), never accepted and never by panic; the
+// pristine proof must still verify. This is the executable form of the
+// threat model in DESIGN.md ("Threat model & robustness").
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"unizk/internal/prooferr"
+)
+
+// Target is one protocol under attack: a pristine serialized proof, the
+// byte offsets of its uvarint length prefixes (from wire.Writer), a
+// decode+verify function, and optional protocol-aware structured mutants.
+type Target struct {
+	Name string
+	// Pristine is a valid serialized proof; Verify(Pristine) must be nil.
+	Pristine []byte
+	// LenOffsets are byte offsets of uvarint length prefixes in Pristine.
+	LenOffsets []int
+	// Verify decodes and verifies a candidate proof, returning a non-nil
+	// error for anything but a valid proof.
+	Verify func(data []byte) error
+	// Structured are protocol-aware mutants (cap swaps, opening swaps,
+	// shape edits) built by decoding, editing, and re-encoding the proof.
+	Structured []Mutant
+}
+
+// Mutant is one corrupted proof candidate. Data is materialized lazily by
+// Apply so millions of byte-level variants don't have to coexist in
+// memory.
+type Mutant struct {
+	Class string // bitflip, truncate, uvarint, decanonical, pow, structured, random
+	Desc  string
+	Apply func(pristine []byte) []byte
+}
+
+// Options tunes the engine.
+type Options struct {
+	// Seed drives the deterministic top-up mutations.
+	Seed int64
+	// MinMutants is the minimum number of mutants to run; the engine adds
+	// seeded random corruptions until the count is reached.
+	MinMutants int
+}
+
+// Failure records one mutant that broke the robustness contract.
+type Failure struct {
+	Class, Desc, Problem string
+}
+
+// Report summarizes a Run.
+type Report struct {
+	Total    int            // mutants executed (excluding skipped identicals)
+	Skipped  int            // mutants identical to the pristine proof
+	ByClass  map[string]int // executed mutants per mutation class
+	ByResult map[string]int // error classification ("malformed", "rejected", ...)
+	Failures []Failure      // accepted mutants, panics, unclassified errors
+}
+
+// Mutants generates the deterministic mutant set for a target.
+func Mutants(t Target, opts Options) []Mutant {
+	data := t.Pristine
+	var ms []Mutant
+
+	// Bit flips at every byte offset; the flipped bit walks the byte so
+	// the set covers every bit position over any 8 consecutive offsets.
+	for off := 0; off < len(data); off++ {
+		off := off
+		ms = append(ms, Mutant{
+			Class: "bitflip",
+			Desc:  fmt.Sprintf("flip bit %d of byte %d", off%8, off),
+			Apply: func(p []byte) []byte {
+				m := append([]byte(nil), p...)
+				m[off] ^= 1 << (off % 8)
+				return m
+			},
+		})
+	}
+
+	// Truncation at every prefix length (0 .. len-1).
+	for end := 0; end < len(data); end++ {
+		end := end
+		ms = append(ms, Mutant{
+			Class: "truncate",
+			Desc:  fmt.Sprintf("truncate to %d bytes", end),
+			Apply: func(p []byte) []byte { return append([]byte(nil), p[:end]...) },
+		})
+	}
+
+	// Uvarint corruption at every recorded length boundary: replace the
+	// prefix with off-by-one values, zero, the reader's maximum, and an
+	// over-maximum value, re-splicing the stream around the new encoding.
+	for _, off := range t.LenOffsets {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			continue
+		}
+		repl := []uint64{0, v + 1, 1 << 28, (1 << 28) + 1, 1 << 40}
+		if v > 0 {
+			repl = append(repl, v-1)
+		}
+		for _, nv := range repl {
+			if nv == v {
+				continue
+			}
+			off, n, nv := off, n, nv
+			ms = append(ms, Mutant{
+				Class: "uvarint",
+				Desc:  fmt.Sprintf("length at %d: %d -> %d", off, v, nv),
+				Apply: func(p []byte) []byte {
+					m := append([]byte(nil), p[:off]...)
+					m = binary.AppendUvarint(m, nv)
+					return append(m, p[off+n:]...)
+				},
+			})
+		}
+	}
+
+	// Field-element de-canonicalization: stamp an aligned 8-byte window
+	// with 0xFF (≥ the Goldilocks order, so the canonical-encoding check
+	// must fire wherever the window lands on an element word).
+	for off := 0; off+8 <= len(data); off += 8 {
+		off := off
+		ms = append(ms, Mutant{
+			Class: "decanonical",
+			Desc:  fmt.Sprintf("0xFF stamp at %d", off),
+			Apply: func(p []byte) []byte {
+				m := append([]byte(nil), p...)
+				for i := 0; i < 8; i++ {
+					m[off+i] = 0xFF
+				}
+				return m
+			},
+		})
+	}
+
+	// Proof-of-work witness corruption: the witness is the final 8 bytes
+	// of the wire format; hit every bit of it plus the all-zero word.
+	if len(data) >= 8 {
+		base := len(data) - 8
+		for b := 0; b < 64; b++ {
+			b := b
+			ms = append(ms, Mutant{
+				Class: "pow",
+				Desc:  fmt.Sprintf("flip PoW witness bit %d", b),
+				Apply: func(p []byte) []byte {
+					m := append([]byte(nil), p...)
+					m[base+b/8] ^= 1 << (b % 8)
+					return m
+				},
+			})
+		}
+		ms = append(ms, Mutant{
+			Class: "pow",
+			Desc:  "zero PoW witness",
+			Apply: func(p []byte) []byte {
+				m := append([]byte(nil), p...)
+				for i := 0; i < 8; i++ {
+					m[base+i] = 0
+				}
+				return m
+			},
+		})
+	}
+
+	ms = append(ms, t.Structured...)
+
+	// Seeded random top-up: multi-byte corruptions until MinMutants.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for len(ms) < opts.MinMutants {
+		off := rng.Intn(len(data))
+		span := 1 + rng.Intn(16)
+		if off+span > len(data) {
+			span = len(data) - off
+		}
+		patch := make([]byte, span)
+		rng.Read(patch)
+		ms = append(ms, Mutant{
+			Class: "random",
+			Desc:  fmt.Sprintf("splice %d random bytes at %d", len(patch), off),
+			Apply: func(p []byte) []byte {
+				m := append([]byte(nil), p...)
+				copy(m[off:], patch)
+				return m
+			},
+		})
+	}
+	return ms
+}
+
+// Run verifies the pristine proof, then executes every mutant in parallel
+// and checks the robustness contract: rejection with a classified error,
+// no acceptance, no panic (including panics recovered at the Verify
+// boundaries, which indicate a missing structural check).
+func Run(t Target, opts Options) Report {
+	rep := Report{
+		ByClass:  make(map[string]int),
+		ByResult: make(map[string]int),
+	}
+
+	if err := safeVerify(t.Verify, t.Pristine); err != nil {
+		rep.Failures = append(rep.Failures, Failure{
+			Class: "pristine", Desc: "unmutated proof",
+			Problem: fmt.Sprintf("pristine proof rejected: %v", err),
+		})
+		return rep
+	}
+
+	ms := Mutants(t, opts)
+
+	type outcome struct {
+		class, desc string
+		skipped     bool
+		problem     string
+		result      string
+	}
+	outs := make([]outcome, len(ms))
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	next := make(chan int)
+	go func() {
+		for i := range ms {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				m := ms[i]
+				o := outcome{class: m.Class, desc: m.Desc}
+				data := m.Apply(t.Pristine)
+				if bytes.Equal(data, t.Pristine) {
+					o.skipped = true
+					outs[i] = o
+					continue
+				}
+				err := safeVerify(t.Verify, data)
+				o.result = prooferr.Class(err)
+				switch {
+				case err == nil:
+					o.problem = "mutant accepted (false accept)"
+				case errors.Is(err, errEscapedPanic):
+					o.problem = err.Error()
+				case errors.Is(err, prooferr.ErrPanicRecovered):
+					o.problem = fmt.Sprintf("panic recovered at verify boundary: %v", err)
+				case o.result == "unclassified":
+					o.problem = fmt.Sprintf("error outside taxonomy: %v", err)
+				}
+				outs[i] = o
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.skipped {
+			rep.Skipped++
+			continue
+		}
+		rep.Total++
+		rep.ByClass[o.class]++
+		rep.ByResult[o.result]++
+		if o.problem != "" {
+			rep.Failures = append(rep.Failures, Failure{
+				Class: o.class, Desc: o.desc, Problem: o.problem,
+			})
+		}
+	}
+	return rep
+}
+
+// errEscapedPanic marks a panic that escaped the verifier entirely and was
+// only contained by the harness — the worst contract violation.
+var errEscapedPanic = errors.New("faultinject: panic escaped verifier")
+
+// safeVerify calls verify, containing any escaped panic as an error so one
+// bad mutant cannot kill the whole run.
+func safeVerify(verify func([]byte) error, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errEscapedPanic, r)
+		}
+	}()
+	return verify(data)
+}

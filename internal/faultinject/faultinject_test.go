@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// minMutants is the per-protocol floor required by the robustness
+// acceptance criteria.
+const minMutants = 5000
+
+func runTarget(t *testing.T, mk func() (Target, error)) {
+	t.Helper()
+	target, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(target, Options{Seed: 1, MinMutants: minMutants})
+	t.Logf("%s: %d mutants (%d skipped as identical), classes %v, results %v",
+		target.Name, rep.Total, rep.Skipped, rep.ByClass, rep.ByResult)
+	if rep.Total < minMutants {
+		t.Errorf("ran %d mutants, want at least %d", rep.Total, minMutants)
+	}
+	for _, class := range []string{"bitflip", "truncate", "uvarint", "decanonical", "pow", "structured"} {
+		if rep.ByClass[class] == 0 {
+			t.Errorf("mutation class %q generated no mutants", class)
+		}
+	}
+	if rep.ByResult["malformed"] == 0 || rep.ByResult["rejected"] == 0 {
+		t.Errorf("expected both taxonomy classes to appear, got %v", rep.ByResult)
+	}
+	if len(rep.Failures) != 0 {
+		max := len(rep.Failures)
+		if max > 20 {
+			max = 20
+		}
+		for _, f := range rep.Failures[:max] {
+			t.Errorf("%s/%s: %s", f.Class, f.Desc, f.Problem)
+		}
+		if len(rep.Failures) > max {
+			t.Errorf("... and %d more failures", len(rep.Failures)-max)
+		}
+	}
+}
+
+// TestPlonkFaultInjection drives thousands of deterministically mutated
+// Plonk proofs through decode+Verify: every mutant must be rejected with
+// a classified error — no false accepts, no panics (escaped or recovered).
+func TestPlonkFaultInjection(t *testing.T) {
+	runTarget(t, PlonkTarget)
+}
+
+// TestStarkFaultInjection is the Starky counterpart.
+func TestStarkFaultInjection(t *testing.T) {
+	runTarget(t, StarkTarget)
+}
+
+// TestDeterministic checks the engine generates an identical mutant set
+// for identical inputs, so failures reproduce across runs and machines.
+func TestDeterministic(t *testing.T) {
+	target, err := StarkTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Mutants(target, Options{Seed: 42, MinMutants: 100})
+	b := Mutants(target, Options{Seed: 42, MinMutants: 100})
+	if len(a) != len(b) {
+		t.Fatalf("mutant count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Desc != b[i].Desc || a[i].Class != b[i].Class {
+			t.Fatalf("mutant %d differs: %s/%s vs %s/%s",
+				i, a[i].Class, a[i].Desc, b[i].Class, b[i].Desc)
+		}
+		da, db := a[i].Apply(target.Pristine), b[i].Apply(target.Pristine)
+		if string(da) != string(db) {
+			t.Fatalf("mutant %d (%s) data differs between generations", i, a[i].Desc)
+		}
+	}
+}

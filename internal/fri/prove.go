@@ -1,6 +1,7 @@
 package fri
 
 import (
+	"context"
 	"time"
 
 	"unizk/internal/field"
@@ -76,6 +77,26 @@ func layerCapHeight(cfg Config, numLeaves int) int {
 // Verify then perform identical transcript operations.
 func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 	ch *poseidon.Challenger, cfg Config, rec *trace.Recorder) *Proof {
+	proof, err := ProveContext(context.Background(), oracles, groups, opened, ch, cfg, rec)
+	if err != nil {
+		// A background context never cancels; any error here is a bug.
+		panic("fri: ProveContext failed without cancellation: " + err.Error())
+	}
+	return proof
+}
+
+// ProveContext is Prove with cooperative cancellation: the context is
+// checked between the combine, commit-phase, grinding, and query phases,
+// and periodically inside the proof-of-work search (the one unbounded
+// loop), so servers can impose timeouts on long proofs. On cancellation it
+// returns ctx.Err() and leaves no shared state (twiddle/root caches,
+// challenger clones) half-written.
+func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []PointGroup,
+	opened OpenedValues, ch *poseidon.Challenger, cfg Config, rec *trace.Recorder) (*Proof, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	n := oracles[0].N
 	for _, o := range oracles {
@@ -140,6 +161,9 @@ func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 	var caps []merkle.Cap
 	var trees []*merkle.Tree
 	for len(layer) > finalSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		half := len(layer) / 2
 		leaves := make([][]field.Element, half)
 		var tree *merkle.Tree
@@ -206,6 +230,11 @@ func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 	tries := 0
 	grindStart := time.Now()
 	for wv := uint64(0); ; wv++ {
+		if wv&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tries++
 		c2 := ch.Clone()
 		c2.Observe(field.New(wv))
@@ -221,6 +250,9 @@ func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 	}
 
 	// Query phase.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rounds := make([]QueryRound, cfg.NumQueries)
 	for q := range rounds {
 		idx := int(ch.SampleBits(logM))
@@ -251,7 +283,7 @@ func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 		QueryRounds:     rounds,
 		FinalPoly:       finalPoly,
 		PowWitness:      witness,
-	}
+	}, nil
 }
 
 // domainPoints returns x_j = g·w^{BitReverse(j)} for the size-2^logM LDE

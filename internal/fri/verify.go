@@ -1,7 +1,6 @@
 package fri
 
 import (
-	"errors"
 	"fmt"
 
 	"unizk/internal/field"
@@ -9,6 +8,7 @@ import (
 	"unizk/internal/ntt"
 	"unizk/internal/poly"
 	"unizk/internal/poseidon"
+	"unizk/internal/prooferr"
 )
 
 // VerifierOracle is the verifier's view of a committed batch: its Merkle
@@ -19,21 +19,47 @@ type VerifierOracle struct {
 }
 
 // Verification errors. ErrProofShape covers structural mismatches;
-// ErrProofInvalid covers cryptographic check failures.
+// ErrProofInvalid covers cryptographic check failures. Both wrap the
+// shared taxonomy in internal/prooferr so callers can classify rejections
+// uniformly across protocols.
 var (
-	ErrProofShape   = errors.New("fri: malformed proof")
-	ErrProofInvalid = errors.New("fri: proof rejected")
+	ErrProofShape   = fmt.Errorf("fri: %w", prooferr.ErrMalformedProof)
+	ErrProofInvalid = fmt.Errorf("fri: %w", prooferr.ErrProofRejected)
 )
+
+// CapSize returns the expected Merkle cap size for a commitment over a
+// domain of 2^logM leaves under cfg.
+func CapSize(cfg Config, logM int) int {
+	return 1 << layerCapHeight(cfg, 1<<logM)
+}
 
 // Verify checks a batched FRI opening proof. The challenger must be in the
 // same transcript state as the prover's was when Prove was called. logN is
 // the log2 of the committed polynomials' length.
 func Verify(oracles []VerifierOracle, groups []PointGroup, opened OpenedValues,
-	proof *Proof, ch *poseidon.Challenger, cfg Config, logN int) error {
+	proof *Proof, ch *poseidon.Challenger, cfg Config, logN int) (err error) {
+
+	defer prooferr.CatchPanic(&err, "fri")
 
 	logM := logN + cfg.RateBits
 	m := 1 << logM
 
+	if proof == nil {
+		return fmt.Errorf("%w: nil proof", ErrProofShape)
+	}
+	// Oracle caps are attacker-controlled (they come from the decoded
+	// proof); their size must match the commitment parameters exactly or
+	// the Merkle path-length arithmetic below is meaningless.
+	for oi, o := range oracles {
+		if len(o.Cap) != CapSize(cfg, logM) {
+			return fmt.Errorf("%w: oracle %d cap size %d, want %d",
+				ErrProofShape, oi, len(o.Cap), CapSize(cfg, logM))
+		}
+		if o.NumPolys <= 0 {
+			return fmt.Errorf("%w: oracle %d has %d polynomials",
+				ErrProofShape, oi, o.NumPolys)
+		}
+	}
 	if len(opened) != len(groups) {
 		return fmt.Errorf("%w: opened values for %d groups, want %d",
 			ErrProofShape, len(opened), len(groups))

@@ -1,0 +1,43 @@
+package plonk
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/fri"
+)
+
+// TestProveContextCancelled checks that an already-cancelled context makes
+// ProveContext return promptly with context.Canceled, and that the aborted
+// attempt leaves the shared twiddle/root caches intact: a fresh prove and
+// verify on the same circuit must still succeed.
+func TestProveContextCancelled(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddPublicInput()
+	out := b.AddPublicInput()
+	b.Connect(b.Add(b.Mul(x, x), x), out)
+
+	xv := field.New(9)
+	outv := field.Add(field.Mul(xv, xv), xv)
+
+	c := b.Build(fri.TestConfig())
+	w := c.NewWitness()
+	w.Set(x, xv)
+	w.Set(out, outv)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ProveContext(ctx, w, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProveContext with cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	proof, err := c.Prove(w, nil)
+	if err != nil {
+		t.Fatalf("prove after cancelled attempt: %v", err)
+	}
+	if err := Verify(c.VerificationKey(), []field.Element{xv, outv}, proof); err != nil {
+		t.Fatalf("verify after cancelled attempt: %v", err)
+	}
+}

@@ -1,15 +1,18 @@
 package plonk
 
 import (
+	"fmt"
+
 	"unizk/internal/fri"
 	"unizk/internal/merkle"
+	"unizk/internal/prooferr"
 	"unizk/internal/wire"
 )
 
-// MarshalBinary serializes the proof (implements
-// encoding.BinaryMarshaler).
-func (p *Proof) MarshalBinary() ([]byte, error) {
-	var w wire.Writer
+// EncodeTo serializes the proof into an existing writer. Exposed (rather
+// than only MarshalBinary) so tooling like the fault-injection harness can
+// capture the writer's length-prefix offsets for targeted corruption.
+func (p *Proof) EncodeTo(w *wire.Writer) {
 	w.Hashes(p.WiresCap)
 	w.Hashes(p.ZCap)
 	w.Hashes(p.QuotientCap)
@@ -19,13 +22,21 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 	w.Exts(p.ZsNextOpen)
 	w.Exts(p.QuotientOpen)
 	w.Elems(p.PublicInputs)
-	p.FRI.EncodeTo(&w)
+	p.FRI.EncodeTo(w)
+}
+
+// MarshalBinary serializes the proof (implements
+// encoding.BinaryMarshaler).
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	p.EncodeTo(&w)
 	return w.Bytes(), nil
 }
 
 // UnmarshalBinary deserializes a proof (implements
-// encoding.BinaryUnmarshaler). Structural validation beyond canonical
-// field encodings is left to Verify.
+// encoding.BinaryUnmarshaler). Decode errors are classified as
+// prooferr.ErrMalformedProof; structural validation beyond canonical field
+// encodings is left to Verify.
 func (p *Proof) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
 	p.WiresCap = merkle.Cap(r.Hashes())
@@ -38,5 +49,8 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 	p.QuotientOpen = r.Exts()
 	p.PublicInputs = r.Elems()
 	p.FRI = fri.DecodeProof(r)
-	return r.Done()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("plonk: decode: %w: %w", err, prooferr.ErrMalformedProof)
+	}
+	return nil
 }

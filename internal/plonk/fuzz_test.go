@@ -13,6 +13,62 @@ import (
 // satisfied instance proves and verifies. This exercises arbitrary
 // selector mixes, permutation cycle structures crossing column groups,
 // and padding interactions that the hand-written circuits don't.
+// fuzzCircuit builds one small satisfied circuit and returns its
+// verification key, public inputs, and the serialized pristine proof.
+func fuzzCircuit(tb testing.TB) (VerificationKey, []field.Element, []byte) {
+	b := NewBuilder()
+	x := b.AddPublicInput()
+	out := b.AddPublicInput()
+	acc := b.Mul(x, x)
+	acc = b.Add(acc, x)
+	b.Connect(acc, out)
+
+	xv := field.New(5)
+	outv := field.Add(field.Mul(xv, xv), xv)
+
+	c := b.Build(fri.TestConfig())
+	w := c.NewWitness()
+	w.Set(x, xv)
+	w.Set(out, outv)
+	proof, err := c.Prove(w, nil)
+	if err != nil {
+		tb.Fatalf("prove: %v", err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		tb.Fatalf("marshal: %v", err)
+	}
+	return c.VerificationKey(), []field.Element{xv, outv}, data
+}
+
+// FuzzPlonkUnmarshalVerify feeds arbitrary bytes through proof decoding
+// and verification: malformed input must surface as an error, never a
+// panic, and only the pristine bytes may verify.
+func FuzzPlonkUnmarshalVerify(f *testing.F) {
+	vk, pub, pristine := fuzzCircuit(f)
+	f.Add(pristine)
+	f.Add(pristine[:0])
+	f.Add(pristine[:len(pristine)/2])
+	f.Add(pristine[:len(pristine)-1])
+	flipped := append([]byte(nil), pristine...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Proof
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := Verify(vk, pub, &p); err == nil {
+			// Accepted proofs must be semantically the pristine one
+			// (alternative uvarint encodings of it are fine).
+			reenc, _ := p.MarshalBinary()
+			if string(reenc) != string(pristine) {
+				t.Fatalf("mutated proof (%d bytes) accepted", len(data))
+			}
+		}
+	})
+}
+
 func TestRandomCircuits(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
 		seed := seed

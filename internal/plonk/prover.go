@@ -1,6 +1,7 @@
 package plonk
 
 import (
+	"context"
 	"fmt"
 
 	"unizk/internal/field"
@@ -44,6 +45,20 @@ type Proof struct {
 // recorder, if non-nil, captures the kernel computation graph and CPU time
 // per kernel class (paper §5.5 / Table 1).
 func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
+	return c.ProveContext(context.Background(), w, rec)
+}
+
+// ProveContext is Prove with cooperative cancellation: the context is
+// checked at each phase boundary (witness generation, wires commitment,
+// grand product, quotient, openings, FRI — including the proof-of-work
+// grind), so servers can impose timeouts on multi-second proofs. On
+// cancellation it returns ctx.Err(); all shared caches (NTT twiddles,
+// Poseidon constants) stay consistent because phases never publish
+// partial state.
+func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recorder) (*Proof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if w.circuit != c {
 		return nil, fmt.Errorf("plonk: witness built for a different circuit")
 	}
@@ -90,6 +105,9 @@ func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
 	ch.ObserveSlice(pub)
 
 	// --- Wires commitment (paper Fig. 7, "Wires Commitment"). ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	wiresBatch := fri.CommitValues(wires, c.cfg.RateBits, c.cfg.CapHeight, rec)
 	observeCap(ch, wiresBatch.Cap())
 
@@ -97,6 +115,9 @@ func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
 	gamma := ch.Sample()
 
 	// --- Grand product and chained partial products (paper §5.4). ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	zPolys := c.computeZs(wires, beta, gamma, rec)
 	zBatch := fri.CommitValues(zPolys, c.cfg.RateBits, c.cfg.CapHeight, rec)
 	observeCap(ch, zBatch.Cap())
@@ -104,6 +125,9 @@ func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
 	alpha := ch.Sample()
 
 	// --- Quotient polynomial on the 4N coset. ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tChunks, err := c.computeQuotient(wiresBatch, zBatch, pi, beta, gamma, alpha, rec)
 	if err != nil {
 		return nil, err
@@ -116,6 +140,9 @@ func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
 	zetaNext := field.ExtScalarMul(g, zeta)
 
 	// --- Openings (paper Fig. 7, "Prove Openings"). ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	constOpen := c.constants.EvalAll(zeta, rec)
 	wiresOpen := wiresBatch.EvalAll(zeta, rec)
 	zsOpen := zBatch.EvalAll(zeta, rec)
@@ -132,7 +159,10 @@ func (c *Circuit) Prove(w *Witness, rec *trace.Recorder) (*Proof, error) {
 		{constOpen, wiresOpen, zsOpen, quotOpen},
 		{zsNextOpen},
 	}
-	friProof := fri.Prove(oracles, groups, opened, ch, c.cfg, rec)
+	friProof, err := fri.ProveContext(ctx, oracles, groups, opened, ch, c.cfg, rec)
+	if err != nil {
+		return nil, err
+	}
 
 	return &Proof{
 		WiresCap:      wiresBatch.Cap(),

@@ -7,36 +7,94 @@ import (
 	"unizk/internal/field"
 	"unizk/internal/fri"
 	"unizk/internal/poseidon"
+	"unizk/internal/prooferr"
 )
 
-// ErrInvalidProof is returned for any verification failure.
-var ErrInvalidProof = errors.New("plonk: invalid proof")
+// ErrInvalidProof is the umbrella error wrapped by every verification
+// failure (kept for backward compatibility). ErrMalformedProof and
+// ErrProofRejected refine it with the shared prooferr taxonomy:
+// structural violations (abuse/corruption) vs. cryptographic rejection
+// (forgery or prover bug).
+var (
+	ErrInvalidProof   = errors.New("plonk: invalid proof")
+	ErrMalformedProof = fmt.Errorf("%w: %w", ErrInvalidProof, prooferr.ErrMalformedProof)
+	ErrProofRejected  = fmt.Errorf("%w: %w", ErrInvalidProof, prooferr.ErrProofRejected)
+)
 
-// Verify checks a proof against the verification key and the expected
-// public inputs.
-func Verify(vk VerificationKey, pub []field.Element, proof *Proof) error {
+// validateShape performs the structural validation of a decoded proof
+// before any of its data is used: every collection the verifier indexes
+// into must have exactly the size the verification key dictates.
+func validateShape(vk VerificationKey, pub []field.Element, proof *Proof) error {
 	reps := vk.Reps
 	numCols := 3 * reps
+	if proof == nil {
+		return fmt.Errorf("%w: nil proof", ErrMalformedProof)
+	}
+	if proof.FRI == nil {
+		return fmt.Errorf("%w: missing FRI proof", ErrMalformedProof)
+	}
+	if len(vk.Ks) != numCols {
+		return fmt.Errorf("%w: verification key has %d coset shifts, want %d",
+			ErrMalformedProof, len(vk.Ks), numCols)
+	}
 	if len(pub) != vk.NumPublic {
 		return fmt.Errorf("%w: %d public inputs, want %d",
-			ErrInvalidProof, len(pub), vk.NumPublic)
+			ErrMalformedProof, len(pub), vk.NumPublic)
 	}
 	if len(proof.PublicInputs) != len(pub) {
 		return fmt.Errorf("%w: proof carries %d public inputs, want %d",
-			ErrInvalidProof, len(proof.PublicInputs), len(pub))
+			ErrMalformedProof, len(proof.PublicInputs), len(pub))
 	}
-	for i := range pub {
-		if proof.PublicInputs[i] != pub[i] {
-			return fmt.Errorf("%w: public input %d mismatch", ErrInvalidProof, i)
+	capSize := fri.CapSize(vk.Cfg, vk.LogN+vk.Cfg.RateBits)
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"wires cap", len(proof.WiresCap)},
+		{"Z cap", len(proof.ZCap)},
+		{"quotient cap", len(proof.QuotientCap)},
+	} {
+		if c.n != capSize {
+			return fmt.Errorf("%w: %s has %d digests, want %d",
+				ErrMalformedProof, c.name, c.n, capSize)
 		}
 	}
-	if len(proof.ConstantsOpen) != 8*reps ||
-		len(proof.WiresOpen) != numCols ||
-		len(proof.ZsOpen) != reps ||
-		len(proof.ZsNextOpen) != reps ||
-		len(proof.QuotientOpen) != quotientChunks ||
-		len(vk.Ks) != numCols {
-		return fmt.Errorf("%w: malformed openings", ErrInvalidProof)
+	for _, o := range []struct {
+		name string
+		n    int
+		want int
+	}{
+		{"constants openings", len(proof.ConstantsOpen), 8 * reps},
+		{"wires openings", len(proof.WiresOpen), numCols},
+		{"Z openings", len(proof.ZsOpen), reps},
+		{"next-row Z openings", len(proof.ZsNextOpen), reps},
+		{"quotient openings", len(proof.QuotientOpen), quotientChunks},
+	} {
+		if o.n != o.want {
+			return fmt.Errorf("%w: %d %s, want %d",
+				ErrMalformedProof, o.n, o.name, o.want)
+		}
+	}
+	return nil
+}
+
+// Verify checks a proof against the verification key and the expected
+// public inputs. Any error wraps ErrInvalidProof plus exactly one of
+// ErrMalformedProof (shape violation) or ErrProofRejected (cryptographic
+// failure); a panic slipping past the structural validation is converted
+// to an error at this boundary as defense in depth.
+func Verify(vk VerificationKey, pub []field.Element, proof *Proof) (err error) {
+	defer prooferr.CatchPanic(&err, "plonk")
+
+	if err := validateShape(vk, pub, proof); err != nil {
+		return err
+	}
+	reps := vk.Reps
+	numCols := 3 * reps
+	for i := range pub {
+		if proof.PublicInputs[i] != pub[i] {
+			return fmt.Errorf("%w: public input %d mismatch", ErrProofRejected, i)
+		}
 	}
 
 	n := uint64(1) << vk.LogN
@@ -60,7 +118,7 @@ func Verify(vk VerificationKey, pub []field.Element, proof *Proof) error {
 	// --- Constraint equation at ζ. ---
 	zhZeta := field.ExtSub(field.ExtExp(zeta, n), field.ExtOne)
 	if zhZeta.IsZero() {
-		return fmt.Errorf("%w: ζ lies on the evaluation domain", ErrInvalidProof)
+		return fmt.Errorf("%w: ζ lies on the evaluation domain", ErrProofRejected)
 	}
 
 	// PI(ζ) = Σ_i (−pub_i)·L_i(ζ),  L_i(ζ) = w^i·Z_H(ζ) / (N·(ζ − w^i)).
@@ -134,7 +192,7 @@ func Verify(vk VerificationKey, pub []field.Element, proof *Proof) error {
 	rhs := field.ExtMul(zhZeta, tZeta)
 
 	if lhs != rhs {
-		return fmt.Errorf("%w: constraint equation fails at ζ", ErrInvalidProof)
+		return fmt.Errorf("%w: constraint equation fails at ζ", ErrProofRejected)
 	}
 
 	// --- FRI opening proof. ---
@@ -153,7 +211,8 @@ func Verify(vk VerificationKey, pub []field.Element, proof *Proof) error {
 		{proof.ZsNextOpen},
 	}
 	if err := fri.Verify(oracles, groups, opened, proof.FRI, ch, vk.Cfg, vk.LogN); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		// %w preserves the fri error's taxonomy class (shape vs. crypto).
+		return fmt.Errorf("%w: %w", ErrInvalidProof, err)
 	}
 	return nil
 }

@@ -73,8 +73,14 @@ func (c *Challenger) SampleExt() field.Ext {
 }
 
 // SampleBits squeezes an integer with the given number of low bits, used
-// for FRI query indices and proof-of-work checks.
+// for FRI query indices and proof-of-work checks. bits must be in [0, 63]:
+// a Goldilocks element carries fewer than 64 uniform bits, so a wider
+// request is a protocol-configuration bug, caught here rather than
+// silently mis-masked.
 func (c *Challenger) SampleBits(bits int) uint64 {
+	if bits < 0 || bits > 63 {
+		panic("poseidon: SampleBits width out of range [0, 63]")
+	}
 	return c.Sample().Uint64() & ((1 << bits) - 1)
 }
 

@@ -1,0 +1,57 @@
+package prooferr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "accepted"},
+		{ErrMalformedProof, "malformed"},
+		{ErrProofRejected, "rejected"},
+		{fmt.Errorf("wrap: %w", ErrMalformedProof), "malformed"},
+		{fmt.Errorf("wrap: %w", ErrProofRejected), "rejected"},
+		{errors.New("mystery"), "unclassified"},
+	}
+	for _, tc := range cases {
+		if got := Class(tc.err); got != tc.want {
+			t.Errorf("Class(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	// An error wrapping both classes reports the shape violation.
+	both := fmt.Errorf("%w: %w", ErrMalformedProof, ErrProofRejected)
+	if got := Class(both); got != "malformed" {
+		t.Errorf("Class(both) = %q, want malformed", got)
+	}
+}
+
+func TestCatchPanic(t *testing.T) {
+	run := func() (err error) {
+		defer CatchPanic(&err, "test")
+		panic("boom")
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if !errors.Is(err, ErrPanicRecovered) || !errors.Is(err, ErrMalformedProof) {
+		t.Errorf("recovered error %v lacks taxonomy classes", err)
+	}
+	if Class(err) != "malformed" {
+		t.Errorf("Class = %q, want malformed", Class(err))
+	}
+
+	// No panic → error untouched.
+	clean := func() (err error) {
+		defer CatchPanic(&err, "test")
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Errorf("CatchPanic modified nil error: %v", err)
+	}
+}

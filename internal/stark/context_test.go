@@ -1,0 +1,29 @@
+package stark
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestProveContextCancelled checks that an already-cancelled context makes
+// ProveContext return promptly with context.Canceled, and that the aborted
+// attempt leaves shared caches intact: a fresh prove and verify on the
+// same instance must still succeed.
+func TestProveContextCancelled(t *testing.T) {
+	s, cols, _ := fibAIR(4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ProveContext(ctx, cols, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProveContext with cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	proof, err := s.Prove(cols, nil)
+	if err != nil {
+		t.Fatalf("prove after cancelled attempt: %v", err)
+	}
+	if err := s.Verify(proof); err != nil {
+		t.Fatalf("verify after cancelled attempt: %v", err)
+	}
+}

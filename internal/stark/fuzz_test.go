@@ -1,0 +1,40 @@
+package stark
+
+import (
+	"testing"
+)
+
+// FuzzStarkUnmarshalVerify feeds arbitrary bytes through STARK proof
+// decoding and verification: malformed input must surface as an error,
+// never a panic, and only proofs semantically equal to the pristine one
+// may verify.
+func FuzzStarkUnmarshalVerify(f *testing.F) {
+	s, cols, _ := fibAIR(4)
+	proof, err := s.Prove(cols, nil)
+	if err != nil {
+		f.Fatalf("prove: %v", err)
+	}
+	pristine, err := proof.MarshalBinary()
+	if err != nil {
+		f.Fatalf("marshal: %v", err)
+	}
+	f.Add(pristine)
+	f.Add(pristine[:0])
+	f.Add(pristine[:len(pristine)/2])
+	f.Add(pristine[:len(pristine)-1])
+	flipped := append([]byte(nil), pristine...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Proof
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := s.Verify(&p); err == nil {
+			reenc, _ := p.MarshalBinary()
+			if string(reenc) != string(pristine) {
+				t.Fatalf("mutated proof (%d bytes) accepted", len(data))
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package stark
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,6 +10,7 @@ import (
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
 	"unizk/internal/poseidon"
+	"unizk/internal/prooferr"
 	"unizk/internal/trace"
 )
 
@@ -98,6 +100,20 @@ func (s *Stark) transcript() *poseidon.Challenger {
 // Prove generates a proof that columns (column-major, each of length N)
 // satisfy the AIR.
 func (s *Stark) Prove(columns [][]field.Element, rec *trace.Recorder) (*Proof, error) {
+	return s.ProveContext(context.Background(), columns, rec)
+}
+
+// ProveContext is Prove with cooperative cancellation: the context is
+// checked at each phase boundary (trace sanity, trace commitment,
+// quotient, openings, FRI — including the proof-of-work grind), so
+// servers can impose timeouts on multi-second proofs. On cancellation it
+// returns ctx.Err() and leaves shared caches usable.
+func (s *Stark) ProveContext(ctx context.Context, columns [][]field.Element,
+	rec *trace.Recorder) (*Proof, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(columns) != s.Width {
 		return nil, fmt.Errorf("stark: %d columns, want %d", len(columns), s.Width)
 	}
@@ -132,10 +148,16 @@ func (s *Stark) Prove(columns [][]field.Element, rec *trace.Recorder) (*Proof, e
 
 	ch := s.transcript()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	traceBatch := fri.CommitValues(columns, s.cfg.RateBits, s.cfg.CapHeight, rec)
 	observeCap(ch, traceBatch.Cap())
 	alpha := ch.Sample()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tChunks, err := s.computeQuotient(traceBatch, alpha, rec)
 	if err != nil {
 		return nil, err
@@ -147,6 +169,9 @@ func (s *Stark) Prove(columns [][]field.Element, rec *trace.Recorder) (*Proof, e
 	g := field.PrimitiveRootOfUnity(s.LogN)
 	zetaNext := field.ExtScalarMul(g, zeta)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	traceOpen := traceBatch.EvalAll(zeta, rec)
 	traceNextOpen := traceBatch.EvalAll(zetaNext, rec)
 	quotOpen := quotBatch.EvalAll(zeta, rec)
@@ -161,7 +186,10 @@ func (s *Stark) Prove(columns [][]field.Element, rec *trace.Recorder) (*Proof, e
 		{traceOpen, quotOpen},
 		{traceNextOpen},
 	}
-	friProof := fri.Prove(oracles, groups, opened, ch, s.cfg, rec)
+	friProof, err := fri.ProveContext(ctx, oracles, groups, opened, ch, s.cfg, rec)
+	if err != nil {
+		return nil, err
+	}
 
 	return &Proof{
 		TraceCap:      traceBatch.Cap(),
@@ -277,14 +305,52 @@ func (s *Stark) computeQuotient(traceBatch *fri.PolynomialBatch,
 	return chunks, nil
 }
 
-// ErrInvalidProof is returned for any verification failure.
-var ErrInvalidProof = errors.New("stark: invalid proof")
+// ErrInvalidProof is the umbrella error wrapped by every verification
+// failure (kept for backward compatibility). ErrMalformedProof and
+// ErrProofRejected refine it with the shared prooferr taxonomy:
+// structural violations (abuse/corruption) vs. cryptographic rejection
+// (forgery or prover bug).
+var (
+	ErrInvalidProof   = errors.New("stark: invalid proof")
+	ErrMalformedProof = fmt.Errorf("%w: %w", ErrInvalidProof, prooferr.ErrMalformedProof)
+	ErrProofRejected  = fmt.Errorf("%w: %w", ErrInvalidProof, prooferr.ErrProofRejected)
+)
 
-// Verify checks a proof.
-func (s *Stark) Verify(proof *Proof) error {
+// validateShape performs the structural validation of a decoded proof
+// before any of its data is used.
+func (s *Stark) validateShape(proof *Proof) error {
+	if proof == nil {
+		return fmt.Errorf("%w: nil proof", ErrMalformedProof)
+	}
+	if proof.FRI == nil {
+		return fmt.Errorf("%w: missing FRI proof", ErrMalformedProof)
+	}
+	capSize := fri.CapSize(s.cfg, s.LogN+s.cfg.RateBits)
+	if len(proof.TraceCap) != capSize {
+		return fmt.Errorf("%w: trace cap has %d digests, want %d",
+			ErrMalformedProof, len(proof.TraceCap), capSize)
+	}
+	if len(proof.QuotientCap) != capSize {
+		return fmt.Errorf("%w: quotient cap has %d digests, want %d",
+			ErrMalformedProof, len(proof.QuotientCap), capSize)
+	}
 	if len(proof.TraceOpen) != s.Width || len(proof.TraceNextOpen) != s.Width ||
 		len(proof.QuotientOpen) != quotientChunks {
-		return fmt.Errorf("%w: malformed openings", ErrInvalidProof)
+		return fmt.Errorf("%w: malformed openings", ErrMalformedProof)
+	}
+	return nil
+}
+
+// Verify checks a proof. Any error wraps ErrInvalidProof plus exactly one
+// of ErrMalformedProof (shape violation) or ErrProofRejected
+// (cryptographic failure); a panic slipping past the structural
+// validation is converted to an error at this boundary as defense in
+// depth.
+func (s *Stark) Verify(proof *Proof) (err error) {
+	defer prooferr.CatchPanic(&err, "stark")
+
+	if err := s.validateShape(proof); err != nil {
+		return err
 	}
 	n := uint64(s.N)
 
@@ -299,7 +365,7 @@ func (s *Stark) Verify(proof *Proof) error {
 
 	zh := field.ExtSub(field.ExtExp(zeta, n), field.ExtOne)
 	if zh.IsZero() {
-		return fmt.Errorf("%w: ζ lies on the trace domain", ErrInvalidProof)
+		return fmt.Errorf("%w: ζ lies on the trace domain", ErrProofRejected)
 	}
 	gLast := field.Exp(g, n-1)
 
@@ -333,7 +399,7 @@ func (s *Stark) Verify(proof *Proof) error {
 		pow = field.ExtMul(pow, zetaN)
 	}
 	if sum != tZeta {
-		return fmt.Errorf("%w: constraint equation fails at ζ", ErrInvalidProof)
+		return fmt.Errorf("%w: constraint equation fails at ζ", ErrProofRejected)
 	}
 
 	oracles := []fri.VerifierOracle{
@@ -349,7 +415,8 @@ func (s *Stark) Verify(proof *Proof) error {
 		{proof.TraceNextOpen},
 	}
 	if err := fri.Verify(oracles, groups, opened, proof.FRI, ch, s.cfg, s.LogN); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		// %w preserves the fri error's taxonomy class (shape vs. crypto).
+		return fmt.Errorf("%w: %w", ErrInvalidProof, err)
 	}
 	return nil
 }

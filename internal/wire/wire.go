@@ -16,13 +16,28 @@ import (
 // Writer accumulates an encoded byte stream.
 type Writer struct {
 	buf []byte
+	// lenOffsets records the byte offset of every length prefix written,
+	// so tooling (the fault-injection harness) can target uvarint
+	// corruption precisely.
+	lenOffsets []int
 }
 
 // Bytes returns the encoded stream.
 func (w *Writer) Bytes() []byte { return w.buf }
 
-// Len writes a collection length.
+// LenOffsets returns the byte offsets of every length prefix written so
+// far, in write order.
+func (w *Writer) LenOffsets() []int { return w.lenOffsets }
+
+// Len writes a collection length. A negative length is an encoder bug: it
+// would silently round-trip through uint64 into a huge uvarint that the
+// reader misparses as a multi-gigabyte collection, so it panics instead of
+// producing an undecodable stream.
 func (w *Writer) Len(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("wire: negative collection length %d", n))
+	}
+	w.lenOffsets = append(w.lenOffsets, len(w.buf))
 	w.buf = binary.AppendUvarint(w.buf, uint64(n))
 }
 

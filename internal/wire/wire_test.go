@@ -106,6 +106,42 @@ func TestErrorSticks(t *testing.T) {
 	}
 }
 
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length silently encoded")
+		}
+	}()
+	var w Writer
+	w.Len(-1)
+}
+
+func TestLenOffsets(t *testing.T) {
+	var w Writer
+	w.Elem(1)                          // 8 bytes
+	w.Elems([]field.Element{2, 3})     // prefix at 8, then 16 bytes
+	w.Exts([]field.Ext{{A: 4, B: 5}})  // prefix at 25, then 16 bytes
+	w.Hashes([]poseidon.HashOut{{6}})  // prefix at 42, then 32 bytes
+	got := w.LenOffsets()
+	want := []int{8, 25, 42}
+	if len(got) != len(want) {
+		t.Fatalf("LenOffsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LenOffsets = %v, want %v", got, want)
+		}
+	}
+	// Every recorded offset must decode as a uvarint within the stream.
+	data := w.Bytes()
+	for _, off := range got {
+		r := NewReader(data[off:])
+		if r.Len() == 0 && r.Err() != nil {
+			t.Fatalf("offset %d does not start a decodable length", off)
+		}
+	}
+}
+
 func TestCorruptedLengthCannotOverAllocate(t *testing.T) {
 	// A length far larger than the remaining stream must fail before
 	// allocating (regression: a flipped varint byte once triggered a
