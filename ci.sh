@@ -7,6 +7,29 @@ set -eux
 
 go vet ./...
 go build ./...
+
+# unizklint (cmd/unizklint, analyzers in internal/lint) mechanically
+# enforces the prover/verifier safety invariants of DESIGN.md §8:
+# canonical field construction, checked wire decodes, classified verifier
+# errors, cancellable loops, and Fiat–Shamir determinism. The tree must be
+# clean before the test suite runs; suppressions require an
+# //unizklint:allow <analyzer> <reason> directive.
+go run ./cmd/unizklint ./...
+
+# Third-party static analysis runs when the tools are installed (they are
+# not vendored; versions are pinned in _tools/tools.go). Offline or
+# minimal environments skip them without failing the gate.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@v1.1.4)"
+fi
+
 go test -race ./...
 
 # Fuzz the decode+verify boundary of each protocol for a fixed budget.

@@ -1,0 +1,106 @@
+// Command unizklint runs the unizk analyzer suite (internal/lint) over
+// module packages and prints findings in file:line:col: analyzer: message
+// form. It exits 0 when the tree is clean, 1 when any finding survives
+// suppression, and 2 on usage or load errors.
+//
+// Usage:
+//
+//	go run ./cmd/unizklint ./...
+//	go run ./cmd/unizklint -list
+//	go run ./cmd/unizklint -only fieldcanon,wirecheck ./internal/wire
+//
+// Findings are suppressed by an //unizklint:allow <analyzer> <reason>
+// directive on the flagged line or the line directly above; a malformed
+// directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unizk/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("unizklint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: unizklint [-list] [-only a,b] packages...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !lint.KnownAnalyzer(name) {
+				fmt.Fprintf(os.Stderr, "unizklint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			keep[name] = true
+		}
+		var subset []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				subset = append(subset, a)
+			}
+		}
+		analyzers = subset
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+		return 2
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+		return 2
+	}
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(l, paths, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

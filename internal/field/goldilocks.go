@@ -179,6 +179,7 @@ func MulAdd(a, b, c Element) Element { return Add(Mul(a, b), c) }
 // It panics if logN > TwoAdicity, which would be a programming error.
 func PrimitiveRootOfUnity(logN int) Element {
 	if logN < 0 || logN > TwoAdicity {
+		//unizklint:allow prooferrflow logN is a structural parameter fixed by the caller's config, never decoded from proof bytes
 		panic("field: root of unity order out of range")
 	}
 	// powerOfTwoGenerator generates the order-2^32 subgroup.

@@ -228,6 +228,7 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	// node is recorded with a measured duration.
 	var witness field.Element
 	tries := 0
+	//unizklint:allow nodeterminism grind duration is telemetry for the kernel trace; the witness itself is found by deterministic search
 	grindStart := time.Now()
 	for wv := uint64(0); ; wv++ {
 		if wv&1023 == 0 {

@@ -1,0 +1,166 @@
+// Package analysistest runs unizklint analyzers over fixture packages
+// and checks their diagnostics against // want comments, mirroring the
+// conventions of golang.org/x/tools/go/analysis/analysistest (which is
+// unavailable offline). A fixture line expects diagnostics like so:
+//
+//	bad := field.Element(x) // want `bypasses canonicalization`
+//
+// Each quoted or backquoted fragment is a regular expression that must
+// match the message of exactly one diagnostic reported on that line, and
+// every diagnostic must be matched by a want. Fixture packages live under
+// <testdata>/src/<pkg> and may import real module packages (e.g.
+// unizk/internal/field); the loader resolves those against the enclosing
+// module.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"unizk/internal/lint"
+)
+
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*lint.Loader{}
+)
+
+// sharedLoader memoizes loaders per testdata root so fixture runs in one
+// test binary share type-checked standard-library and module packages.
+func sharedLoader(t *testing.T, testdata string) *lint.Loader {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if l, ok := loaders[testdata]; ok {
+		return l
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtraRoot = filepath.Join(testdata, "src")
+	loaders[testdata] = l
+	return l
+}
+
+// Run analyzes the fixture packages with the analyzer (through the full
+// driver, so //unizklint:allow suppression and directive validation are
+// active) and reports mismatches against // want comments as test
+// failures.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := sharedLoader(t, testdata)
+	diags, err := lint.Run(l, pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+
+	wants := collectWants(t, testdata, pkgs)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, testdata string, pkgs []string) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", pkg, err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				for _, pat := range splitPatterns(t, path, i+1, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the body of a want comment: a sequence of
+// backquoted or double-quoted regular expressions.
+func splitPatterns(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated backquoted want pattern", file, line)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated quoted want pattern", file, line)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s:%d: want patterns must be quoted or backquoted (at %q)", file, line, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the ProveContext cancellation invariant (DESIGN.md
+// §7): a function that accepts a context.Context promises cooperative
+// cancellation, so an unbounded loop (a for statement with no condition)
+// inside it must consult the context somewhere in its body — a ctx.Err()
+// poll, a ctx.Done() select, or a call that forwards ctx to a callee that
+// polls. The FRI proof-of-work grind is the canonical example: it
+// searches an unbounded nonce space and checks ctx.Err() every 1024
+// iterations.
+//
+// Bounded loops (with a condition or a range clause) are not flagged:
+// the PR 1 design checks cancellation at phase boundaries rather than
+// inside every data loop, and a loop over decoded or committed data
+// terminates by construction.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "flag unbounded loops in context-accepting functions that never " +
+		"consult the context",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isNamed(info.TypeOf(field.Type), "context", "Context") {
+					continue
+				}
+				for _, name := range field.Names {
+					ctxObj := info.Defs[name]
+					if ctxObj == nil || name.Name == "_" {
+						continue
+					}
+					checkCtxLoops(p, info, fd, ctxObj)
+				}
+			}
+		}
+	}
+}
+
+func checkCtxLoops(p *Pass, info *types.Info, fd *ast.FuncDecl, ctxObj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if !usesObject(info, fs.Body, ctxObj) {
+			p.Reportf(fs.Pos(), "unbounded loop in a context-accepting function never consults %q; poll ctx.Err() so ProveContext-style cancellation can interrupt it", ctxObj.Name())
+		}
+		return true
+	})
+}

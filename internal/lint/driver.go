@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression: //unizklint:allow <analyzer>
+// <reason>. It must sit on the flagged line or the line directly above.
+const directivePrefix = "unizklint:"
+
+// A directive is one parsed //unizklint: comment.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+	// malformed is a description of why the directive is invalid; valid
+	// directives leave it empty.
+	malformed string
+	diag      Diagnostic // position for malformed-directive reporting
+}
+
+// parseDirectives extracts every //unizklint: comment from a file.
+// Validation is strict by design: a suppression that names no analyzer,
+// names an unknown analyzer, or gives no reason is a finding itself —
+// silent, unexplained suppressions are how invariants rot.
+func parseDirectives(p *Pass0, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if rest, ok := strings.CutPrefix(text, "/*"); ok {
+				text = strings.TrimSuffix(rest, "*/")
+			} else {
+				text = strings.TrimPrefix(text, "//")
+			}
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			d := directive{file: pos.Filename, line: pos.Line}
+			d.diag = Diagnostic{Analyzer: "directive", Pos: pos}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0 || fields[0] != "allow":
+				d.malformed = fmt.Sprintf("unknown unizklint directive %q (only \"allow\" is recognized)", rest)
+			case len(fields) < 2 || !KnownAnalyzer(fields[1]):
+				name := ""
+				if len(fields) >= 2 {
+					name = fields[1]
+				}
+				d.malformed = fmt.Sprintf("allow directive names no registered analyzer (got %q)", name)
+			case len(fields) < 3:
+				d.malformed = fmt.Sprintf("allow directive for %q has an empty reason; every suppression must say why", fields[1])
+			default:
+				d.analyzer = fields[1]
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Pass0 is the directive-scanning context (a trimmed Pass; directives are
+// a framework feature, not an analyzer).
+type Pass0 struct{ Fset *token.FileSet }
+
+// Run loads each package path, runs every analyzer over it, applies allow
+// directives collected from all loaded sources (suppressions can sit next
+// to a flagged line in a dependency package), validates directives in the
+// analyzed packages, and returns the surviving diagnostics sorted by
+// position.
+func Run(l *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var analyzed []*Package
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		analyzed = append(analyzed, p)
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range analyzed {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Pkg:      pkg,
+				Dep:      l.Loaded,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+	}
+
+	// Directive collection. Suppression consults every loaded file (a
+	// cross-package analyzer may report into a dependency); validation
+	// only covers the packages actually analyzed, so a run over a subtree
+	// does not duplicate findings for its dependencies.
+	analyzedSet := make(map[*Package]bool, len(analyzed))
+	for _, p := range analyzed {
+		analyzedSet[p] = true
+	}
+	type key struct {
+		analyzer, file string
+		line           int
+	}
+	allow := make(map[key]bool)
+	var diags []Diagnostic
+	p0 := &Pass0{Fset: l.Fset}
+	for _, pkg := range l.AllLoaded() {
+		for _, f := range pkg.Files {
+			for _, d := range parseDirectives(p0, f) {
+				if d.malformed != "" {
+					if analyzedSet[pkg] {
+						dd := d.diag
+						dd.Message = d.malformed
+						diags = append(diags, dd)
+					}
+					continue
+				}
+				allow[key{d.analyzer, d.file, d.line}] = true
+			}
+		}
+	}
+
+	for _, d := range raw {
+		if allow[key{d.Analyzer, d.Pos.Filename, d.Pos.Line}] ||
+			allow[key{d.Analyzer, d.Pos.Filename, d.Pos.Line - 1}] {
+			continue
+		}
+		diags = append(diags, d)
+	}
+
+	// Cross-package analyzers rediscover the same dependency finding from
+	// several roots; dedup by identity.
+	seen := make(map[string]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		id := d.String()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

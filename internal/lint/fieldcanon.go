@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// FieldCanon flags raw conversions of arbitrary integers into Goldilocks
+// field values outside internal/field. The field package's contract is
+// that every Element is canonical (< p) at all times so equality is plain
+// ==; a raw field.Element(x) conversion from a runtime integer bypasses
+// the canonicalization in field.New and can silently break equality,
+// Fiat–Shamir replay, and the wire format's canonical-encoding check.
+// Constant operands below the field order are allowed (canonical by
+// construction), as are Element-to-Element conversions.
+var FieldCanon = &Analyzer{
+	Name: "fieldcanon",
+	Doc: "flag raw field.Element conversions and field.Ext literals built " +
+		"from arbitrary integers outside internal/field; use field.New",
+	Run: runFieldCanon,
+}
+
+// goldilocksOrder mirrors field.Order; the analyzer cannot import the
+// package it audits without creating a dependency cycle in ./... runs.
+const goldilocksOrder uint64 = 0xFFFFFFFF00000001
+
+func runFieldCanon(p *Pass) {
+	if p.Pkg.Path == fieldPkgPath {
+		return // the field package itself is where canonical form is established
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := info.Types[n.Fun]
+				if !ok || !tv.IsType() || !isNamed(tv.Type, fieldPkgPath, "Element") {
+					return true
+				}
+				atv := info.Types[ast.Unparen(n.Args[0])]
+				// Constants first: in a conversion an untyped constant is
+				// recorded with the converted type, so the Element check
+				// below would mistake it for a relabel.
+				if atv.Value != nil {
+					if constCanonical(atv.Value) {
+						return true
+					}
+				} else if isNamed(atv.Type, fieldPkgPath, "Element") {
+					return true // relabeling an already-canonical value
+				}
+				p.Reportf(n.Pos(), "raw field.Element conversion bypasses canonicalization (breaks == equality for values >= the field order); use field.New")
+			case *ast.CompositeLit:
+				tv, ok := info.Types[n]
+				if !ok || !isNamed(tv.Type, fieldPkgPath, "Ext") {
+					return true
+				}
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					etv := info.Types[ast.Unparen(v)]
+					if etv.Value == nil || constCanonical(etv.Value) {
+						continue // typed Elements and canonical constants are fine
+					}
+					p.Reportf(v.Pos(), "field.Ext literal coefficient is a non-canonical constant (>= the field order); use field.New")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constCanonical reports whether a constant value is a non-negative
+// integer below the Goldilocks order.
+func constCanonical(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	u, ok := constant.Uint64Val(constant.ToInt(v))
+	return ok && u < goldilocksOrder
+}

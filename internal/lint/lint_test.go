@@ -1,0 +1,68 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"unizk/internal/lint"
+	"unizk/internal/lint/analysistest"
+)
+
+func TestFieldCanon(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FieldCanon, "fieldcanon")
+}
+
+func TestWireCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WireCheck, "wirecheck")
+}
+
+func TestProofErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ProofErrFlow, "prooferrflow")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxPoll, "ctxpoll")
+}
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoDeterminism, "nodeterminism")
+}
+
+// TestDirectives exercises the //unizklint:allow machinery: a valid
+// directive suppresses a finding, and malformed directives (unknown verb,
+// unregistered analyzer, missing reason) are findings themselves.
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FieldCanon, "directive")
+}
+
+// TestRepoClean is the tier-1 gate for the tree itself: the full analyzer
+// suite must report nothing on the module. This is the same check ci.sh
+// runs via cmd/unizklint.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(l, paths, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

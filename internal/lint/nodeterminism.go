@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoDeterminism guards Fiat–Shamir reproducibility. The prover and
+// verifier must drive byte-identical Challenger transcripts; any
+// nondeterminism on a transcript-adjacent code path — wall-clock reads,
+// math/rand, or Go's randomized map iteration order — either breaks
+// proof reproducibility outright or is a latent bug waiting for a
+// refactor to move it onto the transcript.
+//
+// Scope: non-main packages that import unizk/internal/poseidon directly
+// (plus poseidon itself) — exactly the packages that can reach the
+// Challenger. Within scope:
+//
+//   - importing math/rand or math/rand/v2 is flagged;
+//   - calling time.Now is flagged;
+//   - a range over a map whose body feeds the Challenger
+//     (Observe*/Sample*) is flagged everywhere, scope or not.
+//
+// Test files are never loaded by the lint driver, so deterministic
+// seeded randomness in tests is unaffected.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid math/rand, time.Now, and map-iteration-fed Challenger " +
+		"observations in transcript-adjacent packages",
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(p *Pass) {
+	inScope := p.Pkg.Path == poseidonPkgPath
+	if !inScope && p.Pkg.Types.Name() != "main" {
+		for _, imp := range p.Pkg.Types.Imports() {
+			if imp.Path() == poseidonPkgPath {
+				inScope = true
+				break
+			}
+		}
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		if inScope {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "math/rand in a transcript-adjacent package; any randomness here risks breaking Fiat–Shamir reproducibility (move it to a test or a non-transcript package)")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if inScope && isPkgFunc(calleeFunc(info, n), "time", "Now") {
+					p.Reportf(n.Pos(), "time.Now in a transcript-adjacent package; wall-clock values must never influence the transcript")
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if feedsChallenger(info, n.Body) {
+					p.Reportf(n.Pos(), "map iteration order is nondeterministic and this loop feeds the Fiat–Shamir Challenger; iterate a sorted key slice instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// feedsChallenger reports whether the body contains a direct
+// Observe*/Sample* call on poseidon.Challenger.
+func feedsChallenger(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Observe") && !strings.HasPrefix(fn.Name(), "Sample") {
+			return true
+		}
+		named := recvNamed(fn)
+		if named != nil && named.Obj().Name() == "Challenger" &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == poseidonPkgPath {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Expand resolves go-style package patterns ("./...", "./internal/fri")
+// against the loader's module into import paths, in walk order. Like the
+// go tool, it skips testdata, vendor, hidden, and underscore-prefixed
+// directories.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		path := l.importPathFor(dir)
+		if path != "" && !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+			}
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// importPathFor maps a directory inside the module to its import path,
+// or "" if the directory is outside the module.
+func (l *Loader) importPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	modAbs, err := filepath.Abs(l.ModuleDir)
+	if err != nil {
+		return ""
+	}
+	if abs == modAbs {
+		return l.ModulePath
+	}
+	rel, err := filepath.Rel(modAbs, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// ensure os is referenced even if future refactors drop other uses.
+var _ = os.ReadDir

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ProofErrFlow walks the call graphs of the exported Verify* entry
+// points and enforces the error contract of DESIGN.md §7: every rejection
+// a verifier returns must wrap the internal/prooferr taxonomy (so servers
+// can classify malformed vs. rejected proofs with errors.Is), and no
+// panic may be reachable from verifier entry points unless the site
+// carries an //unizklint:allow prooferrflow directive documenting why the
+// panicking condition cannot be driven by proof bytes.
+//
+// Two findings:
+//
+//   - a return of a freshly created, unclassified error — errors.New,
+//     fmt.Errorf without %w, fmt.Errorf wrapping only unclassified
+//     package-level error vars, or a naked unclassified error var;
+//   - a panic call in any function reachable from a Verify* entry point
+//     (module-local packages only; the walk follows static calls across
+//     packages through the loader's syntax).
+var ProofErrFlow = &Analyzer{
+	Name: "prooferrflow",
+	Doc: "flag unclassified error returns and unannotated panics on the " +
+		"call graphs of exported Verify* entry points",
+	Run: runProofErrFlow,
+}
+
+func runProofErrFlow(p *Pass) {
+	w := &errFlowWalker{
+		pass:     p,
+		visited:  make(map[types.Object]bool),
+		varClass: make(map[types.Object]bool),
+		reported: make(map[int]bool),
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !fd.Name.IsExported() || !strings.HasPrefix(fd.Name.Name, "Verify") {
+				continue
+			}
+			w.walk(p.Pkg, fd)
+		}
+	}
+}
+
+type errFlowWalker struct {
+	pass    *Pass
+	visited map[types.Object]bool
+	// varClass memoizes whether a package-level error var is provably
+	// unclassified (its initializer never chains to the prooferr
+	// taxonomy).
+	varClass map[types.Object]bool
+	// reported dedups findings rediscovered from several entry points,
+	// keyed by source position.
+	reported map[int]bool
+}
+
+// walk analyzes one reachable function and enqueues its static callees.
+func (w *errFlowWalker) walk(pkg *Package, fd *ast.FuncDecl) {
+	obj := pkg.Info.Defs[fd.Name]
+	if obj == nil || w.visited[obj] {
+		return
+	}
+	w.visited[obj] = true
+
+	info := pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(info, n, "panic") {
+				w.reportOnce(int(n.Pos()), n, "panic reachable from exported Verify* entry points; verifiers must return classified errors (add //unizklint:allow prooferrflow <reason> if the condition cannot be driven by proof bytes)")
+				return true
+			}
+			fn := calleeFunc(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			target := pkg
+			if fn.Pkg().Path() != pkg.Path {
+				target = w.pass.Dep(fn.Pkg().Path())
+				if target == nil {
+					return true // standard library or otherwise out of scope
+				}
+			}
+			if decl := target.FuncDecl(fn); decl != nil && decl.Body != nil {
+				w.walk(target, decl)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				w.checkReturnedError(pkg, res)
+			}
+		}
+		return true
+	})
+}
+
+func (w *errFlowWalker) reportOnce(pos int, n ast.Node, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(n.Pos(), format, args...)
+}
+
+// checkReturnedError flags result expressions that produce a fresh
+// unclassified error.
+func (w *errFlowWalker) checkReturnedError(pkg *Package, res ast.Expr) {
+	info := pkg.Info
+	tv, ok := info.Types[res]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	switch e := ast.Unparen(res).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(info, e)
+		switch {
+		case isPkgFunc(fn, "errors", "New"):
+			w.reportOnce(int(e.Pos()), e, "verifier returns a naked errors.New error; wrap the prooferr taxonomy (ErrMalformedProof / ErrProofRejected) so callers can classify the rejection")
+		case isPkgFunc(fn, "fmt", "Errorf"):
+			w.checkErrorf(pkg, e)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := usedObject(info, e); obj != nil && w.isUnclassifiedVar(pkg, obj) {
+			w.reportOnce(int(res.Pos()), res, "verifier returns unclassified error var %q; its initializer must wrap the prooferr taxonomy", obj.Name())
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that cannot be carrying a
+// classification: no %w verb at all, or %w wrapping only error values
+// statically known to be unclassified.
+func (w *errFlowWalker) checkErrorf(pkg *Package, call *ast.CallExpr) {
+	info := pkg.Info
+	if len(call.Args) == 0 {
+		return
+	}
+	ftv := info.Types[ast.Unparen(call.Args[0])]
+	if ftv.Value == nil || ftv.Value.Kind() != constant.String {
+		return // dynamic format string; give it the benefit of the doubt
+	}
+	if !strings.Contains(constant.StringVal(ftv.Value), "%w") {
+		w.reportOnce(int(call.Pos()), call, "verifier returns fmt.Errorf without %%w; the prooferr taxonomy is lost and callers cannot classify the rejection")
+		return
+	}
+	sawError := false
+	for _, arg := range call.Args[1:] {
+		atv := info.Types[ast.Unparen(arg)]
+		if !isErrorType(atv.Type) {
+			continue
+		}
+		sawError = true
+		obj := usedObject(info, ast.Unparen(arg))
+		if obj == nil || !w.isUnclassifiedVar(pkg, obj) {
+			return // wraps a classified var or a dynamic error value
+		}
+	}
+	if sawError {
+		w.reportOnce(int(call.Pos()), call, "verifier error wraps only unclassified error vars; chain them to the prooferr taxonomy")
+	}
+}
+
+// usedObject resolves an identifier or selector to the object it uses.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isUnclassifiedVar reports whether obj is a package-level error var
+// whose initializer provably never reaches the prooferr taxonomy.
+// Anything it cannot prove unclassified it treats as classified, keeping
+// the analyzer's false-positive rate near zero.
+func (w *errFlowWalker) isUnclassifiedVar(pkg *Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	// The taxonomy itself is the root of classification.
+	if v.Pkg().Path() == prooferrPkgPath {
+		return false
+	}
+	if cls, ok := w.varClass[obj]; ok {
+		return cls
+	}
+	w.varClass[obj] = false // cycle guard: assume classified while resolving
+
+	home := pkg
+	if v.Pkg().Path() != pkg.Path {
+		home = w.pass.Dep(v.Pkg().Path())
+		if home == nil {
+			return false
+		}
+	}
+	init := home.VarInit(obj)
+	if init == nil {
+		return false
+	}
+	unclassified := false
+	if call, ok := ast.Unparen(init).(*ast.CallExpr); ok {
+		fn := calleeFunc(home.Info, call)
+		switch {
+		case isPkgFunc(fn, "errors", "New"):
+			unclassified = true
+		case isPkgFunc(fn, "fmt", "Errorf"):
+			unclassified = w.errorfUnclassified(home, call)
+		}
+	}
+	w.varClass[obj] = unclassified
+	return unclassified
+}
+
+// errorfUnclassified reports whether a fmt.Errorf initializer provably
+// fails to chain to the taxonomy.
+func (w *errFlowWalker) errorfUnclassified(pkg *Package, call *ast.CallExpr) bool {
+	info := pkg.Info
+	if len(call.Args) == 0 {
+		return true
+	}
+	ftv := info.Types[ast.Unparen(call.Args[0])]
+	if ftv.Value == nil || ftv.Value.Kind() != constant.String {
+		return false
+	}
+	if !strings.Contains(constant.StringVal(ftv.Value), "%w") {
+		return true
+	}
+	for _, arg := range call.Args[1:] {
+		atv := info.Types[ast.Unparen(arg)]
+		if !isErrorType(atv.Type) {
+			continue
+		}
+		obj := usedObject(info, ast.Unparen(arg))
+		if obj == nil || !w.isUnclassifiedVar(pkg, obj) {
+			return false
+		}
+	}
+	// Either every wrapped error is unclassified, or %w had no error
+	// operand at all; neither can carry the taxonomy.
+	return true
+}

@@ -1,0 +1,47 @@
+// Fixture for the ctxpoll analyzer.
+package ctxpoll
+
+import "context"
+
+func spin(ctx context.Context, work func() bool) error {
+	for { // want `never consults`
+		if work() {
+			return nil
+		}
+	}
+}
+
+func polite(ctx context.Context, work func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if work() {
+			return nil
+		}
+	}
+}
+
+func forwarded(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func noCtx(work func() bool) {
+	for {
+		if work() {
+			return
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Fixture for //unizklint: directive parsing and validation, run with the
+// fieldcanon analyzer. Malformed directives use block-comment form so the
+// expectation comment can share the line.
+package directive
+
+import "unizk/internal/field"
+
+func suppressed(x uint64) field.Element {
+	//unizklint:allow fieldcanon caller masks the value below 2^16, provably canonical
+	return field.Element(x & 0xFFFF)
+}
+
+/*unizklint:deny fieldcanon nope*/ // want `unknown unizklint directive`
+
+/*unizklint:allow nosuchanalyzer because reasons*/ // want `names no registered analyzer`
+
+/*unizklint:allow fieldcanon*/ // want `empty reason`
+
+func flagged(x uint64) field.Element {
+	return field.Element(x) // want `bypasses canonicalization`
+}

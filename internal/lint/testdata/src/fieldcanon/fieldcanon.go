@@ -1,0 +1,41 @@
+// Fixture for the fieldcanon analyzer.
+package fieldcanon
+
+import "unizk/internal/field"
+
+func badRuntime(x uint64) field.Element {
+	return field.Element(x) // want `bypasses canonicalization`
+}
+
+func badBig() field.Element {
+	return field.Element(0xFFFFFFFF00000001) // want `bypasses canonicalization`
+}
+
+func badExt() field.Ext {
+	return field.Ext{A: 0xFFFFFFFF00000002, B: field.New(1)} // want `non-canonical constant`
+}
+
+func goodNew(x uint64) field.Element {
+	return field.New(x)
+}
+
+func goodRelabel(e field.Element) field.Element {
+	same := field.Element(e) // Element-to-Element relabel is canonical already
+	return same
+}
+
+func goodConst() field.Element {
+	return field.Element(7) // constant below the order is canonical
+}
+
+func goodSliceConversion(e field.Element) []field.Element {
+	return append([]field.Element(nil), e)
+}
+
+func goodExt(a, b field.Element) field.Ext {
+	return field.Ext{A: a, B: b}
+}
+
+func goodExtConst() field.Ext {
+	return field.Ext{A: 1, B: 2}
+}

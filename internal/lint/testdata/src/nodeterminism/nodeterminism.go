@@ -1,0 +1,43 @@
+// Fixture for the nodeterminism analyzer. Importing poseidon puts the
+// package in the transcript-adjacent scope.
+package nodeterminism
+
+import (
+	"math/rand" // want `math/rand in a transcript-adjacent package`
+	"time"
+
+	"unizk/internal/field"
+	"unizk/internal/poseidon"
+)
+
+func seedFromClock(ch *poseidon.Challenger) {
+	now := time.Now() // want `time.Now in a transcript-adjacent package`
+	ch.Observe(field.New(uint64(now.UnixNano())))
+	ch.Observe(field.New(rand.Uint64()))
+}
+
+func observeMap(ch *poseidon.Challenger, m map[int]field.Element) {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		ch.Observe(v)
+	}
+}
+
+func observeSorted(ch *poseidon.Challenger, keys []int, m map[int]field.Element) {
+	for _, k := range keys {
+		ch.Observe(m[k])
+	}
+}
+
+func countMap(m map[int]field.Element) int {
+	total := 0
+	for range m { // map iteration without transcript writes is fine
+		total++
+	}
+	return total
+}
+
+func allowedClock() time.Duration {
+	//unizklint:allow nodeterminism telemetry only, the value never reaches the transcript
+	start := time.Now()
+	return time.Since(start)
+}

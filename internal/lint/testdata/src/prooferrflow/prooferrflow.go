@@ -1,0 +1,67 @@
+// Fixture for the prooferrflow analyzer.
+package prooferrflow
+
+import (
+	"errors"
+	"fmt"
+
+	"unizk/internal/prooferr"
+)
+
+var errLocal = errors.New("local: bad proof")
+
+var errClassified = fmt.Errorf("local: %w", prooferr.ErrProofRejected)
+
+func VerifyThing(ok bool) error {
+	if !ok {
+		return errors.New("nope") // want `naked errors.New`
+	}
+	return helper(ok)
+}
+
+func helper(ok bool) error {
+	if !ok {
+		return fmt.Errorf("helper failed") // want `without %w`
+	}
+	return deeper(ok)
+}
+
+func deeper(ok bool) error {
+	checkInvariant(ok)
+	switch {
+	case !ok:
+		return errLocal // want `unclassified error var`
+	case ok:
+		return fmt.Errorf("wrapped: %w", errLocal) // want `wraps only unclassified`
+	}
+	return nil
+}
+
+func checkInvariant(ok bool) {
+	if !ok {
+		panic("invariant") // want `panic reachable`
+	}
+}
+
+func trustedInvariant(ok bool) {
+	if !ok {
+		//unizklint:allow prooferrflow condition depends on trusted config, not proof bytes
+		panic("trusted invariant")
+	}
+}
+
+func VerifyOther(ok bool) error {
+	trustedInvariant(ok)
+	if !ok {
+		return fmt.Errorf("other: %w", errClassified)
+	}
+	if ok {
+		return fmt.Errorf("other: %w", prooferr.ErrMalformedProof)
+	}
+	return nil
+}
+
+// proverSide is on no Verify* call graph, so its panic is out of scope.
+func proverSide() {
+	panic("prover invariant")
+}

@@ -1,0 +1,73 @@
+// Fixture for the wirecheck analyzer.
+package wirecheck
+
+import "unizk/internal/wire"
+
+func dropped(data []byte) uint64 {
+	r := wire.NewReader(data)
+	v := r.U64()
+	r.Done() // want `is discarded`
+	return v
+}
+
+func unchecked(data []byte) uint64 {
+	r := wire.NewReader(data) // want `never consulted`
+	v := r.U64()
+	return v
+}
+
+func escapes(data []byte) *wire.Reader {
+	r := wire.NewReader(data)
+	_ = r.U64()
+	return r // the caller inherits the Done obligation
+}
+
+func checked(data []byte) (uint64, error) {
+	r := wire.NewReader(data)
+	v := r.U64()
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func sizedDirectly(data []byte) []uint64 {
+	r := wire.NewReader(data)
+	out := make([]uint64, r.Len()) // want `sized directly`
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+func sizedUnvalidated(data []byte) []uint64 {
+	r := wire.NewReader(data)
+	n := r.Len()
+	out := make([]uint64, n) // want `unvalidated`
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+func sizedValidated(data []byte, max int) []uint64 {
+	r := wire.NewReader(data)
+	n := r.Len()
+	if n > max {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireCheck enforces the decode-side discipline of the proof wire format:
+// wire.Reader is a sticky-error decoder, so its error must actually be
+// consulted, and lengths it decodes are attacker-controlled, so they must
+// be validated before sizing an allocation.
+//
+// Three rules:
+//
+//  1. The results of (*wire.Reader).Done and (*wire.Reader).Err must not
+//     be discarded.
+//  2. A function that constructs a reader with wire.NewReader and decodes
+//     from it must consult Done or Err before returning (unless the
+//     reader itself escapes via return, handing the obligation to the
+//     caller).
+//  3. A length obtained from (*wire.Reader).Len must not flow into a
+//     make() size without an intervening comparison validating it.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc: "flag dropped wire.Reader errors and decoded lengths used to " +
+		"allocate before validation",
+	Run: runWireCheck,
+}
+
+func runWireCheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDroppedReaderErrors(p, info, fd)
+			checkUncheckedReaders(p, info, fd)
+			checkUnvalidatedLengths(p, info, fd)
+		}
+	}
+}
+
+// checkDroppedReaderErrors implements rule 1: Done()/Err() as a bare
+// statement throws the one error signal the sticky reader has.
+func checkDroppedReaderErrors(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if isMethodOn(fn, wirePkgPath, "Reader", "Done") || isMethodOn(fn, wirePkgPath, "Reader", "Err") {
+			p.Reportf(call.Pos(), "result of (*wire.Reader).%s is discarded; the sticky decode error must be checked", fn.Name())
+		}
+		return true
+	})
+}
+
+// checkUncheckedReaders implements rule 2.
+func checkUncheckedReaders(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Readers created in this function, keyed by the variable object.
+	created := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPkgFunc(calleeFunc(info, call), wirePkgPath, "NewReader") {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					created[obj] = call.Pos()
+				} else if obj := info.Uses[id]; obj != nil {
+					created[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(created) == 0 {
+		return
+	}
+
+	decoded := map[types.Object]bool{}
+	checked := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if _, isReader := created[obj]; !isReader {
+				return true
+			}
+			switch {
+			case isMethodOn(fn, wirePkgPath, "Reader", "Done"),
+				isMethodOn(fn, wirePkgPath, "Reader", "Err"):
+				checked[obj] = true
+			case isMethodOn(fn, wirePkgPath, "Reader", fn.Name()):
+				decoded[obj] = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for obj := range created {
+					if usesObject(info, res, obj) {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, pos := range created {
+		if decoded[obj] && !checked[obj] && !escaped[obj] {
+			p.Reportf(pos, "proof bytes decoded from this wire.Reader but Done/Err is never consulted; truncated or corrupt input would be accepted silently")
+		}
+	}
+}
+
+// checkUnvalidatedLengths implements rule 3: any make() whose size comes
+// from (*wire.Reader).Len — directly or through a variable that is never
+// compared against anything — allocates attacker-controlled amounts of
+// memory before validation.
+func checkUnvalidatedLengths(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	isReaderLen := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		return ok && isMethodOn(calleeFunc(info, call), wirePkgPath, "Reader", "Len")
+	}
+
+	// Variables assigned from r.Len().
+	lenVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || !isReaderLen(as.Rhs[0]) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					lenVars[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					lenVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// A comparison anywhere in the function counts as validation: the
+	// idiomatic guard is `if n > bound { ... }` or a loop condition.
+	validated := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for obj := range lenVars {
+			if usesObject(info, be, obj) {
+				validated[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinCall(info, call, "make") || len(call.Args) < 2 {
+			return true
+		}
+		size := ast.Unparen(call.Args[1])
+		if isReaderLen(size) {
+			p.Reportf(call.Pos(), "make() sized directly by (*wire.Reader).Len; validate the decoded length against the remaining input first")
+			return true
+		}
+		if id, ok := size.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && lenVars[obj] && !validated[obj] {
+				p.Reportf(call.Pos(), "make() sized by an unvalidated (*wire.Reader).Len result %q; compare it against the remaining input first", id.Name)
+			}
+		}
+		return true
+	})
+}

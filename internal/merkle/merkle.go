@@ -9,13 +9,14 @@
 package merkle
 
 import (
-	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"unizk/internal/field"
 	"unizk/internal/ntt"
 	"unizk/internal/poseidon"
+	"unizk/internal/prooferr"
 )
 
 // Tree is a Poseidon Merkle tree over a fixed set of leaves.
@@ -99,8 +100,9 @@ func (t *Tree) Open(index int) ([]field.Element, Proof) {
 }
 
 // ErrInvalidProof is returned when an authentication path does not lead to
-// the committed cap.
-var ErrInvalidProof = errors.New("merkle: invalid proof")
+// the committed cap. It chains to prooferr.ErrProofRejected so servers can
+// classify the failure with errors.Is.
+var ErrInvalidProof = fmt.Errorf("merkle: invalid proof: %w", prooferr.ErrProofRejected)
 
 // Verify checks that leafData at index authenticates against the cap.
 func Verify(leafData []field.Element, index int, proof Proof, c Cap) error {

@@ -62,6 +62,7 @@ func invRootTable(logN int) []field.Element {
 // error rather than a runtime condition.
 func Log2(n int) int {
 	if n <= 0 || n&(n-1) != 0 {
+		//unizklint:allow prooferrflow transform sizes are structural parameters; decoded lengths are validated before they reach Log2
 		panic("ntt: size must be a positive power of two")
 	}
 	log := 0

@@ -79,6 +79,7 @@ func (c *Challenger) SampleExt() field.Ext {
 // silently mis-masked.
 func (c *Challenger) SampleBits(bits int) uint64 {
 	if bits < 0 || bits > 63 {
+		//unizklint:allow prooferrflow bits comes from protocol configuration constants, not from proof bytes
 		panic("poseidon: SampleBits width out of range [0, 63]")
 	}
 	return c.Sample().Uint64() & ((1 << bits) - 1)

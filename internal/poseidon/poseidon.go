@@ -160,7 +160,7 @@ func (m *Sparse) apply(s *State) {
 	}
 	acc := field.Reduce128(hi, lo)
 	if top != 0 {
-		acc = field.Sub(acc, field.Element(top<<32)) // 2^128 ≡ -2^32 (mod p)
+		acc = field.Sub(acc, field.New(top<<32)) // 2^128 ≡ -2^32 (mod p)
 	}
 	s0 := s[0]
 	s[0] = acc

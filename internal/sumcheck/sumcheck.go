@@ -17,12 +17,12 @@
 package sumcheck
 
 import (
-	"errors"
 	"fmt"
 
 	"unizk/internal/field"
 	"unizk/internal/ntt"
 	"unizk/internal/poseidon"
+	"unizk/internal/prooferr"
 	"unizk/internal/trace"
 )
 
@@ -85,8 +85,9 @@ func Prove(a []field.Element, ch *poseidon.Challenger, rec *trace.Recorder) *Pro
 }
 
 // ErrInvalidProof is returned when a round's partial sums do not match
-// the running claim.
-var ErrInvalidProof = errors.New("sumcheck: invalid proof")
+// the running claim. It chains to prooferr.ErrProofRejected so servers can
+// classify the failure with errors.Is.
+var ErrInvalidProof = fmt.Errorf("sumcheck: invalid proof: %w", prooferr.ErrProofRejected)
 
 // Verify checks the proof against a claimed sum for an n-variable
 // polynomial, returning the challenge point and the claimed evaluation

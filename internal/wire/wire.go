@@ -129,13 +129,17 @@ func (r *Reader) fail(err error) {
 	}
 }
 
-// Len reads a collection length.
+// Len reads a collection length. Beyond the absolute maxLen bound it caps
+// the decoded value against the bytes remaining in the stream: every
+// element of every collection in this format occupies at least one byte,
+// so a length exceeding the remainder is corrupt and must be rejected
+// before it can size an allocation.
 func (r *Reader) Len() int {
 	if r.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(r.data[r.pos:])
-	if n <= 0 || v > maxLen {
+	if n <= 0 || v > maxLen || v > uint64(len(r.data)-r.pos-n) {
 		r.fail(ErrTruncated)
 		return 0
 	}
@@ -179,7 +183,7 @@ func (r *Reader) Elem() field.Element {
 		r.fail(fmt.Errorf("%w: non-canonical field element", ErrInvalid))
 		return 0
 	}
-	return field.Element(v)
+	return field.New(v)
 }
 
 // Elems reads a length-prefixed element slice.

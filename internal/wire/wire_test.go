@@ -92,6 +92,29 @@ func TestHugeLengthRejected(t *testing.T) {
 	}
 }
 
+func TestLenExceedsRemainingRejected(t *testing.T) {
+	// A length claiming more elements than the stream has bytes left is
+	// corrupt: every collection element occupies at least one byte, so the
+	// reader must reject it before the caller can size an allocation.
+	var w Writer
+	w.Len(100)
+	w.U64(0)
+	r := NewReader(w.Bytes())
+	if r.Len() != 0 || r.Err() == nil {
+		t.Fatal("length exceeding remaining bytes accepted")
+	}
+
+	// Exact fit is the boundary case and must still decode.
+	var w2 Writer
+	w2.Len(16)
+	w2.U64(1)
+	w2.U64(2)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Len(); got != 16 {
+		t.Fatalf("exact-fit length = %d, want 16 (err %v)", got, r2.Err())
+	}
+}
+
 func TestErrorSticks(t *testing.T) {
 	r := NewReader(nil)
 	r.U64() // fails
@@ -118,10 +141,10 @@ func TestNegativeLengthPanics(t *testing.T) {
 
 func TestLenOffsets(t *testing.T) {
 	var w Writer
-	w.Elem(1)                          // 8 bytes
-	w.Elems([]field.Element{2, 3})     // prefix at 8, then 16 bytes
-	w.Exts([]field.Ext{{A: 4, B: 5}})  // prefix at 25, then 16 bytes
-	w.Hashes([]poseidon.HashOut{{6}})  // prefix at 42, then 32 bytes
+	w.Elem(1)                         // 8 bytes
+	w.Elems([]field.Element{2, 3})    // prefix at 8, then 16 bytes
+	w.Exts([]field.Ext{{A: 4, B: 5}}) // prefix at 25, then 16 bytes
+	w.Hashes([]poseidon.HashOut{{6}}) // prefix at 42, then 32 bytes
 	got := w.LenOffsets()
 	want := []int{8, 25, 42}
 	if len(got) != len(want) {

@@ -111,7 +111,7 @@ func buildBooleanRoundStark(logN int, cfg fri.Config, width int, iv uint64) (*st
 	cols := make([][]field.Element, width)
 	for i := range cols {
 		cols[i] = make([]field.Element, n)
-		cols[i][0] = field.Element((iv >> uint(i)) & 1)
+		cols[i][0] = field.New((iv >> uint(i)) & 1)
 	}
 	xor := func(a, b field.Element) field.Element {
 		return field.Sub(field.Add(a, b), field.Double(field.Mul(a, b)))

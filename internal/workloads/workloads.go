@@ -206,7 +206,7 @@ func buildECDSA(logRows int, cfg fri.Config) (*plonk.Circuit, *plonk.Witness, []
 	for c.b.NumRows() < rows-6 {
 		acc = c.mulAdd(acc, limbs[i%16], limbs[(i+7)%16])
 		if i%8 == 0 {
-			bit := c.boolInput(field.Element(uint64(i/8) & 1))
+			bit := c.boolInput(field.New(uint64(i/8) & 1))
 			acc = c.add(acc, bit)
 		}
 		i++
@@ -224,7 +224,7 @@ func buildSHA256(logRows int, cfg fri.Config) (*plonk.Circuit, *plonk.Witness, [
 
 	state := make([]tv, 32)
 	for i := range state {
-		state[i] = c.boolInput(field.Element(uint64(0x6a09e667>>uint(i)) & 1))
+		state[i] = c.boolInput(field.New(uint64(0x6a09e667>>uint(i)) & 1))
 	}
 
 	i := 0
@@ -268,7 +268,7 @@ func buildImageCrop(logRows int, cfg fri.Config) (*plonk.Circuit, *plonk.Witness
 		bits := make([]tv, 8)
 		recombined := c.constant(field.Zero)
 		for j := 0; j < 8; j++ {
-			bits[j] = c.boolInput(field.Element((byteVal >> uint(j)) & 1))
+			bits[j] = c.boolInput(field.New((byteVal >> uint(j)) & 1))
 			recombined = c.add(recombined,
 				c.mulConst(field.New(uint64(1)<<uint(j)), bits[j]))
 		}
@@ -356,7 +356,7 @@ func buildRecursionCircuit(logRows int, cfg fri.Config) (*plonk.Circuit, *plonk.
 		}
 		// Direction select: even depths hash (cur, sib), odd (sib, cur),
 		// with a constrained direction bit as real verifiers carry.
-		bit := c.boolInput(field.Element(uint64(depth) & 1))
+		bit := c.boolInput(field.New(uint64(depth) & 1))
 		_ = bit
 		var outT [4]plonk.Target
 		var outV poseidon.HashOut
