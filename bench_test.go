@@ -12,9 +12,14 @@
 package unizk_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"unizk/internal/bench"
+	"unizk/internal/field"
+	"unizk/internal/merkle"
+	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 )
 
 // benchOpts is the shared reduced scale for benchmark runs.
@@ -93,4 +98,61 @@ func BenchmarkFigure9(b *testing.B) {
 // Figure 10).
 func BenchmarkFigure10(b *testing.B) {
 	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Figure10() })
+}
+
+// BenchmarkSpeedupReport regenerates the serial-vs-parallel kernel
+// comparison for the BENCH output.
+func BenchmarkSpeedupReport(b *testing.B) {
+	runReport(b, func(r *bench.Runner) (bench.Report, error) { return r.Speedup() })
+}
+
+// benchSerialParallel times fn with the worker pool forced serial and
+// again on the default pool, as sub-benchmarks.
+func benchSerialParallel(b *testing.B, fn func()) {
+	b.Helper()
+	fn() // warm twiddles, constants, and pool goroutines off the clock
+	b.Run("Serial", func(b *testing.B) {
+		parallel.SetSerial(true)
+		defer parallel.SetSerial(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		parallel.SetSerial(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+// BenchmarkNTT2e18 measures the forward NTT at the acceptance-criterion
+// scale (2^18), forced-serial vs the shared worker pool.
+func BenchmarkNTT2e18(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vec := make([]field.Element, 1<<18)
+	for i := range vec {
+		vec[i] = field.New(rng.Uint64())
+	}
+	scratch := make([]field.Element, len(vec))
+	benchSerialParallel(b, func() {
+		copy(scratch, vec)
+		ntt.ForwardNN(scratch)
+	})
+}
+
+// BenchmarkMerkle2e16 measures Merkle tree construction over 2^16
+// leaves, forced-serial vs the shared worker pool.
+func BenchmarkMerkle2e16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	leaves := make([][]field.Element, 1<<16)
+	for i := range leaves {
+		leaves[i] = make([]field.Element, 4)
+		for j := range leaves[i] {
+			leaves[i][j] = field.New(rng.Uint64())
+		}
+	}
+	benchSerialParallel(b, func() { merkle.Build(leaves, 4) })
 }

@@ -30,9 +30,15 @@ else
 	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@v1.1.4)"
 fi
 
+# The race detector is a hard gate: every parallel kernel (NTT butterfly
+# layers, Merkle levels, FRI fold/queries, quotient evaluation) runs under
+# it via the differential serial-vs-parallel tests, which sweep worker
+# counts {1, 2, 7, NumCPU}.
 go test -race ./...
 
-# Fuzz the decode+verify boundary of each protocol for a fixed budget.
-# -run='^$' skips unit tests so the whole budget goes to fuzzing.
+# Fuzz the decode+verify boundary of each protocol, plus the worker
+# pool's chunking arithmetic, for a fixed budget. -run='^$' skips unit
+# tests so the whole budget goes to fuzzing.
 go test -run='^$' -fuzz='^FuzzPlonkUnmarshalVerify$' -fuzztime=10s ./internal/plonk
 go test -run='^$' -fuzz='^FuzzStarkUnmarshalVerify$' -fuzztime=10s ./internal/stark
+go test -run='^$' -fuzz='^FuzzForCoverage$' -fuzztime=10s ./internal/parallel

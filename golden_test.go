@@ -1,0 +1,175 @@
+package unizk_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/fri"
+	"unizk/internal/merkle"
+	"unizk/internal/ntt"
+	"unizk/internal/parallel"
+	"unizk/internal/plonk"
+	"unizk/internal/poseidon"
+)
+
+// goldenVectors pins prover outputs for a fixed seed so that any
+// behavioral drift — an NTT twiddle change, a Poseidon constant typo, a
+// parallelization that is not bit-identical — fails loudly instead of
+// silently changing every proof. Regenerate with:
+//
+//	UNIZK_UPDATE_GOLDEN=1 go test -run TestGoldenVectors .
+type goldenVectors struct {
+	// NTTDigest is the Poseidon hash of ForwardNN over the seeded vector.
+	NTTDigest []uint64 `json:"ntt_digest"`
+	// MerkleCap is the flattened cap of the seeded leaf set.
+	MerkleCap []uint64 `json:"merkle_cap"`
+	// PlonkPowWitness is the final FRI proof-of-work witness of the seed
+	// circuit's proof, the last transcript-dependent value the prover
+	// produces — if any earlier cap, challenge, or fold differed, the
+	// grind would land elsewhere.
+	PlonkPowWitness uint64 `json:"plonk_pow_witness"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// computeGolden produces the pinned values under the current execution
+// mode (serial or parallel — the point is that both agree).
+func computeGolden(t *testing.T) goldenVectors {
+	t.Helper()
+
+	// NTT: seeded 2^10 vector through the forward transform.
+	rng := rand.New(rand.NewSource(0x12ee5))
+	vec := make([]field.Element, 1<<10)
+	for i := range vec {
+		vec[i] = field.New(rng.Uint64())
+	}
+	ntt.ForwardNN(vec)
+	digest := poseidon.HashNoPad(vec)
+
+	// Merkle: seeded 2^10 × 4 leaves, capHeight 2.
+	leaves := make([][]field.Element, 1<<10)
+	for i := range leaves {
+		leaves[i] = make([]field.Element, 4)
+		for j := range leaves[i] {
+			leaves[i][j] = field.New(rng.Uint64())
+		}
+	}
+	tree := merkle.Build(leaves, 2)
+	var capFlat []uint64
+	for _, h := range tree.Cap() {
+		for _, e := range h {
+			capFlat = append(capFlat, uint64(e))
+		}
+	}
+
+	// Plonk: the fixed seed circuit (x0+x1)·(x2·x3) = 99 end to end.
+	proof := proveSeedCircuit(t)
+
+	out := goldenVectors{
+		MerkleCap:       capFlat,
+		PlonkPowWitness: uint64(proof.FRI.PowWitness),
+	}
+	for _, e := range digest {
+		out.NTTDigest = append(out.NTTDigest, uint64(e))
+	}
+	return out
+}
+
+func proveSeedCircuit(t *testing.T) *plonk.Proof {
+	t.Helper()
+	b := plonk.NewBuilder()
+	out := b.AddPublicInput()
+	var xs [4]plonk.Target
+	for i := range xs {
+		xs[i] = b.AddVirtual()
+	}
+	sum := b.Add(xs[0], xs[1])
+	prod := b.Mul(xs[2], xs[3])
+	b.AssertEqual(b.Mul(sum, prod), out)
+	c := b.Build(fri.TestConfig())
+
+	w := c.NewWitness()
+	w.Set(xs[0], field.New(2))
+	w.Set(xs[1], field.New(1))
+	w.Set(xs[2], field.New(3))
+	w.Set(xs[3], field.New(11))
+	w.Set(out, field.New(99))
+	proof, err := c.Prove(w, nil)
+	if err != nil {
+		t.Fatalf("seed circuit prove: %v", err)
+	}
+	return proof
+}
+
+func (g goldenVectors) diff(ref goldenVectors) error {
+	if len(g.NTTDigest) != len(ref.NTTDigest) {
+		return fmt.Errorf("NTT digest length %d, want %d", len(g.NTTDigest), len(ref.NTTDigest))
+	}
+	for i := range ref.NTTDigest {
+		if g.NTTDigest[i] != ref.NTTDigest[i] {
+			return fmt.Errorf("NTT digest word %d = %#x, want %#x", i, g.NTTDigest[i], ref.NTTDigest[i])
+		}
+	}
+	if len(g.MerkleCap) != len(ref.MerkleCap) {
+		return fmt.Errorf("Merkle cap length %d, want %d", len(g.MerkleCap), len(ref.MerkleCap))
+	}
+	for i := range ref.MerkleCap {
+		if g.MerkleCap[i] != ref.MerkleCap[i] {
+			return fmt.Errorf("Merkle cap word %d = %#x, want %#x", i, g.MerkleCap[i], ref.MerkleCap[i])
+		}
+	}
+	if g.PlonkPowWitness != ref.PlonkPowWitness {
+		return fmt.Errorf("Plonk PoW witness = %#x, want %#x", g.PlonkPowWitness, ref.PlonkPowWitness)
+	}
+	return nil
+}
+
+func TestGoldenVectors(t *testing.T) {
+	prevWorkers := parallel.Workers()
+	defer func() { parallel.SetSerial(false); parallel.SetWorkers(prevWorkers) }()
+
+	parallel.SetSerial(true)
+	serial := computeGolden(t)
+	parallel.SetSerial(false)
+
+	if os.Getenv("UNIZK_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(serial, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenPath)
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UNIZK_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var ref goldenVectors
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := serial.diff(ref); err != nil {
+		t.Errorf("serial execution drifted from golden vectors: %v", err)
+	}
+
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		parallel.SetWorkers(workers)
+		got := computeGolden(t)
+		if err := got.diff(ref); err != nil {
+			t.Errorf("parallel execution (workers=%d) drifted from golden vectors: %v", workers, err)
+		}
+	}
+}

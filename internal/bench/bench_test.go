@@ -28,11 +28,12 @@ func TestAllReportsGenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 10 {
-		t.Fatalf("got %d reports, want 10", len(reports))
+	if len(reports) != 11 {
+		t.Fatalf("got %d reports, want 11", len(reports))
 	}
 	wantIDs := []string{"Table 1", "Table 2", "Table 3", "Figure 8",
-		"Figure 9", "Table 4", "Figure 10", "Table 5", "Table 6", "Ablation"}
+		"Figure 9", "Table 4", "Figure 10", "Table 5", "Table 6", "Ablation",
+		"Speedup"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d: ID %q, want %q", i, rep.ID, wantIDs[i])

@@ -162,6 +162,7 @@ func (r *Runner) All() ([]Report, error) {
 	gens := []func() (Report, error){
 		r.Table1, r.Table2, r.Table3, r.Figure8, r.Figure9,
 		r.Table4, r.Figure10, r.Table5, r.Table6, r.Ablations,
+		r.Speedup,
 	}
 	var out []Report
 	for _, g := range gens {

@@ -14,13 +14,13 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"unizk/internal/parallel"
 	"unizk/internal/prooferr"
 )
 
@@ -230,49 +230,36 @@ func Run(t Target, opts Options) Report {
 		problem     string
 		result      string
 	}
+	// Each mutant writes only its own outcome slot, so the sweep rides the
+	// shared prover pool (mutant verification is the same embarrassingly
+	// parallel shape as a Merkle level). safeVerify contains verifier
+	// panics itself; a panic escaping even that is surfaced by Must.
 	outs := make([]outcome, len(ms))
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > len(ms) {
-		workers = len(ms)
-	}
-	next := make(chan int)
-	go func() {
-		for i := range ms {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				m := ms[i]
-				o := outcome{class: m.Class, desc: m.Desc}
-				data := m.Apply(t.Pristine)
-				if bytes.Equal(data, t.Pristine) {
-					o.skipped = true
-					outs[i] = o
-					continue
-				}
-				err := safeVerify(t.Verify, data)
-				o.result = prooferr.Class(err)
-				switch {
-				case err == nil:
-					o.problem = "mutant accepted (false accept)"
-				case errors.Is(err, errEscapedPanic):
-					o.problem = err.Error()
-				case errors.Is(err, prooferr.ErrPanicRecovered):
-					o.problem = fmt.Sprintf("panic recovered at verify boundary: %v", err)
-				case o.result == "unclassified":
-					o.problem = fmt.Sprintf("error outside taxonomy: %v", err)
-				}
+	parallel.Must(parallel.For(context.Background(), len(ms), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := ms[i]
+			o := outcome{class: m.Class, desc: m.Desc}
+			data := m.Apply(t.Pristine)
+			if bytes.Equal(data, t.Pristine) {
+				o.skipped = true
 				outs[i] = o
+				continue
 			}
-		}()
-	}
-	wg.Wait()
+			err := safeVerify(t.Verify, data)
+			o.result = prooferr.Class(err)
+			switch {
+			case err == nil:
+				o.problem = "mutant accepted (false accept)"
+			case errors.Is(err, errEscapedPanic):
+				o.problem = err.Error()
+			case errors.Is(err, prooferr.ErrPanicRecovered):
+				o.problem = fmt.Sprintf("panic recovered at verify boundary: %v", err)
+			case o.result == "unclassified":
+				o.problem = fmt.Sprintf("error outside taxonomy: %v", err)
+			}
+			outs[i] = o
+		}
+	}))
 
 	for _, o := range outs {
 		if o.skipped {

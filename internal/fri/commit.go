@@ -1,9 +1,12 @@
 package fri
 
 import (
+	"context"
+
 	"unizk/internal/field"
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 	"unizk/internal/poly"
 	"unizk/internal/trace"
 )
@@ -31,22 +34,59 @@ type PolynomialBatch struct {
 // of paper Fig. 1 right: iNTT^NN (step 1), LDE with coset NTT^NR (step 2),
 // Merkle tree construction (step 3).
 func CommitValues(values [][]field.Element, rateBits, capHeight int, rec *trace.Recorder) *PolynomialBatch {
+	b, err := CommitValuesContext(context.Background(), values, rateBits, capHeight, rec)
+	parallel.Must(err)
+	return b
+}
+
+// CommitValuesContext is CommitValues with cooperative cancellation
+// threaded through every parallel kernel (per-column iNTTs, LDEs, the
+// transpose, and the Merkle tree).
+func CommitValuesContext(ctx context.Context, values [][]field.Element,
+	rateBits, capHeight int, rec *trace.Recorder) (*PolynomialBatch, error) {
+
 	n := len(values[0])
 	coeffs := make([][]field.Element, len(values))
+	var err error
+	var inner parallel.FirstError
 	rec.NTT(n, len(values), true, false, false, func() {
-		for i, v := range values {
-			c := make([]field.Element, n)
-			copy(c, v)
-			ntt.InverseNN(c)
-			coeffs[i] = c
-		}
+		// Per-column transforms are independent; each claims whole
+		// columns (grain 1) and the butterfly layers inside each column
+		// fan out further on the same pool.
+		err = parallel.For(ctx, len(values), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c := make([]field.Element, n)
+				copy(c, values[i])
+				if e := ntt.InverseNNCtx(ctx, c); e != nil {
+					inner.Set(e)
+					return
+				}
+				coeffs[i] = c
+			}
+		})
 	})
-	return CommitCoeffs(coeffs, rateBits, capHeight, rec)
+	if err == nil {
+		err = inner.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return CommitCoeffsContext(ctx, coeffs, rateBits, capHeight, rec)
 }
 
 // CommitCoeffs commits polynomials given by coefficient vectors of equal
 // power-of-two length.
 func CommitCoeffs(coeffs [][]field.Element, rateBits, capHeight int, rec *trace.Recorder) *PolynomialBatch {
+	b, err := CommitCoeffsContext(context.Background(), coeffs, rateBits, capHeight, rec)
+	parallel.Must(err)
+	return b
+}
+
+// CommitCoeffsContext is CommitCoeffs with cooperative cancellation; see
+// CommitValuesContext.
+func CommitCoeffsContext(ctx context.Context, coeffs [][]field.Element,
+	rateBits, capHeight int, rec *trace.Recorder) (*PolynomialBatch, error) {
+
 	n := len(coeffs[0])
 	for _, c := range coeffs {
 		if len(c) != n {
@@ -56,30 +96,54 @@ func CommitCoeffs(coeffs [][]field.Element, rateBits, capHeight int, rec *trace.
 	m := n << rateBits
 
 	lde := make([][]field.Element, len(coeffs))
+	var err error
+	var inner parallel.FirstError
 	rec.NTT(m, len(coeffs), false, true, true, func() {
-		for i, c := range coeffs {
-			lde[i] = ntt.LDE(c, rateBits, field.MultiplicativeGenerator)
-		}
+		err = parallel.For(ctx, len(coeffs), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out, lerr := ntt.LDECtx(ctx, coeffs[i], rateBits, field.MultiplicativeGenerator)
+				if lerr != nil {
+					inner.Set(lerr)
+					return
+				}
+				lde[i] = out
+			}
+		})
 	})
+	if err == nil {
+		err = inner.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	// Transpose to index-major rows — on UniZK this layout change is
-	// handled implicitly by the global transpose buffer (§4, §5.1).
+	// handled implicitly by the global transpose buffer (§4, §5.1). Rows
+	// are disjoint slices of one flat backing array, written per-chunk.
 	leaves := make([][]field.Element, m)
 	rec.TransposeOp(m*len(coeffs), func() {
 		flat := make([]field.Element, m*len(coeffs))
-		for j := 0; j < m; j++ {
-			row := flat[j*len(coeffs) : (j+1)*len(coeffs)]
-			for i := range coeffs {
-				row[i] = lde[i][j]
+		err = parallel.For(ctx, m, 1<<9, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				row := flat[j*len(coeffs) : (j+1)*len(coeffs)]
+				for i := range coeffs {
+					row[i] = lde[i][j]
+				}
+				leaves[j] = row
 			}
-			leaves[j] = row
-		}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var tree *merkle.Tree
 	rec.Merkle(m, len(coeffs), func() {
-		tree = merkle.Build(leaves, capHeight)
+		tree, err = merkle.BuildContext(ctx, leaves, capHeight)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	return &PolynomialBatch{
 		Coeffs:   coeffs,
@@ -87,7 +151,7 @@ func CommitCoeffs(coeffs [][]field.Element, rateBits, capHeight int, rec *trace.
 		Tree:     tree,
 		N:        n,
 		RateBits: rateBits,
-	}
+	}, nil
 }
 
 // Cap returns the batch's Merkle commitment.
@@ -99,11 +163,26 @@ func (b *PolynomialBatch) NumPolys() int { return len(b.Coeffs) }
 // EvalAll evaluates every polynomial of the batch at an extension point;
 // these are the opened values ("Prove Openings" in paper Fig. 7).
 func (b *PolynomialBatch) EvalAll(x field.Ext, rec *trace.Recorder) []field.Ext {
-	out := make([]field.Ext, len(b.Coeffs))
-	rec.VecOp(b.N, len(b.Coeffs), 2, func() {
-		for i, c := range b.Coeffs {
-			out[i] = poly.EvalExt(c, x)
-		}
-	})
+	out, err := b.EvalAllContext(context.Background(), x, rec)
+	parallel.Must(err)
 	return out
+}
+
+// EvalAllContext is EvalAll with the per-polynomial Horner evaluations
+// fanned across the pool (each polynomial's evaluation stays serial — it
+// is one long dependence chain).
+func (b *PolynomialBatch) EvalAllContext(ctx context.Context, x field.Ext, rec *trace.Recorder) ([]field.Ext, error) {
+	out := make([]field.Ext, len(b.Coeffs))
+	var err error
+	rec.VecOp(b.N, len(b.Coeffs), 2, func() {
+		err = parallel.For(ctx, len(b.Coeffs), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = poly.EvalExt(b.Coeffs[i], x)
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

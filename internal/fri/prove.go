@@ -7,9 +7,14 @@ import (
 	"unizk/internal/field"
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 	"unizk/internal/poseidon"
 	"unizk/internal/trace"
 )
+
+// vecGrain is the chunk size for element-wise vector kernels (combine,
+// fold, domain-point generation).
+const vecGrain = 1 << 10
 
 // PointGroup names one opening point and the oracles (by index into the
 // Prove/Verify oracle list) whose polynomials are all opened there. The
@@ -87,10 +92,16 @@ func Prove(oracles []*PolynomialBatch, groups []PointGroup, opened OpenedValues,
 
 // ProveContext is Prove with cooperative cancellation: the context is
 // checked between the combine, commit-phase, grinding, and query phases,
-// and periodically inside the proof-of-work search (the one unbounded
-// loop), so servers can impose timeouts on long proofs. On cancellation it
-// returns ctx.Err() and leaves no shared state (twiddle/root caches,
-// challenger clones) half-written.
+// it propagates into every parallel.For chunk loop of the combine, fold,
+// Merkle, and opening kernels, and it is polled periodically inside the
+// proof-of-work search (the one unbounded loop), so servers can impose
+// timeouts on long proofs. On cancellation it returns ctx.Err() and
+// leaves no shared state (twiddle/root caches, challenger clones)
+// half-written.
+//
+// Every parallel kernel writes disjoint index ranges, so the proof —
+// and the Fiat–Shamir transcript it commits to — is bit-identical to a
+// serial run (enforced by TestFRIProveSerialParallel).
 func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []PointGroup,
 	opened OpenedValues, ch *poseidon.Challenger, cfg Config, rec *trace.Recorder) (*Proof, error) {
 
@@ -113,7 +124,10 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	//   F(X) = Σ_g (B_g(X) - y_g) / (X - z_g),
 	// B_g = Σ α^c · p_i with one fresh power of α per (group, poly),
 	// evaluated pointwise on the LDE domain. This is element-wise vector
-	// work — the "Poly" kernel class of the paper.
+	// work — the "Poly" kernel class of the paper — parallelized per
+	// domain point: every chunk owns a disjoint range of j, and the α
+	// powers are precomputed serially so each b[j] accumulates its polys
+	// in exactly the serial order.
 	f := make([]field.Ext, m)
 	totalPolys := 0
 	for _, g := range groups {
@@ -121,40 +135,72 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 			totalPolys += oracles[oi].NumPolys()
 		}
 	}
+	var err error
 	rec.VecOp(m, totalPolys, 4, func() {
-		xs := domainPoints(logM) // xs[j] = g·w^rev(j), matching LDE order
-		alphaPow := field.ExtOne
+		var xs []field.Element
+		xs, err = domainPointsCtx(ctx, logM) // xs[j] = g·w^rev(j), matching LDE order
+		if err != nil {
+			return
+		}
+		pows := make([]field.Ext, totalPolys)
+		acc := field.ExtOne
+		for i := range pows {
+			pows[i] = acc
+			acc = field.ExtMul(acc, alpha)
+		}
 		b := make([]field.Ext, m)
 		diff := make([]field.Ext, m)
+		off := 0
 		for gi, g := range groups {
-			for j := range b {
-				b[j] = field.ExtZero
-			}
+			// Flatten the group's polynomials and α powers, and fold the
+			// opened values into y, in the transcript's (oracle, poly)
+			// order.
+			var ldes [][]field.Element
+			var gpows []field.Ext
 			y := field.ExtZero
+			k := off
 			for ki, oi := range g.Oracles {
 				for pi, lde := range oracles[oi].LDE {
-					for j := 0; j < m; j++ {
-						b[j] = field.ExtAdd(b[j],
-							field.ExtScalarMul(lde[j], alphaPow))
-					}
-					y = field.ExtAdd(y,
-						field.ExtMul(alphaPow, opened[gi][ki][pi]))
-					alphaPow = field.ExtMul(alphaPow, alpha)
+					ldes = append(ldes, lde)
+					gpows = append(gpows, pows[k])
+					y = field.ExtAdd(y, field.ExtMul(pows[k], opened[gi][ki][pi]))
+					k++
 				}
 			}
-			for j := 0; j < m; j++ {
-				diff[j] = field.ExtSub(field.FromBase(xs[j]), g.Point)
+			off = k
+			point := g.Point
+			if err = parallel.For(ctx, m, vecGrain, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					bj := field.ExtZero
+					for p := range ldes {
+						bj = field.ExtAdd(bj, field.ExtScalarMul(ldes[p][j], gpows[p]))
+					}
+					b[j] = bj
+					diff[j] = field.ExtSub(field.FromBase(xs[j]), point)
+				}
+			}); err != nil {
+				return
 			}
-			field.ExtBatchInverse(diff)
-			for j := 0; j < m; j++ {
-				f[j] = field.ExtAdd(f[j],
-					field.ExtMul(field.ExtSub(b[j], y), diff[j]))
+			if err = field.ExtBatchInverseCtx(ctx, diff); err != nil {
+				return
+			}
+			if err = parallel.For(ctx, m, vecGrain, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					f[j] = field.ExtAdd(f[j],
+						field.ExtMul(field.ExtSub(b[j], y), diff[j]))
+				}
+			}); err != nil {
+				return
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Commit-phase folding: arity 2, with the bit-reversed layout keeping
-	// fold pairs adjacent in memory.
+	// fold pairs adjacent in memory. Fold pair k writes only next[k], so
+	// the per-query folding fans across the pool chunk by chunk.
 	layer := f
 	shift := field.MultiplicativeGenerator
 	finalSize := 1 << (cfg.FinalPolyBits + cfg.RateBits)
@@ -168,12 +214,20 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 		leaves := make([][]field.Element, half)
 		var tree *merkle.Tree
 		rec.Merkle(half, 4, func() {
-			for k := 0; k < half; k++ {
-				a, bv := layer[2*k], layer[2*k+1]
-				leaves[k] = []field.Element{a.A, a.B, bv.A, bv.B}
+			err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					a, bv := layer[2*k], layer[2*k+1]
+					leaves[k] = []field.Element{a.A, a.B, bv.A, bv.B}
+				}
+			})
+			if err != nil {
+				return
 			}
-			tree = merkle.Build(leaves, layerCapHeight(cfg, half))
+			tree, err = merkle.BuildContext(ctx, leaves, layerCapHeight(cfg, half))
 		})
+		if err != nil {
+			return nil, err
+		}
 		trees = append(trees, tree)
 		caps = append(caps, tree.Cap())
 		observeCap(ch, tree.Cap())
@@ -185,26 +239,43 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 			w := field.PrimitiveRootOfUnity(logLayer)
 			// x_k = shift·w^{rev(k)}; fold:
 			//   next[k] = [ x·(a+b) + β·(a−b) ] / (2x).
+			// Each chunk seeds its power walk with shift·w^lo (exact, so
+			// bit-identical to the serial accumulation).
 			xPow := make([]field.Element, half)
-			acc := shift
-			for t := 0; t < half; t++ {
-				xPow[t] = acc
-				acc = field.Mul(acc, w)
+			if err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+				acc := field.Mul(shift, field.Exp(w, uint64(lo)))
+				for t := lo; t < hi; t++ {
+					xPow[t] = acc
+					acc = field.Mul(acc, w)
+				}
+			}); err != nil {
+				return
 			}
 			inv2x := make([]field.Element, half)
-			for k := 0; k < half; k++ {
-				inv2x[k] = field.Double(xPow[ntt.BitReverse(k, logLayer-1)])
+			if err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					inv2x[k] = field.Double(xPow[ntt.BitReverse(k, logLayer-1)])
+				}
+			}); err != nil {
+				return
 			}
-			field.BatchInverse(inv2x)
-			for k := 0; k < half; k++ {
-				a, bv := layer[2*k], layer[2*k+1]
-				x := xPow[ntt.BitReverse(k, logLayer-1)]
-				num := field.ExtAdd(
-					field.ExtScalarMul(x, field.ExtAdd(a, bv)),
-					field.ExtMul(beta, field.ExtSub(a, bv)))
-				next[k] = field.ExtScalarMul(inv2x[k], num)
+			if err = field.BatchInverseCtx(ctx, inv2x); err != nil {
+				return
 			}
+			err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					a, bv := layer[2*k], layer[2*k+1]
+					x := xPow[ntt.BitReverse(k, logLayer-1)]
+					num := field.ExtAdd(
+						field.ExtScalarMul(x, field.ExtAdd(a, bv)),
+						field.ExtMul(beta, field.ExtSub(a, bv)))
+					next[k] = field.ExtScalarMul(inv2x[k], num)
+				}
+			})
 		})
+		if err != nil {
+			return nil, err
+		}
 		layer = next
 		shift = field.Square(shift)
 	}
@@ -212,7 +283,10 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	// Recover the final polynomial's coefficients: component-wise
 	// un-bit-reverse + coset iNTT (NTT is base-linear, so the quadratic
 	// extension splits into two base transforms).
-	finalCoeffs := extCosetInverseNN(layer, shift, rec)
+	finalCoeffs, err := extCosetInverseNN(ctx, layer, shift, rec)
+	if err != nil {
+		return nil, err
+	}
 	finalPoly := finalCoeffs[:len(layer)>>cfg.RateBits]
 	for _, c := range finalCoeffs[len(finalPoly):] {
 		if !c.IsZero() {
@@ -225,7 +299,9 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 
 	// Proof-of-work grinding (part of "Other Hash" in Table 1). The
 	// permutation count is only known after the search, so the kernel
-	// node is recorded with a measured duration.
+	// node is recorded with a measured duration. The search is serial on
+	// purpose: it must return the smallest witness the serial prover
+	// would find, and it is transcript-bound.
 	var witness field.Element
 	tries := 0
 	//unizklint:allow nodeterminism grind duration is telemetry for the kernel trace; the witness itself is found by deterministic search
@@ -250,33 +326,44 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 		panic("fri: internal proof-of-work inconsistency")
 	}
 
-	// Query phase.
+	// Query phase: all indices are sampled first (sampling mutates the
+	// challenger, so it stays serial and transcript-ordered), then the
+	// Merkle openings — pure reads of the committed trees — are batched
+	// across the pool, one query round per chunk element.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	indices := make([]int, cfg.NumQueries)
+	for q := range indices {
+		indices[q] = int(ch.SampleBits(logM))
+	}
 	rounds := make([]QueryRound, cfg.NumQueries)
-	for q := range rounds {
-		idx := int(ch.SampleBits(logM))
-		var round QueryRound
-		for _, o := range oracles {
-			values, mp := o.Tree.Open(idx)
-			round.OracleRows = append(round.OracleRows,
-				OracleRow{Values: values, Proof: mp})
+	if err := parallel.For(ctx, cfg.NumQueries, 1, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			idx := indices[q]
+			var round QueryRound
+			for _, o := range oracles {
+				values, mp := o.Tree.Open(idx)
+				round.OracleRows = append(round.OracleRows,
+					OracleRow{Values: values, Proof: mp})
+			}
+			i := idx
+			for _, tree := range trees {
+				k := i >> 1
+				leaf, mp := tree.Open(k)
+				round.Steps = append(round.Steps, QueryStep{
+					Pair: [2]field.Ext{
+						{A: leaf[0], B: leaf[1]},
+						{A: leaf[2], B: leaf[3]},
+					},
+					Proof: mp,
+				})
+				i = k
+			}
+			rounds[q] = round
 		}
-		i := idx
-		for _, tree := range trees {
-			k := i >> 1
-			leaf, mp := tree.Open(k)
-			round.Steps = append(round.Steps, QueryStep{
-				Pair: [2]field.Ext{
-					{A: leaf[0], B: leaf[1]},
-					{A: leaf[2], B: leaf[3]},
-				},
-				Proof: mp,
-			})
-			i = k
-		}
-		rounds[q] = round
+	}); err != nil {
+		return nil, err
 	}
 
 	return &Proof{
@@ -287,29 +374,49 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	}, nil
 }
 
-// domainPoints returns x_j = g·w^{BitReverse(j)} for the size-2^logM LDE
-// domain, indexed in the committed (bit-reversed) order.
+// domainPoints is domainPointsCtx under a background context, for tests
+// and non-cancellable callers.
 func domainPoints(logM int) []field.Element {
+	out, err := domainPointsCtx(context.Background(), logM)
+	parallel.Must(err)
+	return out
+}
+
+// domainPointsCtx returns x_j = g·w^{BitReverse(j)} for the size-2^logM
+// LDE domain, indexed in the committed (bit-reversed) order. Both the
+// power walk and the bit-reversed gather are chunked across the pool.
+func domainPointsCtx(ctx context.Context, logM int) ([]field.Element, error) {
 	m := 1 << logM
 	w := field.PrimitiveRootOfUnity(logM)
 	pow := make([]field.Element, m)
-	acc := field.MultiplicativeGenerator
-	for t := 0; t < m; t++ {
-		pow[t] = acc
-		acc = field.Mul(acc, w)
+	if err := parallel.For(ctx, m, vecGrain, func(lo, hi int) {
+		acc := field.Mul(field.MultiplicativeGenerator, field.Exp(w, uint64(lo)))
+		for t := lo; t < hi; t++ {
+			pow[t] = acc
+			acc = field.Mul(acc, w)
+		}
+	}); err != nil {
+		return nil, err
 	}
 	out := make([]field.Element, m)
-	for j := 0; j < m; j++ {
-		out[j] = pow[ntt.BitReverse(j, logM)]
+	if err := parallel.For(ctx, m, vecGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = pow[ntt.BitReverse(j, logM)]
+		}
+	}); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // extCosetInverseNN interpolates bit-reversed-order extension values on
 // the coset shift·H back to natural-order coefficients, component-wise.
-func extCosetInverseNN(values []field.Ext, shift field.Element, rec *trace.Recorder) []field.Ext {
+func extCosetInverseNN(ctx context.Context, values []field.Ext, shift field.Element,
+	rec *trace.Recorder) ([]field.Ext, error) {
+
 	n := len(values)
 	out := make([]field.Ext, n)
+	var err error
 	rec.NTT(n, 2, true, true, true, func() {
 		as := make([]field.Element, n)
 		bs := make([]field.Element, n)
@@ -319,11 +426,18 @@ func extCosetInverseNN(values []field.Ext, shift field.Element, rec *trace.Recor
 		}
 		ntt.BitReversePermute(as)
 		ntt.BitReversePermute(bs)
-		ntt.CosetInverseNN(as, shift)
-		ntt.CosetInverseNN(bs, shift)
+		if err = ntt.CosetInverseNNCtx(ctx, as, shift); err != nil {
+			return
+		}
+		if err = ntt.CosetInverseNNCtx(ctx, bs, shift); err != nil {
+			return
+		}
 		for i := range out {
 			out[i] = field.Ext{A: as[i], B: bs[i]}
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -18,6 +18,13 @@ import (
 // the PR 1 design checks cancellation at phase boundaries rather than
 // inside every data loop, and a loop over decoded or committed data
 // terminates by construction.
+//
+// Any appearance of the context object in the loop body counts,
+// including handing it to a polling combinator such as
+// parallel.For(ctx, …) — the worker pool checks ctx between chunks, so a
+// loop that drives its iterations through the pool is cancellable. A
+// loop that calls parallel.For with some other context (say,
+// context.Background()) is still flagged.
 var CtxPoll = &Analyzer{
 	Name: "ctxpoll",
 	Doc: "flag unbounded loops in context-accepting functions that never " +

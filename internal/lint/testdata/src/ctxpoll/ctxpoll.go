@@ -1,7 +1,11 @@
 // Fixture for the ctxpoll analyzer.
 package ctxpoll
 
-import "context"
+import (
+	"context"
+
+	"unizk/internal/parallel"
+)
 
 func spin(ctx context.Context, work func() bool) error {
 	for { // want `never consults`
@@ -41,6 +45,37 @@ func bounded(ctx context.Context, n int) int {
 func noCtx(work func() bool) {
 	for {
 		if work() {
+			return
+		}
+	}
+}
+
+// pooled drives its unbounded loop through parallel.For(ctx, …), which
+// polls the context between chunks — that counts as consulting ctx.
+func pooled(ctx context.Context, next func() ([]int, bool)) error {
+	for {
+		batch, more := next()
+		if err := parallel.For(ctx, len(batch), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				batch[i]++
+			}
+		}); err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// pooledIgnoresCtx recruits the pool but hands it a fresh background
+// context instead of its own — the loop is still uncancellable and must
+// be flagged.
+func pooledIgnoresCtx(ctx context.Context, next func() ([]int, bool)) {
+	for { // want `never consults`
+		batch, more := next()
+		_ = parallel.For(context.Background(), len(batch), 1, func(lo, hi int) {})
+		if !more {
 			return
 		}
 	}

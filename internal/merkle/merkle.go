@@ -9,12 +9,12 @@
 package merkle
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"unizk/internal/field"
 	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 	"unizk/internal/poseidon"
 	"unizk/internal/prooferr"
 )
@@ -38,11 +38,26 @@ type Proof struct {
 	Siblings []poseidon.HashOut
 }
 
+// hashGrain is the number of Poseidon hashes per worker chunk: large
+// enough that chunk claiming is noise next to ~1µs permutations, small
+// enough to load-balance mid-size levels.
+const hashGrain = 64
+
 // Build constructs a tree over the given leaves. The number of leaves must
 // be a power of two and at least 2^capHeight. Leaf hashing and each tree
-// level are parallelized across CPUs, the software analogue of the paper's
-// "hash computations at the same tree level are independent".
+// level are fanned across the shared worker pool, the software analogue of
+// the paper's "hash computations at the same tree level are independent".
 func Build(leaves [][]field.Element, capHeight int) *Tree {
+	t, err := BuildContext(context.Background(), leaves, capHeight)
+	parallel.Must(err)
+	return t
+}
+
+// BuildContext is Build with cooperative cancellation: the pool polls the
+// context between hash chunks, so a ProveContext timeout interrupts even
+// a large tree mid-level. On a non-nil error the partial tree is
+// discarded.
+func BuildContext(ctx context.Context, leaves [][]field.Element, capHeight int) (*Tree, error) {
 	n := len(leaves)
 	logN := ntt.Log2(n) // panics on non-power-of-two, a programming error
 	if capHeight < 0 || capHeight > logN {
@@ -51,21 +66,31 @@ func Build(leaves [][]field.Element, capHeight int) *Tree {
 	t := &Tree{Leaves: leaves, capHeight: capHeight}
 
 	digests := make([]poseidon.HashOut, n)
-	parallelFor(n, func(i int) {
-		digests[i] = poseidon.HashOrNoop(leaves[i])
+	err := parallel.For(ctx, n, hashGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			digests[i] = poseidon.HashOrNoop(leaves[i])
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	t.levels = append(t.levels, digests)
 
 	for len(digests) > 1<<capHeight {
 		next := make([]poseidon.HashOut, len(digests)/2)
 		prev := digests
-		parallelFor(len(next), func(i int) {
-			next[i] = poseidon.TwoToOne(prev[2*i], prev[2*i+1])
+		err := parallel.For(ctx, len(next), hashGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = poseidon.TwoToOne(prev[2*i], prev[2*i+1])
+			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		t.levels = append(t.levels, next)
 		digests = next
 	}
-	return t
+	return t, nil
 }
 
 // Cap returns the tree's commitment.
@@ -120,42 +145,4 @@ func Verify(leafData []field.Element, index int, proof Proof, c Cap) error {
 		return ErrInvalidProof
 	}
 	return nil
-}
-
-// parallelFor runs fn(i) for i in [0,n) on up to NumCPU workers. Small n
-// runs inline to avoid goroutine overhead on tiny levels near the cap.
-func parallelFor(n int, fn func(int)) {
-	parallelForWorkers(n, runtime.NumCPU(), fn)
-}
-
-func parallelForWorkers(n, workers int, fn func(int)) {
-	if n < 256 || workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"unizk/internal/field"
+	"unizk/internal/parallel"
 	"unizk/internal/poseidon"
 )
 
@@ -163,22 +164,27 @@ func BenchmarkBuild4096x8(b *testing.B) {
 	}
 }
 
-func TestParallelForWorkers(t *testing.T) {
-	// Force the multi-worker path regardless of GOMAXPROCS.
-	n := 1000
-	seen := make([]int32, n)
-	parallelForWorkers(n, 4, func(i int) { seen[i]++ })
-	for i, c := range seen {
-		if c != 1 {
-			t.Fatalf("index %d visited %d times", i, c)
+func TestBuildAcrossWorkerCounts(t *testing.T) {
+	// Force multi-worker pools regardless of GOMAXPROCS: the tree must be
+	// identical whatever the worker count, including more workers than
+	// chunks.
+	rng := rand.New(rand.NewSource(13))
+	leaves := randLeaves(rng, 1024, 4)
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+
+	parallel.SetWorkers(1)
+	ref := Build(leaves, 2)
+	for _, workers := range []int{2, 4, 512} {
+		parallel.SetWorkers(workers)
+		got := Build(leaves, 2)
+		if len(got.Cap()) != len(ref.Cap()) {
+			t.Fatalf("workers=%d: cap size mismatch", workers)
 		}
-	}
-	// More workers than items.
-	short := make([]int32, 300)
-	parallelForWorkers(300, 512, func(i int) { short[i]++ })
-	for i, c := range short {
-		if c != 1 {
-			t.Fatalf("short: index %d visited %d times", i, c)
+		for i := range ref.Cap() {
+			if got.Cap()[i] != ref.Cap()[i] {
+				t.Fatalf("workers=%d: cap digest %d differs from serial", workers, i)
+			}
 		}
 	}
 }

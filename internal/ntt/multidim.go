@@ -1,6 +1,11 @@
 package ntt
 
-import "unizk/internal/field"
+import (
+	"context"
+
+	"unizk/internal/field"
+	"unizk/internal/parallel"
+)
 
 // Multi-dimensional NTT decomposition (SAM, paper §5.1): an NTT of variable
 // size N is decomposed into k dimensions of small fixed-size NTTs that match
@@ -79,36 +84,45 @@ func multiDimNN(data []field.Element, dims []int, roots []field.Element, inverse
 	n2 := total / n1
 
 	// Inner dimension: size-n2 transforms of the stride-n1 subsequences,
-	// followed by inter-dimension twiddles w_total^(j1*k2).
+	// followed by inter-dimension twiddles w_total^(j1*k2). The n1
+	// transforms are independent — in hardware they stream through the
+	// first half-array back to back; here they fan across the worker pool
+	// with per-chunk scratch and disjoint writes to inner[j1].
+	// The inner transform recursively uses the same decomposition; its
+	// own twiddles are powers of w_total^n1, i.e. a stride-n1 walk of
+	// the full table — exactly what the on-chip generator produces.
+	innerRoots := strideTable(roots, n1, n2)
 	inner := make([][]field.Element, n1)
-	col := make([]field.Element, n2)
-	for j1 := 0; j1 < n1; j1++ {
-		for j2 := 0; j2 < n2; j2++ {
-			col[j2] = data[j1+n1*j2]
+	parallel.Must(parallel.For(context.Background(), n1, 1, func(lo, hi int) {
+		col := make([]field.Element, n2)
+		for j1 := lo; j1 < hi; j1++ {
+			for j2 := 0; j2 < n2; j2++ {
+				col[j2] = data[j1+n1*j2]
+			}
+			res := multiDimNN(col, dims[1:], innerRoots, inverse)
+			for k2 := 0; k2 < n2; k2++ {
+				res[k2] = field.Mul(res[k2], rootPower(roots, total, j1*k2))
+			}
+			inner[j1] = res
 		}
-		// The inner transform recursively uses the same decomposition; its
-		// own twiddles are powers of w_total^n1, i.e. a stride-n1 walk of
-		// the full table — exactly what the on-chip generator produces.
-		res := multiDimNN(col, dims[1:], strideTable(roots, n1, n2), inverse)
-		for k2 := 0; k2 < n2; k2++ {
-			res[k2] = field.Mul(res[k2], rootPower(roots, total, j1*k2))
-		}
-		inner[j1] = res
-	}
+	}))
 
 	// Outer dimension: size-n1 transforms across j1 for each k2. In
 	// hardware this is the second half-array, after the transpose buffer.
+	// Each k2 writes the disjoint output stride {k2 + n2·k1 : k1}.
 	out := make([]field.Element, total)
-	row := make([]field.Element, n1)
-	for k2 := 0; k2 < n2; k2++ {
-		for j1 := 0; j1 < n1; j1++ {
-			row[j1] = inner[j1][k2]
+	parallel.Must(parallel.For(context.Background(), n2, 16, func(lo, hi int) {
+		row := make([]field.Element, n1)
+		for k2 := lo; k2 < hi; k2++ {
+			for j1 := 0; j1 < n1; j1++ {
+				row[j1] = inner[j1][k2]
+			}
+			smallNN(row, inverse)
+			for k1 := 0; k1 < n1; k1++ {
+				out[k2+n2*k1] = row[k1]
+			}
 		}
-		smallNN(row, inverse)
-		for k1 := 0; k1 < n1; k1++ {
-			out[k2+n2*k1] = row[k1]
-		}
-	}
+	}))
 	return out
 }
 

@@ -12,9 +12,11 @@
 package ntt
 
 import (
+	"context"
 	"sync"
 
 	"unizk/internal/field"
+	"unizk/internal/parallel"
 )
 
 // rootsCache memoizes twiddle tables per transform size. roots[logN] holds
@@ -95,6 +97,18 @@ func BitReversePermute(data []field.Element) {
 	}
 }
 
+// parallelMin is the transform size below which the butterfly layers run
+// on the calling goroutine: chunk-claiming overhead would dominate the
+// O(n log n) field work of a small transform. Both serial and parallel
+// modes take the same path below this size, so differential tests at
+// small sizes are trivially identical; sizes at or above it exercise the
+// worker pool.
+const parallelMin = 1 << 11
+
+// butterflyGrain is the number of butterflies per worker chunk inside one
+// layer.
+const butterflyGrain = 1 << 9
+
 // difCore runs decimation-in-frequency butterflies in place: natural-order
 // input, bit-reversed-order output. This is the dataflow UniZK maps onto
 // the MDC pipeline (paper Fig. 4a). roots must be the (inverse) root table
@@ -104,13 +118,48 @@ func difCore(data []field.Element, roots []field.Element) {
 	for half := n / 2; half >= 1; half >>= 1 {
 		step := n / (2 * half) // twiddle stride into the size-n table
 		for start := 0; start < n; start += 2 * half {
-			for j := 0; j < half; j++ {
-				a := data[start+j]
-				b := data[start+j+half]
-				data[start+j] = field.Add(a, b)
-				data[start+j+half] = field.Mul(field.Sub(a, b), roots[j*step])
-			}
+			difButterflies(data, roots, start, 0, half, half, step)
 		}
+	}
+}
+
+// difCoreCtx is difCore with each butterfly layer fanned across the
+// worker pool. Butterflies within a layer touch disjoint index pairs
+// (start+j, start+j+half), so chunks write disjoint ranges and the result
+// is bit-identical to the serial core; layers are separated by the For
+// barrier, preserving the layer-order data dependence.
+func difCoreCtx(ctx context.Context, data []field.Element, roots []field.Element) error {
+	n := len(data)
+	if n < parallelMin {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		difCore(data, roots)
+		return nil
+	}
+	for half := n / 2; half >= 1; half >>= 1 {
+		step := n / (2 * half)
+		h := half
+		err := parallel.For(ctx, n/2, butterflyGrain, func(lo, hi int) {
+			forButterflySpans(lo, hi, h, func(block, j0, j1 int) {
+				difButterflies(data, roots, block*2*h, j0, j1, h, step)
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// difButterflies applies DIF butterflies j in [j0, j1) of the block at
+// base: the pair (base+j, base+j+half) with twiddle roots[j*step].
+func difButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
+	for j := j0; j < j1; j++ {
+		a := data[base+j]
+		b := data[base+j+half]
+		data[base+j] = field.Add(a, b)
+		data[base+j+half] = field.Mul(field.Sub(a, b), roots[j*step])
 	}
 }
 
@@ -121,54 +170,131 @@ func ditCore(data []field.Element, roots []field.Element) {
 	for half := 1; half < n; half <<= 1 {
 		step := n / (2 * half)
 		for start := 0; start < n; start += 2 * half {
-			for j := 0; j < half; j++ {
-				a := data[start+j]
-				b := field.Mul(data[start+j+half], roots[j*step])
-				data[start+j] = field.Add(a, b)
-				data[start+j+half] = field.Sub(a, b)
-			}
+			ditButterflies(data, roots, start, 0, half, half, step)
 		}
+	}
+}
+
+// ditCoreCtx is ditCore with parallel butterfly layers; see difCoreCtx.
+func ditCoreCtx(ctx context.Context, data []field.Element, roots []field.Element) error {
+	n := len(data)
+	if n < parallelMin {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ditCore(data, roots)
+		return nil
+	}
+	for half := 1; half < n; half <<= 1 {
+		step := n / (2 * half)
+		h := half
+		err := parallel.For(ctx, n/2, butterflyGrain, func(lo, hi int) {
+			forButterflySpans(lo, hi, h, func(block, j0, j1 int) {
+				ditButterflies(data, roots, block*2*h, j0, j1, h, step)
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ditButterflies applies DIT butterflies j in [j0, j1) of the block at
+// base.
+func ditButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
+	for j := j0; j < j1; j++ {
+		a := data[base+j]
+		b := field.Mul(data[base+j+half], roots[j*step])
+		data[base+j] = field.Add(a, b)
+		data[base+j+half] = field.Sub(a, b)
+	}
+}
+
+// forButterflySpans maps a flat butterfly index range [lo, hi) — b
+// encodes (block, j) = (b/half, b%half) — onto maximal per-block spans,
+// so the inner loops pay one div/mod per block rather than per butterfly.
+func forButterflySpans(lo, hi, half int, span func(block, j0, j1 int)) {
+	for b := lo; b < hi; {
+		block := b / half
+		j0 := b - block*half
+		j1 := half
+		if j1-j0 > hi-b {
+			j1 = j0 + (hi - b)
+		}
+		span(block, j0, j1)
+		b += j1 - j0
 	}
 }
 
 // ForwardNR transforms coefficients (natural order) to evaluations in
 // bit-reversed order, in place.
 func ForwardNR(data []field.Element) {
-	difCore(data, rootTable(Log2(len(data))))
+	parallel.Must(ForwardNRCtx(context.Background(), data))
+}
+
+// ForwardNRCtx is ForwardNR with pool-parallel butterfly layers and
+// cooperative cancellation. On a non-nil error the data is partially
+// transformed and must be discarded.
+func ForwardNRCtx(ctx context.Context, data []field.Element) error {
+	return difCoreCtx(ctx, data, rootTable(Log2(len(data))))
 }
 
 // ForwardNN transforms coefficients to evaluations, both in natural order.
 func ForwardNN(data []field.Element) {
-	ForwardNR(data)
+	parallel.Must(ForwardNNCtx(context.Background(), data))
+}
+
+// ForwardNNCtx is ForwardNN with parallel butterflies and cancellation.
+func ForwardNNCtx(ctx context.Context, data []field.Element) error {
+	if err := ForwardNRCtx(ctx, data); err != nil {
+		return err
+	}
 	BitReversePermute(data)
+	return nil
 }
 
 // ForwardRN transforms coefficients given in bit-reversed order to
 // evaluations in natural order.
 func ForwardRN(data []field.Element) {
-	ditCore(data, rootTable(Log2(len(data))))
+	parallel.Must(ditCoreCtx(context.Background(), data, rootTable(Log2(len(data)))))
 }
 
 // InverseNN transforms evaluations to coefficients, both in natural order.
 // This is the iNTT^NN used by FRI step 1 (paper Fig. 1).
 func InverseNN(data []field.Element) {
-	InverseNR(data)
+	parallel.Must(InverseNNCtx(context.Background(), data))
+}
+
+// InverseNNCtx is InverseNN with parallel butterflies and cancellation.
+func InverseNNCtx(ctx context.Context, data []field.Element) error {
+	if err := InverseNRCtx(ctx, data); err != nil {
+		return err
+	}
 	BitReversePermute(data)
+	return nil
 }
 
 // InverseNR transforms natural-order evaluations to bit-reversed-order
 // coefficients.
 func InverseNR(data []field.Element) {
+	parallel.Must(InverseNRCtx(context.Background(), data))
+}
+
+// InverseNRCtx is InverseNR with parallel butterflies and cancellation.
+func InverseNRCtx(ctx context.Context, data []field.Element) error {
 	n := len(data)
-	difCore(data, invRootTable(Log2(n)))
-	scale(data, field.Inverse(field.New(uint64(n))))
+	if err := difCoreCtx(ctx, data, invRootTable(Log2(n))); err != nil {
+		return err
+	}
+	return scaleCtx(ctx, data, field.Inverse(field.New(uint64(n))))
 }
 
 // InverseRN transforms bit-reversed-order evaluations to natural-order
 // coefficients.
 func InverseRN(data []field.Element) {
 	n := len(data)
-	ditCore(data, invRootTable(Log2(n)))
+	parallel.Must(ditCoreCtx(context.Background(), data, invRootTable(Log2(n))))
 	scale(data, field.Inverse(field.New(uint64(n))))
 }
 
@@ -178,27 +304,65 @@ func scale(data []field.Element, c field.Element) {
 	}
 }
 
+// scaleCtx is scale fanned across the pool; each chunk owns a disjoint
+// index range.
+func scaleCtx(ctx context.Context, data []field.Element, c field.Element) error {
+	if len(data) < parallelMin {
+		scale(data, c)
+		return nil
+	}
+	return parallel.For(ctx, len(data), 1<<10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = field.Mul(data[i], c)
+		}
+	})
+}
+
 // CosetForwardNR evaluates the polynomial on the coset shift·H (H the
 // size-n subgroup), output bit-reversed: scale coefficient i by shift^i,
 // then transform. The paper maps the pre-scaling onto the idle
 // inter-dimension twiddle PE of the first DIT round (§5.1, "NTT variants").
 func CosetForwardNR(data []field.Element, shift field.Element) {
-	scaleByPowers(data, shift)
-	ForwardNR(data)
+	parallel.Must(CosetForwardNRCtx(context.Background(), data, shift))
+}
+
+// CosetForwardNRCtx is CosetForwardNR with parallel butterflies and
+// cancellation.
+func CosetForwardNRCtx(ctx context.Context, data []field.Element, shift field.Element) error {
+	if err := scaleByPowersCtx(ctx, data, shift); err != nil {
+		return err
+	}
+	return ForwardNRCtx(ctx, data)
 }
 
 // CosetForwardNN is CosetForwardNR with natural-order output.
 func CosetForwardNN(data []field.Element, shift field.Element) {
-	scaleByPowers(data, shift)
-	ForwardNN(data)
+	parallel.Must(CosetForwardNNCtx(context.Background(), data, shift))
+}
+
+// CosetForwardNNCtx is CosetForwardNN with parallel butterflies and
+// cancellation.
+func CosetForwardNNCtx(ctx context.Context, data []field.Element, shift field.Element) error {
+	if err := scaleByPowersCtx(ctx, data, shift); err != nil {
+		return err
+	}
+	return ForwardNNCtx(ctx, data)
 }
 
 // CosetInverseNN interpolates values on the coset shift·H back to
 // coefficients; the trailing shift^-i scaling is what the paper folds into
 // the last pipeline stage ("the last two PEs multiply with N^-1 g^-i").
 func CosetInverseNN(data []field.Element, shift field.Element) {
-	InverseNN(data)
-	scaleByPowers(data, field.Inverse(shift))
+	parallel.Must(CosetInverseNNCtx(context.Background(), data, shift))
+}
+
+// CosetInverseNNCtx is CosetInverseNN with parallel butterflies and
+// cancellation.
+func CosetInverseNNCtx(ctx context.Context, data []field.Element, shift field.Element) error {
+	if err := InverseNNCtx(ctx, data); err != nil {
+		return err
+	}
+	return scaleByPowersCtx(ctx, data, field.Inverse(shift))
 }
 
 func scaleByPowers(data []field.Element, c field.Element) {
@@ -209,16 +373,43 @@ func scaleByPowers(data []field.Element, c field.Element) {
 	}
 }
 
+// scaleByPowersCtx multiplies data[i] by c^i in parallel. Each chunk
+// seeds its own accumulator with c^lo via square-and-multiply; field
+// exponentiation is exact, so the chunked walk produces bit-identical
+// powers to the serial accumulation.
+func scaleByPowersCtx(ctx context.Context, data []field.Element, c field.Element) error {
+	if len(data) < parallelMin {
+		scaleByPowers(data, c)
+		return nil
+	}
+	return parallel.For(ctx, len(data), 1<<10, func(lo, hi int) {
+		acc := field.Exp(c, uint64(lo))
+		for i := lo; i < hi; i++ {
+			data[i] = field.Mul(data[i], acc)
+			acc = field.Mul(acc, c)
+		}
+	})
+}
+
 // LDE performs the low degree extension of FRI step 2: the coefficient
 // vector is zero-padded by the blowup factor (k ≥ 8 in Plonky2, k = 2 in
 // Starky) and evaluated on the shifted coset of the larger subgroup, with
 // bit-reversed output order (NTT^NR). A fresh slice is returned.
 func LDE(coeffs []field.Element, blowupBits int, shift field.Element) []field.Element {
+	out, err := LDECtx(context.Background(), coeffs, blowupBits, shift)
+	parallel.Must(err)
+	return out
+}
+
+// LDECtx is LDE with parallel butterflies and cancellation.
+func LDECtx(ctx context.Context, coeffs []field.Element, blowupBits int, shift field.Element) ([]field.Element, error) {
 	n := len(coeffs)
 	out := make([]field.Element, n<<blowupBits)
 	copy(out, coeffs)
-	CosetForwardNR(out, shift)
-	return out
+	if err := CosetForwardNRCtx(ctx, out, shift); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PolyMulNTT multiplies two coefficient vectors via NTT, returning a

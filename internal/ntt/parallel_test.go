@@ -1,0 +1,128 @@
+package ntt
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"unizk/internal/field"
+	"unizk/internal/parallel"
+)
+
+// workerSweep is the differential layer's worker-count table: the
+// degenerate pool, a couple of real sizes, and whatever this machine has.
+func workerSweep() []int {
+	return []int{1, 2, 7, runtime.NumCPU()}
+}
+
+// diffSizes spans both sides of parallelMin so the serial fallback and
+// the parallel butterfly path are each exercised.
+var diffSizes = []int{1 << 4, 1 << 6, 1 << 8, 1 << 10, 1 << 11, 1 << 12}
+
+// inPlaceTransforms are the kernels taking one vector in place.
+var inPlaceTransforms = []struct {
+	name string
+	fn   func([]field.Element)
+}{
+	{"ForwardNR", ForwardNR},
+	{"ForwardNN", ForwardNN},
+	{"ForwardRN", ForwardRN},
+	{"InverseNN", InverseNN},
+	{"InverseNR", InverseNR},
+	{"InverseRN", InverseRN},
+	{"CosetForwardNR", func(d []field.Element) { CosetForwardNR(d, field.MultiplicativeGenerator) }},
+	{"CosetForwardNN", func(d []field.Element) { CosetForwardNN(d, field.MultiplicativeGenerator) }},
+	{"CosetInverseNN", func(d []field.Element) { CosetInverseNN(d, field.MultiplicativeGenerator) }},
+}
+
+// TestTransformsSerialVsParallel is the NTT differential test: every
+// transform, across sizes and worker counts, must be byte-identical to
+// the forced-serial execution.
+func TestTransformsSerialVsParallel(t *testing.T) {
+	prev := parallel.Workers()
+	defer func() { parallel.SetSerial(false); parallel.SetWorkers(prev) }()
+
+	for _, tc := range inPlaceTransforms {
+		for _, n := range diffSizes {
+			rng := rand.New(rand.NewSource(int64(n)))
+			input := randVec(rng, n)
+
+			parallel.SetSerial(true)
+			ref := append([]field.Element(nil), input...)
+			tc.fn(ref)
+			parallel.SetSerial(false)
+
+			for _, workers := range workerSweep() {
+				parallel.SetWorkers(workers)
+				got := append([]field.Element(nil), input...)
+				tc.fn(got)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s n=%d workers=%d: index %d differs from serial",
+							tc.name, n, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLDESerialVsParallel covers the allocating LDE kernel.
+func TestLDESerialVsParallel(t *testing.T) {
+	prev := parallel.Workers()
+	defer func() { parallel.SetSerial(false); parallel.SetWorkers(prev) }()
+
+	for _, n := range diffSizes {
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		coeffs := randVec(rng, n)
+
+		parallel.SetSerial(true)
+		ref := LDE(coeffs, 2, field.MultiplicativeGenerator)
+		parallel.SetSerial(false)
+
+		for _, workers := range workerSweep() {
+			parallel.SetWorkers(workers)
+			got := LDE(coeffs, 2, field.MultiplicativeGenerator)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("LDE n=%d workers=%d: index %d differs from serial", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiDimSerialVsParallel covers the SAM-style multi-dimensional
+// decomposition, whose inner and outer dimension loops both fan out.
+func TestMultiDimSerialVsParallel(t *testing.T) {
+	prev := parallel.Workers()
+	defer func() { parallel.SetSerial(false); parallel.SetWorkers(prev) }()
+
+	for _, logN := range []int{4, 6, 8, 10, 12} {
+		n := 1 << logN
+		rng := rand.New(rand.NewSource(int64(logN)))
+		input := randVec(rng, n)
+		dims := HardwareDims(logN, 3)
+
+		parallel.SetSerial(true)
+		refF := MultiDimForwardNN(append([]field.Element(nil), input...), dims)
+		refI := MultiDimInverseNN(append([]field.Element(nil), refF...), dims)
+		parallel.SetSerial(false)
+
+		for _, workers := range workerSweep() {
+			parallel.SetWorkers(workers)
+			gotF := MultiDimForwardNN(append([]field.Element(nil), input...), dims)
+			for i := range refF {
+				if gotF[i] != refF[i] {
+					t.Fatalf("MultiDimForwardNN logN=%d workers=%d: index %d differs", logN, workers, i)
+				}
+			}
+			gotI := MultiDimInverseNN(append([]field.Element(nil), gotF...), dims)
+			for i := range refI {
+				if gotI[i] != refI[i] {
+					t.Fatalf("MultiDimInverseNN logN=%d workers=%d: index %d differs", logN, workers, i)
+				}
+			}
+		}
+	}
+}

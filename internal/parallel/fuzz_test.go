@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzForCoverage fuzzes the chunking arithmetic: any (n, grain, workers)
+// must visit every index exactly once and stay inside [0, n).
+func FuzzForCoverage(f *testing.F) {
+	f.Add(16, 4, 2)
+	f.Add(0, 0, 1)
+	f.Add(257, 3, 7)
+	f.Add(1, 1000, 16)
+	f.Add(4096, -1, 3)
+	f.Fuzz(func(t *testing.T, n, grain, workers int) {
+		if n < 0 || n > 1<<16 {
+			t.Skip()
+		}
+		if workers < 1 || workers > 32 {
+			t.Skip()
+		}
+		if grain > 1<<20 || grain < -1<<20 {
+			t.Skip()
+		}
+		p := NewPool(workers)
+		defer p.Close()
+		seen := make([]int32, n)
+		err := p.For(context.Background(), n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("For(n=%d grain=%d workers=%d): %v", n, grain, workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d grain=%d workers=%d: index %d visited %d times",
+					n, grain, workers, i, c)
+			}
+		}
+	})
+}

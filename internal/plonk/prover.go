@@ -8,9 +8,13 @@ import (
 	"unizk/internal/fri"
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 	"unizk/internal/poseidon"
 	"unizk/internal/trace"
 )
+
+// quotGrain is the chunk size for the per-point quotient kernels.
+const quotGrain = 1 << 9
 
 // quotientChunks is the number of degree-N pieces the quotient polynomial
 // is split into. Constraints are kept at degree ≤ 4 (one partial-product
@@ -69,13 +73,19 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 		return nil, err
 	}
 
+	// Wire materialization reads the witness map (concurrent reads only;
+	// generators have already run) and writes disjoint columns.
 	n := c.N
 	wires := make([][]field.Element, c.NumCols)
-	for col := 0; col < c.NumCols; col++ {
-		wires[col] = make([]field.Element, n)
-		for r := 0; r < n; r++ {
-			wires[col][r] = c.wireValue(w, col, r)
+	if err := parallel.For(ctx, c.NumCols, 1, func(lo, hi int) {
+		for col := lo; col < hi; col++ {
+			wires[col] = make([]field.Element, n)
+			for r := 0; r < n; r++ {
+				wires[col][r] = c.wireValue(w, col, r)
+			}
 		}
+	}); err != nil {
+		return nil, err
 	}
 
 	pub := make([]field.Element, c.NumPublic)
@@ -105,34 +115,37 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 	ch.ObserveSlice(pub)
 
 	// --- Wires commitment (paper Fig. 7, "Wires Commitment"). ---
-	if err := ctx.Err(); err != nil {
+	wiresBatch, err := fri.CommitValuesContext(ctx, wires, c.cfg.RateBits, c.cfg.CapHeight, rec)
+	if err != nil {
 		return nil, err
 	}
-	wiresBatch := fri.CommitValues(wires, c.cfg.RateBits, c.cfg.CapHeight, rec)
 	observeCap(ch, wiresBatch.Cap())
 
 	beta := ch.Sample()
 	gamma := ch.Sample()
 
 	// --- Grand product and chained partial products (paper §5.4). ---
-	if err := ctx.Err(); err != nil {
+	zPolys, err := c.computeZs(ctx, wires, beta, gamma, rec)
+	if err != nil {
 		return nil, err
 	}
-	zPolys := c.computeZs(wires, beta, gamma, rec)
-	zBatch := fri.CommitValues(zPolys, c.cfg.RateBits, c.cfg.CapHeight, rec)
+	zBatch, err := fri.CommitValuesContext(ctx, zPolys, c.cfg.RateBits, c.cfg.CapHeight, rec)
+	if err != nil {
+		return nil, err
+	}
 	observeCap(ch, zBatch.Cap())
 
 	alpha := ch.Sample()
 
 	// --- Quotient polynomial on the 4N coset. ---
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	tChunks, err := c.computeQuotient(wiresBatch, zBatch, pi, beta, gamma, alpha, rec)
+	tChunks, err := c.computeQuotient(ctx, wiresBatch, zBatch, pi, beta, gamma, alpha, rec)
 	if err != nil {
 		return nil, err
 	}
-	quotBatch := fri.CommitCoeffs(tChunks, c.cfg.RateBits, c.cfg.CapHeight, rec)
+	quotBatch, err := fri.CommitCoeffsContext(ctx, tChunks, c.cfg.RateBits, c.cfg.CapHeight, rec)
+	if err != nil {
+		return nil, err
+	}
 	observeCap(ch, quotBatch.Cap())
 
 	zeta := ch.SampleExt()
@@ -143,11 +156,26 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	constOpen := c.constants.EvalAll(zeta, rec)
-	wiresOpen := wiresBatch.EvalAll(zeta, rec)
-	zsOpen := zBatch.EvalAll(zeta, rec)
-	quotOpen := quotBatch.EvalAll(zeta, rec)
-	zsNextOpen := zBatch.EvalAll(zetaNext, rec)
+	constOpen, err := c.constants.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
+		return nil, err
+	}
+	wiresOpen, err := wiresBatch.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
+		return nil, err
+	}
+	zsOpen, err := zBatch.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
+		return nil, err
+	}
+	quotOpen, err := quotBatch.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
+		return nil, err
+	}
+	zsNextOpen, err := zBatch.EvalAllContext(ctx, zetaNext, rec)
+	if err != nil {
+		return nil, err
+	}
 	observeOpenings(ch, constOpen, wiresOpen, zsOpen, quotOpen, zsNextOpen)
 
 	oracles := []*fri.PolynomialBatch{c.constants, wiresBatch, zBatch, quotBatch}
@@ -181,24 +209,37 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 // computeZs builds the grand product Z = π_0 and the chained partial
 // products π_1..π_{R-1}: the accumulator walks the slots row-major, one
 // 3-column group at a time (Equations 1-2 of §5.4 with group-sized
-// chunks), so that every constraint stays at degree 4.
-func (c *Circuit) computeZs(wires [][]field.Element, beta, gamma field.Element,
-	rec *trace.Recorder) [][]field.Element {
+// chunks), so that every constraint stays at degree 4. The group factors
+// and their batch inversion are parallel; the partial-product walk itself
+// is a serial prefix dependence and stays on one goroutine (the paper
+// parallelizes it only by splitting the quotient into chunks, which is
+// exactly the fg/gg precomputation above).
+func (c *Circuit) computeZs(ctx context.Context, wires [][]field.Element,
+	beta, gamma field.Element, rec *trace.Recorder) ([][]field.Element, error) {
 
 	n := c.N
 	var fg, gg [][]field.Element
+	var err error
 	rec.VecOp(n, 2*c.NumCols, 4*c.NumCols, func() {
-		fg, gg = c.groupFactors(wires, beta, gamma)
+		fg, gg, err = c.groupFactors(ctx, wires, beta, gamma)
+		if err != nil {
+			return
+		}
 		// Batch-invert all group denominators at once.
 		flat := make([]field.Element, 0, n*c.Reps)
 		for j := range gg {
 			flat = append(flat, gg[j]...)
 		}
-		field.BatchInverse(flat)
+		if err = field.BatchInverseCtx(ctx, flat); err != nil {
+			return
+		}
 		for j := range gg {
 			copy(gg[j], flat[j*n:(j+1)*n])
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	zs := make([][]field.Element, c.Reps)
 	for j := range zs {
@@ -213,12 +254,15 @@ func (c *Circuit) computeZs(wires [][]field.Element, beta, gamma field.Element,
 			}
 		}
 	})
-	return zs
+	return zs, nil
 }
 
 // groupFactors computes fg_j[r] and gg_j[r]: the products over column
-// group j of (w_c + β·id_c + γ) and (w_c + β·σ_c + γ).
-func (c *Circuit) groupFactors(wires [][]field.Element, beta, gamma field.Element) (fg, gg [][]field.Element) {
+// group j of (w_c + β·id_c + γ) and (w_c + β·σ_c + γ). Rows are
+// independent; each chunk seeds x = w^lo exactly.
+func (c *Circuit) groupFactors(ctx context.Context, wires [][]field.Element,
+	beta, gamma field.Element) (fg, gg [][]field.Element, err error) {
+
 	n := c.N
 	w := field.PrimitiveRootOfUnity(c.LogN)
 	fg = make([][]field.Element, c.Reps)
@@ -227,31 +271,40 @@ func (c *Circuit) groupFactors(wires [][]field.Element, beta, gamma field.Elemen
 		fg[j] = make([]field.Element, n)
 		gg[j] = make([]field.Element, n)
 	}
-	x := field.One
-	for r := 0; r < n; r++ {
-		for j := 0; j < c.Reps; j++ {
-			fAcc, gAcc := field.One, field.One
-			for k := 0; k < groupCols; k++ {
-				col := groupCols*j + k
-				id := field.Mul(c.ks[col], x)
-				fAcc = field.Mul(fAcc, field.Add(field.Add(wires[col][r],
-					field.Mul(beta, id)), gamma))
-				gAcc = field.Mul(gAcc, field.Add(field.Add(wires[col][r],
-					field.Mul(beta, c.sigmaVals[col][r])), gamma))
+	err = parallel.For(ctx, n, quotGrain, func(lo, hi int) {
+		x := field.Exp(w, uint64(lo))
+		for r := lo; r < hi; r++ {
+			for j := 0; j < c.Reps; j++ {
+				fAcc, gAcc := field.One, field.One
+				for k := 0; k < groupCols; k++ {
+					col := groupCols*j + k
+					id := field.Mul(c.ks[col], x)
+					fAcc = field.Mul(fAcc, field.Add(field.Add(wires[col][r],
+						field.Mul(beta, id)), gamma))
+					gAcc = field.Mul(gAcc, field.Add(field.Add(wires[col][r],
+						field.Mul(beta, c.sigmaVals[col][r])), gamma))
+				}
+				fg[j][r] = fAcc
+				gg[j][r] = gAcc
 			}
-			fg[j][r] = fAcc
-			gg[j][r] = gAcc
+			x = field.Mul(x, w)
 		}
-		x = field.Mul(x, w)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return fg, gg
+	return fg, gg, nil
 }
 
 // computeQuotient evaluates the α-combined constraints on the coset
 // g·H_4N, divides by Z_H pointwise, and interpolates the quotient,
 // returning its degree-N chunks. The α powers cover, in order: the R gate
 // constraints, the R permutation-chain constraints, and the Z boundary.
-func (c *Circuit) computeQuotient(wiresBatch, zBatch *fri.PolynomialBatch,
+// Every stage is data-parallel: the per-column coset NTTs are independent
+// jobs, and the per-point constraint evaluation restarts its α walk at
+// every j, so points split cleanly into chunks.
+func (c *Circuit) computeQuotient(ctx context.Context,
+	wiresBatch, zBatch *fri.PolynomialBatch,
 	pi []field.Element, beta, gamma, alpha field.Element,
 	rec *trace.Recorder) ([][]field.Element, error) {
 
@@ -260,40 +313,62 @@ func (c *Circuit) computeQuotient(wiresBatch, zBatch *fri.PolynomialBatch,
 	logD := c.LogN + 2
 	shift := field.MultiplicativeGenerator
 
-	cosetEval := func(coeffs []field.Element) []field.Element {
-		out := make([]field.Element, d)
-		copy(out, coeffs)
-		ntt.CosetForwardNN(out, shift)
-		return out
-	}
-
 	numPolys := c.NumCols + c.Reps + 8*c.Reps + 1
 	wiresD := make([][]field.Element, c.NumCols)
 	zD := make([][]field.Element, c.Reps)
 	selD := make([][]field.Element, 5*c.Reps)
 	sigD := make([][]field.Element, 3*c.Reps)
 	var piD []field.Element
+	var err error
+	var inner parallel.FirstError
 	rec.NTT(n, 1, true, false, false, func() {
 		piCoeffs := make([]field.Element, n)
 		copy(piCoeffs, pi)
-		ntt.InverseNN(piCoeffs)
+		err = ntt.InverseNNCtx(ctx, piCoeffs)
 		pi = piCoeffs
 	})
+	if err != nil {
+		return nil, err
+	}
 	rec.NTT(d, numPolys, false, true, false, func() {
+		// Flatten all coset extensions into one job list: (source
+		// coefficients, destination slot). Each job claims a whole column.
+		type cosetJob struct {
+			src []field.Element
+			dst *[]field.Element
+		}
+		jobs := make([]cosetJob, 0, numPolys)
 		for col := 0; col < c.NumCols; col++ {
-			wiresD[col] = cosetEval(wiresBatch.Coeffs[col])
+			jobs = append(jobs, cosetJob{wiresBatch.Coeffs[col], &wiresD[col]})
 		}
 		for j := 0; j < c.Reps; j++ {
-			zD[j] = cosetEval(zBatch.Coeffs[j])
+			jobs = append(jobs, cosetJob{zBatch.Coeffs[j], &zD[j]})
 		}
 		for i := 0; i < 5*c.Reps; i++ {
-			selD[i] = cosetEval(c.constants.Coeffs[i])
+			jobs = append(jobs, cosetJob{c.constants.Coeffs[i], &selD[i]})
 		}
 		for i := 0; i < 3*c.Reps; i++ {
-			sigD[i] = cosetEval(c.constants.Coeffs[5*c.Reps+i])
+			jobs = append(jobs, cosetJob{c.constants.Coeffs[5*c.Reps+i], &sigD[i]})
 		}
-		piD = cosetEval(pi)
+		jobs = append(jobs, cosetJob{pi, &piD})
+		err = parallel.For(ctx, len(jobs), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out := make([]field.Element, d)
+				copy(out, jobs[i].src)
+				if e := ntt.CosetForwardNNCtx(ctx, out, shift); e != nil {
+					inner.Set(e)
+					return
+				}
+				*jobs[i].dst = out
+			}
+		})
 	})
+	if err == nil {
+		err = inner.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	// Constraint evaluation — the "gate constraint evaluation" vector
 	// kernel the paper highlights for data reuse (§5.4).
@@ -303,10 +378,15 @@ func (c *Circuit) computeQuotient(wiresBatch, zBatch *fri.PolynomialBatch,
 		rot := d / n // Z(g·x) is Z's coset evaluation rotated by D/N
 
 		xs := make([]field.Element, d)
-		x := shift
-		for j := 0; j < d; j++ {
-			xs[j] = x
-			x = field.Mul(x, w)
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			x := field.Mul(shift, field.Exp(w, uint64(lo)))
+			for j := lo; j < hi; j++ {
+				xs[j] = x
+				x = field.Mul(x, w)
+			}
+		})
+		if err != nil {
+			return
 		}
 		sN := field.Exp(shift, uint64(n))
 		i4 := field.Exp(w, uint64(n))
@@ -320,67 +400,86 @@ func (c *Circuit) computeQuotient(wiresBatch, zBatch *fri.PolynomialBatch,
 		zhInv := make([]field.Element, d)
 		l1Den := make([]field.Element, d)
 		nElem := field.New(uint64(n))
-		for j := 0; j < d; j++ {
-			zhInv[j] = field.Sub(xn[j%4], field.One)
-			l1Den[j] = field.Mul(nElem, field.Sub(xs[j], field.One))
-		}
-		field.BatchInverse(zhInv)
-		field.BatchInverse(l1Den)
-
-		for j := 0; j < d; j++ {
-			zh := field.Sub(xn[j%4], field.One)
-			a := field.One
-			var sum field.Element
-
-			// Gate constraints, one per repetition.
-			for rep := 0; rep < c.Reps; rep++ {
-				gate := gateEval(selD[5*rep][j], selD[5*rep+1][j],
-					selD[5*rep+2][j], selD[5*rep+3][j], selD[5*rep+4][j],
-					wiresD[3*rep][j], wiresD[3*rep+1][j], wiresD[3*rep+2][j])
-				if rep == 0 {
-					gate = field.Add(gate, piD[j])
-				}
-				sum = field.Add(sum, field.Mul(a, gate))
-				a = field.Mul(a, alpha)
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				zhInv[j] = field.Sub(xn[j%4], field.One)
+				l1Den[j] = field.Mul(nElem, field.Sub(xs[j], field.One))
 			}
-
-			// Permutation chain: π_{g+1}·gg_g = π_g·fg_g, with π_R = Z(g·x).
-			for grp := 0; grp < c.Reps; grp++ {
-				fAcc, gAcc := field.One, field.One
-				for k := 0; k < groupCols; k++ {
-					col := groupCols*grp + k
-					id := field.Mul(c.ks[col], xs[j])
-					fAcc = field.Mul(fAcc, field.Add(field.Add(wiresD[col][j],
-						field.Mul(beta, id)), gamma))
-					gAcc = field.Mul(gAcc, field.Add(field.Add(wiresD[col][j],
-						field.Mul(beta, sigD[col][j])), gamma))
-				}
-				var next field.Element
-				if grp == c.Reps-1 {
-					next = zD[0][(j+rot)%d]
-				} else {
-					next = zD[grp+1][j]
-				}
-				perm := field.Sub(field.Mul(next, gAcc), field.Mul(zD[grp][j], fAcc))
-				sum = field.Add(sum, field.Mul(a, perm))
-				a = field.Mul(a, alpha)
-			}
-
-			// Boundary: L1·(Z − 1).
-			l1 := field.Mul(zh, l1Den[j])
-			bound := field.Mul(l1, field.Sub(zD[0][j], field.One))
-			sum = field.Add(sum, field.Mul(a, bound))
-
-			t[j] = field.Mul(sum, zhInv[j])
+		})
+		if err != nil {
+			return
 		}
+		if err = field.BatchInverseCtx(ctx, zhInv); err != nil {
+			return
+		}
+		if err = field.BatchInverseCtx(ctx, l1Den); err != nil {
+			return
+		}
+
+		// The α accumulator restarts at every point, so points are fully
+		// independent and the loop fans out over the pool.
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				zh := field.Sub(xn[j%4], field.One)
+				a := field.One
+				var sum field.Element
+
+				// Gate constraints, one per repetition.
+				for rep := 0; rep < c.Reps; rep++ {
+					gate := gateEval(selD[5*rep][j], selD[5*rep+1][j],
+						selD[5*rep+2][j], selD[5*rep+3][j], selD[5*rep+4][j],
+						wiresD[3*rep][j], wiresD[3*rep+1][j], wiresD[3*rep+2][j])
+					if rep == 0 {
+						gate = field.Add(gate, piD[j])
+					}
+					sum = field.Add(sum, field.Mul(a, gate))
+					a = field.Mul(a, alpha)
+				}
+
+				// Permutation chain: π_{g+1}·gg_g = π_g·fg_g, with π_R = Z(g·x).
+				for grp := 0; grp < c.Reps; grp++ {
+					fAcc, gAcc := field.One, field.One
+					for k := 0; k < groupCols; k++ {
+						col := groupCols*grp + k
+						id := field.Mul(c.ks[col], xs[j])
+						fAcc = field.Mul(fAcc, field.Add(field.Add(wiresD[col][j],
+							field.Mul(beta, id)), gamma))
+						gAcc = field.Mul(gAcc, field.Add(field.Add(wiresD[col][j],
+							field.Mul(beta, sigD[col][j])), gamma))
+					}
+					var next field.Element
+					if grp == c.Reps-1 {
+						next = zD[0][(j+rot)%d]
+					} else {
+						next = zD[grp+1][j]
+					}
+					perm := field.Sub(field.Mul(next, gAcc), field.Mul(zD[grp][j], fAcc))
+					sum = field.Add(sum, field.Mul(a, perm))
+					a = field.Mul(a, alpha)
+				}
+
+				// Boundary: L1·(Z − 1).
+				l1 := field.Mul(zh, l1Den[j])
+				bound := field.Mul(l1, field.Sub(zD[0][j], field.One))
+				sum = field.Add(sum, field.Mul(a, bound))
+
+				t[j] = field.Mul(sum, zhInv[j])
+			}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var tCoeffs []field.Element
 	rec.NTT(d, 1, true, true, false, func() {
 		tCoeffs = make([]field.Element, d)
 		copy(tCoeffs, t)
-		ntt.CosetInverseNN(tCoeffs, shift)
+		err = ntt.CosetInverseNNCtx(ctx, tCoeffs, shift)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, cc := range tCoeffs[quotientChunks*n:] {
 		if cc != 0 {
 			return nil, fmt.Errorf("plonk: quotient degree exceeds bound — constraint system bug")

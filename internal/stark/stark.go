@@ -9,6 +9,7 @@ import (
 	"unizk/internal/fri"
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
+	"unizk/internal/parallel"
 	"unizk/internal/poseidon"
 	"unizk/internal/prooferr"
 	"unizk/internal/trace"
@@ -19,6 +20,9 @@ import (
 const maxConstraintDegree = 4
 
 const quotientChunks = 3
+
+// quotGrain is the chunk size for the per-point quotient kernels.
+const quotGrain = 1 << 9
 
 // Boundary pins a column to a value on the first or last row — the
 // "input and output constraints" of paper Fig. 2. The values are public.
@@ -151,30 +155,39 @@ func (s *Stark) ProveContext(ctx context.Context, columns [][]field.Element,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	traceBatch := fri.CommitValues(columns, s.cfg.RateBits, s.cfg.CapHeight, rec)
-	observeCap(ch, traceBatch.Cap())
-	alpha := ch.Sample()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	tChunks, err := s.computeQuotient(traceBatch, alpha, rec)
+	traceBatch, err := fri.CommitValuesContext(ctx, columns, s.cfg.RateBits, s.cfg.CapHeight, rec)
 	if err != nil {
 		return nil, err
 	}
-	quotBatch := fri.CommitCoeffs(tChunks, s.cfg.RateBits, s.cfg.CapHeight, rec)
+	observeCap(ch, traceBatch.Cap())
+	alpha := ch.Sample()
+
+	tChunks, err := s.computeQuotient(ctx, traceBatch, alpha, rec)
+	if err != nil {
+		return nil, err
+	}
+	quotBatch, err := fri.CommitCoeffsContext(ctx, tChunks, s.cfg.RateBits, s.cfg.CapHeight, rec)
+	if err != nil {
+		return nil, err
+	}
 	observeCap(ch, quotBatch.Cap())
 
 	zeta := ch.SampleExt()
 	g := field.PrimitiveRootOfUnity(s.LogN)
 	zetaNext := field.ExtScalarMul(g, zeta)
 
-	if err := ctx.Err(); err != nil {
+	traceOpen, err := traceBatch.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
 		return nil, err
 	}
-	traceOpen := traceBatch.EvalAll(zeta, rec)
-	traceNextOpen := traceBatch.EvalAll(zetaNext, rec)
-	quotOpen := quotBatch.EvalAll(zeta, rec)
+	traceNextOpen, err := traceBatch.EvalAllContext(ctx, zetaNext, rec)
+	if err != nil {
+		return nil, err
+	}
+	quotOpen, err := quotBatch.EvalAllContext(ctx, zeta, rec)
+	if err != nil {
+		return nil, err
+	}
 	observeOpenings(ch, traceOpen, traceNextOpen, quotOpen)
 
 	oracles := []*fri.PolynomialBatch{traceBatch, quotBatch}
@@ -208,7 +221,9 @@ func (s *Stark) ProveContext(ctx context.Context, columns [][]field.Element,
 //	     + Σ_k α^... (col(x) − v)/(x − g^{N−1})  [last row]
 //
 // on the coset g·H_{4N} and interpolates it into degree-N chunks.
-func (s *Stark) computeQuotient(traceBatch *fri.PolynomialBatch,
+// Per-column coset NTTs fan out as whole-column jobs; the per-point loop
+// restarts its α walk at every j, so points split into pool chunks.
+func (s *Stark) computeQuotient(ctx context.Context, traceBatch *fri.PolynomialBatch,
 	alpha field.Element, rec *trace.Recorder) ([][]field.Element, error) {
 
 	n := s.N
@@ -217,14 +232,27 @@ func (s *Stark) computeQuotient(traceBatch *fri.PolynomialBatch,
 	shift := field.MultiplicativeGenerator
 
 	cols := make([][]field.Element, s.Width)
+	var err error
+	var inner parallel.FirstError
 	rec.NTT(d, s.Width, false, true, false, func() {
-		for i, c := range traceBatch.Coeffs {
-			e := make([]field.Element, d)
-			copy(e, c)
-			ntt.CosetForwardNN(e, shift)
-			cols[i] = e
-		}
+		err = parallel.For(ctx, s.Width, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := make([]field.Element, d)
+				copy(e, traceBatch.Coeffs[i])
+				if cerr := ntt.CosetForwardNNCtx(ctx, e, shift); cerr != nil {
+					inner.Set(cerr)
+					return
+				}
+				cols[i] = e
+			}
+		})
 	})
+	if err == nil {
+		err = inner.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	t := make([]field.Element, d)
 	rec.VecOp(d, s.Width, 4*(len(s.Transitions)+len(s.FirstRow)+len(s.LastRow)+2), func() {
@@ -233,10 +261,15 @@ func (s *Stark) computeQuotient(traceBatch *fri.PolynomialBatch,
 		gLast := field.Exp(field.PrimitiveRootOfUnity(s.LogN), uint64(n-1))
 
 		xs := make([]field.Element, d)
-		x := shift
-		for j := 0; j < d; j++ {
-			xs[j] = x
-			x = field.Mul(x, w)
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			x := field.Mul(shift, field.Exp(w, uint64(lo)))
+			for j := lo; j < hi; j++ {
+				xs[j] = x
+				x = field.Mul(x, w)
+			}
+		})
+		if err != nil {
+			return
 		}
 		sN := field.Exp(shift, uint64(n))
 		i4 := field.Exp(w, uint64(n))
@@ -250,49 +283,68 @@ func (s *Stark) computeQuotient(traceBatch *fri.PolynomialBatch,
 		zhInv := make([]field.Element, d)
 		firstInv := make([]field.Element, d)
 		lastInv := make([]field.Element, d)
-		for j := 0; j < d; j++ {
-			zhInv[j] = field.Sub(xn[j%4], field.One)
-			firstInv[j] = field.Sub(xs[j], field.One)
-			lastInv[j] = field.Sub(xs[j], gLast)
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				zhInv[j] = field.Sub(xn[j%4], field.One)
+				firstInv[j] = field.Sub(xs[j], field.One)
+				lastInv[j] = field.Sub(xs[j], gLast)
+			}
+		})
+		if err != nil {
+			return
 		}
-		field.BatchInverse(zhInv)
-		field.BatchInverse(firstInv)
-		field.BatchInverse(lastInv)
-
-		for j := 0; j < d; j++ {
-			localFn := func(c int) field.Element { return cols[c][j] }
-			nextFn := func(c int) field.Element { return cols[c][(j+rot)%d] }
-
-			a := field.One
-			var sum field.Element
-			// Transition constraints vanish on H \ {g^{N-1}}:
-			// divisor Z_H(x)/(x − g^{N−1}).
-			transDiv := field.Mul(field.Sub(xs[j], gLast), zhInv[j])
-			for _, tr := range s.Transitions {
-				v := tr.EvalBase(localFn, nextFn)
-				sum = field.Add(sum, field.Mul(a, field.Mul(v, transDiv)))
-				a = field.Mul(a, alpha)
-			}
-			for _, b := range s.FirstRow {
-				v := field.Sub(cols[b.Col][j], b.Value)
-				sum = field.Add(sum, field.Mul(a, field.Mul(v, firstInv[j])))
-				a = field.Mul(a, alpha)
-			}
-			for _, b := range s.LastRow {
-				v := field.Sub(cols[b.Col][j], b.Value)
-				sum = field.Add(sum, field.Mul(a, field.Mul(v, lastInv[j])))
-				a = field.Mul(a, alpha)
-			}
-			t[j] = sum
+		if err = field.BatchInverseCtx(ctx, zhInv); err != nil {
+			return
 		}
+		if err = field.BatchInverseCtx(ctx, firstInv); err != nil {
+			return
+		}
+		if err = field.BatchInverseCtx(ctx, lastInv); err != nil {
+			return
+		}
+
+		err = parallel.For(ctx, d, quotGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				localFn := func(c int) field.Element { return cols[c][j] }
+				nextFn := func(c int) field.Element { return cols[c][(j+rot)%d] }
+
+				a := field.One
+				var sum field.Element
+				// Transition constraints vanish on H \ {g^{N-1}}:
+				// divisor Z_H(x)/(x − g^{N−1}).
+				transDiv := field.Mul(field.Sub(xs[j], gLast), zhInv[j])
+				for _, tr := range s.Transitions {
+					v := tr.EvalBase(localFn, nextFn)
+					sum = field.Add(sum, field.Mul(a, field.Mul(v, transDiv)))
+					a = field.Mul(a, alpha)
+				}
+				for _, b := range s.FirstRow {
+					v := field.Sub(cols[b.Col][j], b.Value)
+					sum = field.Add(sum, field.Mul(a, field.Mul(v, firstInv[j])))
+					a = field.Mul(a, alpha)
+				}
+				for _, b := range s.LastRow {
+					v := field.Sub(cols[b.Col][j], b.Value)
+					sum = field.Add(sum, field.Mul(a, field.Mul(v, lastInv[j])))
+					a = field.Mul(a, alpha)
+				}
+				t[j] = sum
+			}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var tCoeffs []field.Element
 	rec.NTT(d, 1, true, true, false, func() {
 		tCoeffs = make([]field.Element, d)
 		copy(tCoeffs, t)
-		ntt.CosetInverseNN(tCoeffs, shift)
+		err = ntt.CosetInverseNNCtx(ctx, tCoeffs, shift)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range tCoeffs[quotientChunks*n:] {
 		if c != 0 {
 			return nil, errors.New("stark: quotient degree exceeds bound — constraint system bug")
