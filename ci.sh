@@ -37,8 +37,33 @@ fi
 go test -race ./...
 
 # Fuzz the decode+verify boundary of each protocol, plus the worker
-# pool's chunking arithmetic, for a fixed budget. -run='^$' skips unit
-# tests so the whole budget goes to fuzzing.
+# pool's chunking arithmetic and the proving-service request/response
+# codecs, for a fixed budget. -run='^$' skips unit tests so the whole
+# budget goes to fuzzing.
 go test -run='^$' -fuzz='^FuzzPlonkUnmarshalVerify$' -fuzztime=10s ./internal/plonk
 go test -run='^$' -fuzz='^FuzzStarkUnmarshalVerify$' -fuzztime=10s ./internal/stark
 go test -run='^$' -fuzz='^FuzzForCoverage$' -fuzztime=10s ./internal/parallel
+go test -run='^$' -fuzz='^FuzzRequestRoundTrip$' -fuzztime=5s ./internal/jobs
+go test -run='^$' -fuzz='^FuzzResultRoundTrip$' -fuzztime=5s ./internal/jobs
+
+# Proving-service smoke test: start unizk-server on an ephemeral port,
+# prove one Plonky2 and one Starky job over HTTP (cmd/prove -remote
+# re-verifies each proof locally), then drain it with SIGTERM and
+# require a clean exit.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+go build -o "$SMOKE_DIR/unizk-server" ./cmd/unizk-server
+"$SMOKE_DIR/unizk-server" -addr 127.0.0.1:0 -portfile "$SMOKE_DIR/port" \
+	-queue 8 -inflight 1 >"$SMOKE_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+	[ -s "$SMOKE_DIR/port" ] && break
+	sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { cat "$SMOKE_DIR/server.log"; exit 1; }
+ADDR=$(head -n1 "$SMOKE_DIR/port")
+go run ./cmd/prove -remote "http://$ADDR" -protocol plonky2 -app Fibonacci -rows 6
+go run ./cmd/prove -remote "http://$ADDR" -protocol starky -app Factorial -rows 6
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q 'drained cleanly' "$SMOKE_DIR/server.log"

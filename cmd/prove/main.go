@@ -1,29 +1,38 @@
 // Command prove generates and verifies proofs from the command line: a
 // Plonky2-style proof for a Table 3 workload, or a Starky base proof.
+// Requests are built with internal/jobs, the same package the proving
+// service uses, so local and remote proofs are bit-identical.
 //
 // Usage:
 //
 //	prove -protocol plonky2 -app "Image Crop" -rows 10
 //	prove -protocol starky -app Fibonacci -rows 12 -timeout 30s
+//	prove -remote http://127.0.0.1:8427 -app Fibonacci -rows 10
+//
+// -workers sets the shared prover pool size. It is independent of
+// GOMAXPROCS: the Go scheduler still multiplexes the pool's goroutines
+// onto GOMAXPROCS OS threads, so -workers above GOMAXPROCS adds no
+// parallelism, only queueing. 0 keeps the default (NumCPU).
 //
 // Exit codes distinguish failure stages so scripts can react:
 //
-//	1  usage error (bad flags, unknown protocol or workload)
+//	1  usage error (bad flags, unknown protocol or workload, refused request)
 //	2  circuit/trace build failure
-//	3  proving failure (including -timeout expiry)
+//	3  proving failure (including -timeout expiry and remote errors)
 //	4  verification failure
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"unizk/internal/fri"
-	"unizk/internal/plonk"
-	"unizk/internal/workloads"
+	"unizk/internal/jobs"
+	"unizk/internal/parallel"
+	"unizk/internal/serverclient"
 )
 
 // Exit codes, one per pipeline stage.
@@ -39,7 +48,13 @@ func main() {
 	app := flag.String("app", "Fibonacci", "workload name")
 	rows := flag.Int("rows", 10, "log2 of rows")
 	timeout := flag.Duration("timeout", 0, "abort proving after this duration (0 = no limit)")
+	remote := flag.String("remote", "", "prove on a unizk-server at this base URL instead of locally")
+	workers := flag.Int("workers", 0, "prover pool size for local proving (0 = NumCPU; capped by GOMAXPROCS in practice)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -48,51 +63,74 @@ func main() {
 		defer cancel()
 	}
 
-	switch *protocol {
-	case "plonky2":
-		runPlonky2(ctx, *app, *rows)
-	case "starky":
-		runStarky(ctx, *app, *rows)
+	kind, err := jobs.KindByName(*protocol)
+	exitOn(err, exitUsage)
+	req := &jobs.Request{Kind: kind, Workload: *app, LogRows: *rows}
+
+	if *remote != "" {
+		runRemote(ctx, *remote, req, *timeout)
+		return
+	}
+	runLocal(ctx, req)
+}
+
+// runLocal compiles and proves in-process, exactly as before the
+// proving service existed.
+func runLocal(ctx context.Context, req *jobs.Request) {
+	j, err := jobs.Compile(req)
+	exitOn(err, compileExitCode(err))
+	fmt.Println(j.Describe())
+
+	start := time.Now()
+	res, err := j.Prove(ctx)
+	exitOn(err, exitProve)
+	fmt.Printf("proved in %v (%d proof bytes)\n", time.Since(start), len(res.Proof))
+
+	start = time.Now()
+	exitOn(j.Check(res), exitVerify)
+	fmt.Printf("verified in %v\n", time.Since(start))
+}
+
+// runRemote submits the job on the service's synchronous endpoint and
+// re-verifies the returned proof locally, so a lying server still
+// exits 4.
+func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout time.Duration) {
+	c := serverclient.New(baseURL)
+	fmt.Printf("remote prove: %s %q 2^%d rows via %s\n", req.Kind, req.Workload, req.LogRows, baseURL)
+
+	start := time.Now()
+	res, err := c.Prove(ctx, req, serverclient.Options{Timeout: timeout})
+	exitOn(err, remoteExitCode(err))
+	fmt.Printf("proved in %v (%d proof bytes)\n", time.Since(start), len(res.Proof))
+
+	start = time.Now()
+	exitOn(jobs.CheckResult(req, res), exitVerify)
+	fmt.Printf("verified locally in %v\n", time.Since(start))
+}
+
+// compileExitCode distinguishes bad requests (usage) from circuit or
+// trace construction failures (build).
+func compileExitCode(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrBuild):
+		return exitBuild
 	default:
-		fmt.Fprintf(os.Stderr, "prove: unknown protocol %q\n", *protocol)
-		os.Exit(exitUsage)
+		return exitUsage
 	}
 }
 
-func runPlonky2(ctx context.Context, app string, rows int) {
-	w, err := workloads.ByName(app)
-	exitOn(err, exitUsage)
-	cfg := fri.PlonkyConfig()
-	circuit, wit, pub, err := w.Build(rows, cfg)
-	exitOn(err, exitBuild)
-	fmt.Printf("circuit: %s, %d rows (2^%d), %d public inputs\n",
-		app, circuit.N, circuit.LogN, circuit.NumPublic)
-
-	start := time.Now()
-	proof, err := circuit.ProveContext(ctx, wit, nil)
-	exitOn(err, exitProve)
-	fmt.Printf("proved in %v\n", time.Since(start))
-
-	start = time.Now()
-	exitOn(plonk.Verify(circuit.VerificationKey(), pub, proof), exitVerify)
-	fmt.Printf("verified in %v\n", time.Since(start))
-}
-
-func runStarky(ctx context.Context, app string, rows int) {
-	w, err := workloads.StarkByName(app)
-	exitOn(err, exitUsage)
-	s, cols, err := w.Build(rows, fri.StarkyConfig())
-	exitOn(err, exitBuild)
-	fmt.Printf("trace: %s, %d rows (2^%d), width %d\n", app, s.N, s.LogN, s.Width)
-
-	start := time.Now()
-	proof, err := s.ProveContext(ctx, cols, nil)
-	exitOn(err, exitProve)
-	fmt.Printf("proved in %v\n", time.Since(start))
-
-	start = time.Now()
-	exitOn(s.Verify(proof), exitVerify)
-	fmt.Printf("verified in %v\n", time.Since(start))
+// remoteExitCode maps the server's reply onto the local exit codes:
+// 4xx request rejections are usage errors, everything else (including
+// transport failures and server-side prove errors) is a prove failure.
+func remoteExitCode(err error) int {
+	var apiErr *serverclient.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case 400, 404, 422:
+			return exitUsage
+		}
+	}
+	return exitProve
 }
 
 func exitOn(err error, code int) {

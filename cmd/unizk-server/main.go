@@ -1,0 +1,107 @@
+// Command unizk-server runs the proving service: an HTTP API that
+// queues Plonky2/Starky proving jobs behind a bounded queue, proves
+// them on the shared worker pool, and serves results. See DESIGN.md
+// §10 for the architecture and internal/server for the API surface.
+//
+// Usage:
+//
+//	unizk-server -addr 127.0.0.1:8427 -queue 64 -inflight 2
+//
+// -workers sets the shared prover pool size. It is independent of
+// GOMAXPROCS: the Go scheduler multiplexes pool goroutines onto
+// GOMAXPROCS OS threads, so values above GOMAXPROCS add queueing, not
+// parallelism. Total prover concurrency is roughly inflight × workers
+// worker-slots contending for GOMAXPROCS threads.
+//
+// On SIGINT/SIGTERM the server drains: new submissions get 503,
+// queued jobs are rejected as retryable, in-flight jobs get -drain to
+// finish before being force-canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unizk/internal/parallel"
+	"unizk/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8427", "listen address (use :0 for an ephemeral port)")
+	queueCap := flag.Int("queue", 64, "queued-job capacity before submissions get 429")
+	inflight := flag.Int("inflight", 2, "jobs proving concurrently")
+	workers := flag.Int("workers", 0, "prover pool size shared by all in-flight jobs (0 = NumCPU)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline, measured from admission")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	flag.Parse()
+
+	if err := run(*addr, *queueCap, *inflight, *workers, *jobTimeout, *drain, *portfile); err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queueCap, inflight, workers int, jobTimeout, drain time.Duration, portfile string) error {
+	if workers > 0 {
+		parallel.SetWorkers(workers)
+	}
+
+	s := server.New(server.Config{
+		QueueCap:       queueCap,
+		MaxInFlight:    inflight,
+		DefaultTimeout: jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Printf("unizk-server listening on %s (queue=%d inflight=%d workers=%d)\n",
+		bound, queueCap, inflight, parallel.Workers())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("unizk-server: %v, draining (up to %v)\n", sig, drain)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain the job scheduler first so queued jobs are rejected and
+	// in-flight proofs finish, then close the HTTP listener.
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	forced := s.Shutdown(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	if forced != nil {
+		fmt.Println("unizk-server: drain deadline hit, in-flight jobs canceled")
+	} else {
+		fmt.Println("unizk-server: drained cleanly")
+	}
+	return nil
+}

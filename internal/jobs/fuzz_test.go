@@ -1,0 +1,91 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+
+	"unizk/internal/field"
+)
+
+// FuzzRequestRoundTrip holds the wire format of proof requests stable:
+// anything that decodes must re-encode to a stream that decodes to the
+// same value, and the canonical encoding of that value must be a fixed
+// point. This is the drift guard between the CLI and HTTP submission
+// paths.
+func FuzzRequestRoundTrip(f *testing.F) {
+	seed := []Request{
+		{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6},
+		{Kind: KindStark, Workload: "SHA-256", LogRows: 12, Payload: []byte{1, 2, 3, 4}},
+		{Kind: 0, Workload: "", LogRows: 0},
+	}
+	for _, q := range seed {
+		raw, err := q.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Request
+		if err := q.UnmarshalBinary(data); err != nil {
+			return
+		}
+		raw, err := q.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of decoded request failed: %v", err)
+		}
+		var q2 Request
+		if err := q2.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if q2.Kind != q.Kind || q2.Workload != q.Workload ||
+			q2.LogRows != q.LogRows || !bytes.Equal(q2.Payload, q.Payload) {
+			t.Fatalf("value changed across round trip: %+v vs %+v", q, q2)
+		}
+		raw2, err := q2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzResultRoundTrip does the same for the response side.
+func FuzzResultRoundTrip(f *testing.F) {
+	seed := []Result{
+		{Kind: KindPlonk, Proof: []byte{1, 2, 3}, Public: []field.Element{field.New(7)}},
+		{Kind: KindStark, Proof: nil},
+	}
+	for _, res := range seed {
+		raw, err := res.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var res Result
+		if err := res.UnmarshalBinary(data); err != nil {
+			return
+		}
+		raw, err := res.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of decoded result failed: %v", err)
+		}
+		var res2 Result
+		if err := res2.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if res2.Kind != res.Kind || !bytes.Equal(res2.Proof, res.Proof) ||
+			len(res2.Public) != len(res.Public) {
+			t.Fatalf("value changed across round trip: %+v vs %+v", res, res2)
+		}
+		for i := range res.Public {
+			if res2.Public[i] != res.Public[i] {
+				t.Fatalf("public input %d changed across round trip", i)
+			}
+		}
+	})
+}

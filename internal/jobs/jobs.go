@@ -1,0 +1,375 @@
+// Package jobs defines the proof-job request/response encoding and
+// execution path shared by the one-shot CLI (cmd/prove) and the proving
+// service (internal/server, cmd/unizk-server). A Request names a
+// workload kind plus its parameters and an optional witness/trace
+// payload; a Result carries the serialized proof and its public inputs.
+// Both round-trip through the internal/wire format, so the CLI and HTTP
+// paths cannot drift: the service proves exactly the job a local
+// `prove` invocation would, and the proof bytes are bit-identical
+// (parallel.For's determinism contract extends through this layer).
+//
+// Errors are classified with the internal/prooferr taxonomy so the
+// server can map them onto HTTP status codes in one place
+// (internal/server/status.go): structurally invalid requests wrap
+// ErrBadRequest (and prooferr.ErrMalformedProof), well-formed requests
+// refused by policy wrap ErrRefused (and prooferr.ErrProofRejected).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"unizk/internal/field"
+	"unizk/internal/fri"
+	"unizk/internal/plonk"
+	"unizk/internal/prooferr"
+	"unizk/internal/stark"
+	"unizk/internal/wire"
+	"unizk/internal/workloads"
+)
+
+// Kind selects the proof system a job runs under.
+type Kind uint8
+
+const (
+	// KindPlonk proves a Table 3 workload as a Plonky2-style circuit.
+	KindPlonk Kind = 1
+	// KindStark proves a Starky base-proof trace workload (Table 5).
+	KindStark Kind = 2
+)
+
+// String returns the protocol name used by cmd/prove's -protocol flag.
+func (k Kind) String() string {
+	switch k {
+	case KindPlonk:
+		return "plonky2"
+	case KindStark:
+		return "starky"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindByName parses a cmd/prove -protocol value.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "plonky2":
+		return KindPlonk, nil
+	case "starky":
+		return KindStark, nil
+	default:
+		return 0, fmt.Errorf("jobs: unknown protocol %q: %w: %w",
+			name, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+}
+
+// Sentinels for the two request-failure classes. Both also wrap the
+// prooferr taxonomy, which is what internal/server keys its HTTP status
+// mapping on.
+var (
+	// ErrBadRequest marks a structurally invalid request: unknown kind
+	// or workload, an undecodable payload, or a payload whose shape does
+	// not match the workload's AIR.
+	ErrBadRequest = errors.New("jobs: bad request")
+	// ErrRefused marks a well-formed request the policy refuses, e.g. a
+	// row count above MaxLogRows.
+	ErrRefused = errors.New("jobs: request refused")
+	// ErrBuild marks a workload generator failure for an otherwise
+	// acceptable request — the CLI maps it to its build exit code.
+	ErrBuild = errors.New("jobs: workload build failed")
+)
+
+// Limits on acceptable requests. MaxLogRows bounds the resource cost of
+// a single job (2^20 rows is the paper's full-scale operating point);
+// MaxPayload and MaxWorkloadName bound attacker-controlled allocations
+// before the wire layer's own caps kick in.
+const (
+	MaxLogRows      = 20
+	MaxPayload      = 1 << 27
+	MaxWorkloadName = 128
+)
+
+// Request is one proof job: which proof system, which workload, how many
+// rows, and an optional payload overriding the workload's default
+// witness data. For KindStark the payload, when non-empty, is a
+// wire-encoded column-major trace (Len(width) then one Elems per
+// column) replacing the generated trace; it must match the workload
+// AIR's width and 2^LogRows rows. For KindPlonk the payload must be
+// empty (witness overrides are reserved until circuit inputs are
+// addressable over the wire).
+type Request struct {
+	Kind     Kind
+	Workload string
+	LogRows  int
+	Payload  []byte
+}
+
+// EncodeTo serializes the request into an existing writer.
+func (q *Request) EncodeTo(w *wire.Writer) {
+	w.Uvarint(uint64(q.Kind))
+	w.Str(q.Workload)
+	w.Uvarint(uint64(q.LogRows))
+	w.Blob(q.Payload)
+}
+
+// MarshalBinary serializes the request (implements
+// encoding.BinaryMarshaler).
+func (q *Request) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	q.EncodeTo(&w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a request. Decode errors are classified
+// as malformed; semantic validation is Compile's job.
+func (q *Request) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	q.Kind = Kind(r.Uvarint())
+	q.Workload = r.Str()
+	q.LogRows = int(r.Uvarint())
+	q.Payload = r.Blob()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("jobs: decode request: %w: %w: %w",
+			err, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	return nil
+}
+
+// Validate checks the request's self-contained invariants: known kind,
+// plausible workload name, row count within policy, payload within
+// bounds. Workload existence and payload shape are checked by Compile,
+// which has the workload tables at hand.
+func (q *Request) Validate() error {
+	switch q.Kind {
+	case KindPlonk, KindStark:
+	default:
+		return fmt.Errorf("jobs: unknown kind %d: %w: %w",
+			q.Kind, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	if q.Workload == "" || len(q.Workload) > MaxWorkloadName {
+		return fmt.Errorf("jobs: workload name length %d out of [1, %d]: %w: %w",
+			len(q.Workload), MaxWorkloadName, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	if q.LogRows < 1 || q.LogRows > MaxLogRows {
+		return fmt.Errorf("jobs: logRows %d out of [1, %d]: %w: %w",
+			q.LogRows, MaxLogRows, ErrRefused, prooferr.ErrProofRejected)
+	}
+	if len(q.Payload) > MaxPayload {
+		return fmt.Errorf("jobs: payload %d bytes exceeds %d: %w: %w",
+			len(q.Payload), MaxPayload, ErrRefused, prooferr.ErrProofRejected)
+	}
+	if q.Kind == KindPlonk && len(q.Payload) != 0 {
+		return fmt.Errorf("jobs: plonk requests take no payload: %w: %w",
+			ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	return nil
+}
+
+// Result is a completed job: the serialized proof and, for Plonk jobs,
+// the public inputs the proof binds.
+type Result struct {
+	Kind   Kind
+	Proof  []byte
+	Public []field.Element
+}
+
+// EncodeTo serializes the result into an existing writer.
+func (res *Result) EncodeTo(w *wire.Writer) {
+	w.Uvarint(uint64(res.Kind))
+	w.Blob(res.Proof)
+	w.Elems(res.Public)
+}
+
+// MarshalBinary serializes the result.
+func (res *Result) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	res.EncodeTo(&w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a result.
+func (res *Result) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	res.Kind = Kind(r.Uvarint())
+	res.Proof = r.Blob()
+	res.Public = r.Elems()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("jobs: decode result: %w: %w: %w",
+			err, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	return nil
+}
+
+// Job is a compiled, ready-to-prove request. Compiling up front lets the
+// server validate and admission-check a request synchronously (HTTP 400
+// / 422 at submit time) and run only the prove on the scheduler.
+type Job struct {
+	req *Request
+
+	// KindPlonk:
+	circuit *plonk.Circuit
+	wit     *plonk.Witness
+	pub     []field.Element
+
+	// KindStark:
+	stark *stark.Stark
+	cols  [][]field.Element
+}
+
+// Compile validates the request and builds its circuit or trace.
+func Compile(req *Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	j := &Job{req: req}
+	switch req.Kind {
+	case KindPlonk:
+		w, err := workloads.ByName(req.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w: %w", err, ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+		j.circuit, j.wit, j.pub, err = w.Build(req.LogRows, fri.PlonkyConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", err, ErrBuild)
+		}
+	case KindStark:
+		w, err := workloads.StarkByName(req.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w: %w", err, ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+		j.stark, j.cols, err = w.Build(req.LogRows, fri.StarkyConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", err, ErrBuild)
+		}
+		if len(req.Payload) > 0 {
+			j.cols, err = decodeTrace(req.Payload, j.stark)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return j, nil
+}
+
+// decodeTrace decodes a wire-encoded column-major trace and checks it
+// against the AIR's dimensions before any of it is used.
+func decodeTrace(payload []byte, s *stark.Stark) ([][]field.Element, error) {
+	r := wire.NewReader(payload)
+	width := r.Len()
+	if r.Err() == nil && width != s.Width {
+		return nil, fmt.Errorf("jobs: trace payload has %d columns, AIR width is %d: %w: %w",
+			width, s.Width, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	cols := make([][]field.Element, 0, s.Width)
+	for i := 0; i < width && r.Err() == nil; i++ {
+		col := r.Elems()
+		if r.Err() == nil && len(col) != s.N {
+			return nil, fmt.Errorf("jobs: trace column %d has %d rows, want %d: %w: %w",
+				i, len(col), s.N, ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+		cols = append(cols, col)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("jobs: decode trace payload: %w: %w: %w",
+			err, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	return cols, nil
+}
+
+// Describe returns the one-line build summary cmd/prove prints.
+func (j *Job) Describe() string {
+	switch j.req.Kind {
+	case KindPlonk:
+		return fmt.Sprintf("circuit: %s, %d rows (2^%d), %d public inputs",
+			j.req.Workload, j.circuit.N, j.circuit.LogN, j.circuit.NumPublic)
+	default:
+		return fmt.Sprintf("trace: %s, %d rows (2^%d), width %d",
+			j.req.Workload, j.stark.N, j.stark.LogN, j.stark.Width)
+	}
+}
+
+// Request returns the request the job was compiled from.
+func (j *Job) Request() *Request { return j.req }
+
+// Prove runs the job under ctx. Cancellation and deadlines propagate
+// through ProveContext into every parallel kernel (DESIGN.md §9), so a
+// canceled job releases its workers promptly.
+func (j *Job) Prove(ctx context.Context) (*Result, error) {
+	switch j.req.Kind {
+	case KindPlonk:
+		proof, err := j.circuit.ProveContext(ctx, j.wit, nil)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := proof.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindPlonk, Proof: raw, Public: j.pub}, nil
+	default:
+		proof, err := j.stark.ProveContext(ctx, j.cols, nil)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := proof.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindStark, Proof: raw}, nil
+	}
+}
+
+// Check verifies a result against the compiled job: the proof must
+// decode, verify under the job's verification key or AIR, and (for
+// Plonk) bind exactly the job's expected public inputs.
+func (j *Job) Check(res *Result) error {
+	if res.Kind != j.req.Kind {
+		return fmt.Errorf("jobs: result kind %s does not match request kind %s: %w: %w",
+			res.Kind, j.req.Kind, ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	switch j.req.Kind {
+	case KindPlonk:
+		if len(res.Public) != len(j.pub) {
+			return fmt.Errorf("jobs: result has %d public inputs, want %d: %w: %w",
+				len(res.Public), len(j.pub), ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+		for i := range j.pub {
+			if res.Public[i] != j.pub[i] {
+				return fmt.Errorf("jobs: public input %d mismatch: %w",
+					i, prooferr.ErrProofRejected)
+			}
+		}
+		var proof plonk.Proof
+		if err := proof.UnmarshalBinary(res.Proof); err != nil {
+			return err
+		}
+		return plonk.Verify(j.circuit.VerificationKey(), j.pub, &proof)
+	default:
+		var proof stark.Proof
+		if err := proof.UnmarshalBinary(res.Proof); err != nil {
+			return err
+		}
+		return j.stark.Verify(&proof)
+	}
+}
+
+// Execute compiles and proves a request in one step — the shared
+// entry point for cmd/prove's local path and one-shot callers.
+func Execute(ctx context.Context, req *Request) (*Result, error) {
+	j, err := Compile(req)
+	if err != nil {
+		return nil, err
+	}
+	return j.Prove(ctx)
+}
+
+// CheckResult recompiles the request and verifies the result against it
+// — what cmd/prove -remote does with proof bytes returned by a server.
+func CheckResult(req *Request, res *Result) error {
+	j, err := Compile(req)
+	if err != nil {
+		return err
+	}
+	return j.Check(res)
+}

@@ -80,3 +80,27 @@ func pooledIgnoresCtx(ctx context.Context, next func() ([]int, bool)) {
 		}
 	}
 }
+
+type queue struct{ items chan int }
+
+func (q *queue) pop(ctx context.Context) (int, error) {
+	select {
+	case v := <-q.items:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// scheduler mirrors the proving service's runner loop: the unbounded
+// loop blocks in pop(ctx), which returns once ctx is canceled — the
+// forwarded ctx counts as consulting it.
+func scheduler(ctx context.Context, q *queue, run func(int)) {
+	for {
+		v, err := q.pop(ctx)
+		if err != nil {
+			return
+		}
+		run(v)
+	}
+}

@@ -1,0 +1,254 @@
+// HTTP handlers for the proving service API:
+//
+//	POST /v1/jobs              submit a job (wire-encoded jobs.Request body)
+//	GET  /v1/jobs/{id}         job status (JSON)
+//	GET  /v1/jobs/{id}/proof   proof bytes (wire-encoded jobs.Result)
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	POST /v1/prove             submit and wait (proof bytes in response)
+//	GET  /healthz              liveness + drain state
+//	GET  /metrics              counters and latency quantiles (JSON)
+//
+// Submit options ride as query parameters: ?timeout=30s bounds the
+// prove (capped by Config.MaxTimeout), ?priority=N biases the queue
+// (higher pops first, FIFO within a level).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/parallel"
+	"unizk/internal/prooferr"
+	"unizk/internal/serverclient"
+)
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleProof)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/prove", s.handleProveSync)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeError renders err through the status mapping, attaching the
+// Retry-After backpressure hint to retryable rejections.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, class := statusFor(err)
+	body := serverclient.ErrorBody{Error: err.Error(), Class: class}
+	if retryable(status) {
+		body.RetryAfterSeconds = s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
+	}
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already committed
+}
+
+// decodeSubmit reads and validates the submit body and options shared
+// by the async and sync endpoints.
+func (s *Server) decodeSubmit(r *http.Request) (*jobs.Request, int, time.Duration, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("reading request body: %v: %w: %w",
+			err, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	req := new(jobs.Request)
+	if err := req.UnmarshalBinary(body); err != nil {
+		return nil, 0, 0, err
+	}
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		priority, err = strconv.Atoi(p)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("bad priority %q: %w: %w",
+				p, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+	}
+	var timeout time.Duration
+	if d := r.URL.Query().Get("timeout"); d != "" {
+		timeout, err = time.ParseDuration(d)
+		if err != nil || timeout < 0 {
+			return nil, 0, 0, fmt.Errorf("bad timeout %q: %w: %w",
+				d, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+	}
+	return req, priority, timeout, nil
+}
+
+// handleSubmit admits a job and replies 202 with its id; the client
+// polls GET /v1/jobs/{id} and fetches the proof when done.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, priority, timeout, err := s.decodeSubmit(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.admit(req, priority, timeout)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, serverclient.SubmitReply{
+		ID:        j.id,
+		State:     stateQueued.String(),
+		StatusURL: "/v1/jobs/" + j.id,
+	})
+}
+
+// handleProveSync admits a job, waits for it, and returns the proof
+// bytes directly. The job's lifetime is tied to the connection: a
+// client disconnect cancels the job through the same context plumbing
+// as a deadline or a drain.
+func (s *Server) handleProveSync(w http.ResponseWriter, r *http.Request) {
+	req, priority, timeout, err := s.decodeSubmit(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.admit(req, priority, timeout)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		j.cancel()
+		<-j.done
+	}
+	res, err := j.result()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	raw, err := res.MarshalBinary()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Unizk-Job-Id", j.id)
+	_, _ = w.Write(raw)
+}
+
+// statusJSON assembles the status DTO for a job.
+func (s *Server) statusJSON(j *job) serverclient.JobStatus {
+	state, jerr, queueWait, prove := j.snapshot()
+	st := serverclient.JobStatus{
+		ID:          j.id,
+		Kind:        j.req.Kind.String(),
+		Workload:    j.req.Workload,
+		LogRows:     j.req.LogRows,
+		Priority:    j.priority,
+		State:       state.String(),
+		QueueWaitMS: queueWait.Milliseconds(),
+		ProveMS:     prove.Milliseconds(),
+	}
+	if jerr != nil {
+		code, class := statusFor(jerr)
+		st.Error = jerr.Error()
+		st.Class = class
+		st.Retryable = retryable(code)
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusJSON(j))
+}
+
+// handleProof returns the wire-encoded jobs.Result of a completed job,
+// the mapped error of a failed one, or 202 + status JSON while the job
+// is still queued or running.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	res, err := j.result()
+	if err != nil {
+		if err == errNotFinished {
+			writeJSON(w, http.StatusAccepted, s.statusJSON(j))
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	raw, err := res.MarshalBinary()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(raw)
+}
+
+// handleCancel cancels a queued or running job; terminal jobs are
+// unaffected (the reply reports whichever state the job settles in).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, s.statusJSON(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := serverclient.Health{
+		Status:   "ok",
+		Queued:   s.queue.Len(),
+		InFlight: s.met.inFlight.Load(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.met
+	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		Queued:            s.queue.Len(),
+		InFlight:          m.inFlight.Load(),
+		Submitted:         m.submitted.Load(),
+		Completed:         m.completed.Load(),
+		Failed:            m.failed.Load(),
+		Canceled:          m.canceled.Load(),
+		RejectedQueueFull: m.rejectedFull.Load(),
+		RejectedInvalid:   m.rejectedInvalid.Load(),
+		RejectedDraining:  m.rejectedDrain.Load(),
+		Workers:           parallel.Workers(),
+		ProveLatencyP50MS: ms(m.proveLat.quantile(0.50)),
+		ProveLatencyP99MS: ms(m.proveLat.quantile(0.99)),
+		QueueWaitP50MS:    ms(m.queueWait.quantile(0.50)),
+		QueueWaitP99MS:    ms(m.queueWait.quantile(0.99)),
+	})
+}

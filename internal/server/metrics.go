@@ -1,0 +1,89 @@
+// Service metrics: expvar-style monotonic counters plus reservoir
+// latency quantiles, served as JSON by GET /metrics. Everything here is
+// observability-only — nothing feeds the Fiat–Shamir transcript, so
+// wall-clock reads are safe (and this package never imports poseidon).
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the sliding-window size for latency quantiles.
+const latWindow = 512
+
+// latencySampler keeps the last latWindow observations and answers
+// quantile queries over them.
+type latencySampler struct {
+	mu   sync.Mutex
+	ring [latWindow]time.Duration
+	n    int // total observations
+}
+
+func (l *latencySampler) add(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.n%latWindow] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) of the window, or 0 with
+// no observations.
+func (l *latencySampler) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	size := l.n
+	if size > latWindow {
+		size = latWindow
+	}
+	buf := make([]time.Duration, size)
+	copy(buf, l.ring[:size])
+	l.mu.Unlock()
+	if size == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(size-1))
+	return buf[idx]
+}
+
+// metrics is the service's counter set.
+type metrics struct {
+	submitted       atomic.Int64 // jobs accepted into the queue
+	completed       atomic.Int64 // jobs proved successfully
+	failed          atomic.Int64 // jobs that errored (incl. deadline)
+	canceled        atomic.Int64 // jobs canceled by client or drain force
+	rejectedFull    atomic.Int64 // submissions refused: queue full
+	rejectedInvalid atomic.Int64 // submissions refused: bad request
+	rejectedDrain   atomic.Int64 // queued jobs rejected at drain
+	inFlight        atomic.Int64 // currently proving
+
+	proveLat  *latencySampler // running → finished
+	queueWait *latencySampler // submitted → running
+}
+
+func newMetrics() *metrics {
+	return &metrics{proveLat: &latencySampler{}, queueWait: &latencySampler{}}
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	Queued            int   `json:"queued"`
+	InFlight          int64 `json:"in_flight"`
+	Submitted         int64 `json:"submitted"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Canceled          int64 `json:"canceled"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedInvalid   int64 `json:"rejected_invalid"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	Workers           int   `json:"workers"`
+
+	ProveLatencyP50MS float64 `json:"prove_latency_p50_ms"`
+	ProveLatencyP99MS float64 `json:"prove_latency_p99_ms"`
+	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,442 @@
+// Package server is the proving service: an HTTP front-end that admits
+// Plonk and Stark proof jobs into a bounded queue (internal/jobqueue)
+// and a scheduler that dispatches them onto the shared worker pool
+// (internal/parallel) through the ProveContext cancellation plumbing.
+// It is the system-level counterpart of the paper's kernel mapping
+// (§5): a stream of proof kernels contending for fixed compute, with
+// admission control at the front and bounded concurrency at the back —
+// concurrent jobs share the pool's workers instead of oversubscribing
+// cores, and per-job deadlines, client disconnects, and server drain
+// all arrive at the kernels as context cancellation.
+//
+// Lifecycle: New starts the scheduler; Handler serves the API
+// (submit/status/proof, a synchronous prove, healthz, metrics);
+// Shutdown drains — admission stops, queued-but-unstarted jobs are
+// rejected with a retryable error, in-flight jobs get until the
+// caller's deadline before their contexts are canceled.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unizk/internal/jobqueue"
+	"unizk/internal/jobs"
+)
+
+// ErrDraining rejects work while (or after) the server drains. It is
+// retryable: another replica, or this one after restart, can take the
+// job.
+var ErrDraining = errors.New("server draining, retry later")
+
+// errNotFinished is the internal marker for result requests against
+// jobs that are still queued or running.
+var errNotFinished = errors.New("job not finished")
+
+// Config sizes the service. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// QueueCap bounds the number of queued-but-unstarted jobs; pushes
+	// beyond it fail fast with 429 + Retry-After. Default 64.
+	QueueCap int
+	// MaxInFlight bounds concurrently proving jobs. Each job already
+	// fans out across the shared parallel.Pool, so this trades single-job
+	// latency against utilization when jobs have serial phases; it does
+	// not multiply CPU demand. Default 2.
+	MaxInFlight int
+	// DefaultTimeout applies to jobs that do not request a deadline;
+	// 0 means none. Default 5m.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. Default 30m.
+	MaxTimeout time.Duration
+	// RetryAfter is the minimum backpressure hint; the advertised value
+	// scales with observed prove latency and queue depth. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies. Default 1<<26.
+	MaxBodyBytes int64
+	// MaxRetained bounds finished-job records kept for status/result
+	// queries; the oldest finished jobs are evicted first. Default 1024.
+	MaxRetained int
+
+	// testHookRunning, when set by in-package tests, runs synchronously
+	// after a job transitions to running and before its prover starts —
+	// the handle tests use to hold jobs in flight deterministically. It
+	// lives in Config so it is in place before the runners start.
+	testHookRunning func(*job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 26
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 1024
+	}
+	return c
+}
+
+// jobState is a job's lifecycle position.
+type jobState int
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone
+	stateFailed
+	stateCanceled
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	case stateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// job is one admitted proof job and its mutable lifecycle record.
+type job struct {
+	id       string
+	req      *jobs.Request
+	compiled *jobs.Job
+	priority int
+	timeout  time.Duration
+
+	// ctx is derived from the server's base context and carries the
+	// job's deadline, measured from admission (it covers queue wait and
+	// prove). cancel aborts the job whether queued (the runner skips
+	// it) or proving (ProveContext unwinds through every parallel
+	// kernel) and releases the deadline timer.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes exactly once, when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     jobState
+	res       *jobs.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// snapshot returns the fields the status endpoint reports, consistently.
+func (j *job) snapshot() (state jobState, err error, queueWait, prove time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	state, err = j.state, j.err
+	if !j.started.IsZero() {
+		queueWait = j.started.Sub(j.submitted)
+		if !j.finished.IsZero() {
+			prove = j.finished.Sub(j.started)
+		}
+	} else if !j.finished.IsZero() {
+		queueWait = j.finished.Sub(j.submitted)
+	}
+	return state, err, queueWait, prove
+}
+
+// result returns the terminal outcome, or errNotFinished.
+func (j *job) result() (*jobs.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case stateDone:
+		return j.res, nil
+	case stateFailed, stateCanceled:
+		return nil, j.err
+	default:
+		return nil, errNotFinished
+	}
+}
+
+// Server is the proving service. Construct with New; it is ready (and
+// its scheduler running) on return.
+type Server struct {
+	cfg   Config
+	queue *jobqueue.Queue[*job]
+	met   *metrics
+	mux   *http.ServeMux
+
+	base      context.Context
+	cancelAll context.CancelFunc
+	runners   sync.WaitGroup
+	draining  atomic.Bool
+	nextID    atomic.Int64
+
+	mu           sync.Mutex
+	jobsByID     map[string]*job
+	finishedList []string
+}
+
+// New builds the service and starts its scheduler runners.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		queue:     jobqueue.New[*job](cfg.QueueCap),
+		met:       newMetrics(),
+		base:      base,
+		cancelAll: cancel,
+		jobsByID:  make(map[string]*job),
+	}
+	s.mux = s.buildMux()
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		s.runners.Add(1)
+		go s.runner(base)
+	}
+	return s
+}
+
+// Handler returns the HTTP API. Mount it on any http.Server (or
+// httptest.Server); Shutdown drains jobs but leaves serving the
+// listener to the caller.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// runner is the scheduler loop: it pops admitted jobs in
+// priority-then-FIFO order and proves them on the shared pool. MaxInFlight
+// runners give bounded prove concurrency; Pop consults ctx, so
+// cancellation (and queue close on drain) stops the loop.
+func (s *Server) runner(ctx context.Context) {
+	defer s.runners.Done()
+	for {
+		j, err := s.queue.Pop(ctx)
+		if err != nil {
+			return
+		}
+		s.run(j)
+	}
+}
+
+// run executes one job to a terminal state.
+func (s *Server) run(j *job) {
+	// A job canceled (or deadline-expired) while queued is finished
+	// without proving.
+	if err := j.ctx.Err(); err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = stateRunning
+	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
+	j.mu.Unlock()
+	s.met.inFlight.Add(1)
+	s.met.queueWait.add(wait)
+	if hook := s.cfg.testHookRunning; hook != nil {
+		hook(j)
+	}
+
+	res, err := j.compiled.Prove(j.ctx)
+	s.met.inFlight.Add(-1)
+	s.finish(j, res, err)
+}
+
+// finish moves a job to its terminal state exactly once and records
+// metrics. It is called by the runner, by Shutdown for drained queued
+// jobs, and by admission rollback paths.
+func (s *Server) finish(j *job, res *jobs.Result, err error) {
+	j.mu.Lock()
+	if j.state == stateDone || j.state == stateFailed || j.state == stateCanceled {
+		j.mu.Unlock()
+		return
+	}
+	wasRunning := j.state == stateRunning
+	j.finished = time.Now()
+	j.res, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = stateDone
+	case errors.Is(err, context.Canceled):
+		j.state = stateCanceled
+	default:
+		j.state = stateFailed
+	}
+	var proveTime time.Duration
+	if wasRunning {
+		proveTime = j.finished.Sub(j.started)
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	switch state {
+	case stateDone:
+		s.met.completed.Add(1)
+		s.met.proveLat.add(proveTime)
+	case stateCanceled:
+		s.met.canceled.Add(1)
+	default:
+		if errors.Is(err, ErrDraining) {
+			s.met.rejectedDrain.Add(1)
+		} else {
+			s.met.failed.Add(1)
+		}
+	}
+	j.cancel()
+	close(j.done)
+	s.retire(j)
+}
+
+// retire records a finished job for later status queries and evicts the
+// oldest finished records beyond the retention bound.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishedList = append(s.finishedList, j.id)
+	for len(s.finishedList) > s.cfg.MaxRetained {
+		evict := s.finishedList[0]
+		s.finishedList = s.finishedList[1:]
+		delete(s.jobsByID, evict)
+	}
+}
+
+// admit validates, compiles, registers, and enqueues a request. On any
+// error the job is not registered and the typed error maps to an HTTP
+// status via statusFor.
+func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (*job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	compiled, err := jobs.Compile(req)
+	if err != nil {
+		s.met.rejectedInvalid.Add(1)
+		return nil, err
+	}
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = s.cfg.DefaultTimeout
+		}
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	if timeout > 0 {
+		// The deadline runs from admission: a job that waits out its
+		// deadline in the queue fails with "deadline" without ever
+		// taking workers.
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		req:       req,
+		compiled:  compiled,
+		priority:  priority,
+		timeout:   timeout,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	s.jobsByID[j.id] = j
+	s.mu.Unlock()
+	if err := s.queue.Push(j, priority); err != nil {
+		s.mu.Lock()
+		delete(s.jobsByID, j.id)
+		s.mu.Unlock()
+		j.cancel()
+		if errors.Is(err, jobqueue.ErrClosed) {
+			err = ErrDraining
+		}
+		if errors.Is(err, jobqueue.ErrFull) {
+			s.met.rejectedFull.Add(1)
+		}
+		return nil, err
+	}
+	s.met.submitted.Add(1)
+	return j, nil
+}
+
+// lookup returns a registered job by id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobsByID[id]
+	return j, ok
+}
+
+// Shutdown drains the service: admission stops, queued-but-unstarted
+// jobs are rejected with the retryable ErrDraining, and in-flight jobs
+// run to completion unless ctx expires first, at which point their
+// contexts are canceled and Shutdown waits for them to unwind (the
+// cancellation reaches every parallel kernel, so this is prompt).
+// It returns nil on a clean drain, ctx.Err() if jobs had to be canceled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for _, j := range s.queue.Close() {
+		s.finish(j, nil, fmt.Errorf("job %s was queued at drain: %w", j.id, ErrDraining))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.runners.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.cancelAll()
+		<-done
+	}
+	s.cancelAll()
+	return forced
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// retryAfterSeconds is the backpressure hint for 429/503 responses: at
+// least the configured floor, scaled by how long the current queue will
+// take to drain at the observed median prove latency.
+func (s *Server) retryAfterSeconds() int {
+	hint := s.cfg.RetryAfter
+	if p50 := s.met.proveLat.quantile(0.50); p50 > 0 {
+		depth := int64(s.queue.Len())/int64(s.cfg.MaxInFlight) + 1
+		if est := time.Duration(depth) * p50; est > hint {
+			hint = est
+		}
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

@@ -1,0 +1,69 @@
+// HTTP status mapping for the service's error taxonomy. This is the one
+// place where internal error classes (internal/prooferr, jobqueue
+// backpressure, context cancellation) become wire-visible status codes;
+// every handler and the client rely on it, and TestStatusFor pins each
+// mapping.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"unizk/internal/jobqueue"
+	"unizk/internal/prooferr"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-originated) code
+// for "the client went away before the response": the job's context was
+// canceled by disconnect or an explicit cancel call, not by the server.
+const StatusClientClosedRequest = 499
+
+// statusFor maps an error to (HTTP status, error class). The class is
+// the machine-readable label carried in JSON bodies and job status:
+//
+//	nil                      → 200 ""
+//	jobqueue.ErrFull         → 429 "queue_full"   (backpressure; retry)
+//	ErrDraining / ErrClosed  → 503 "draining"     (drain; retry)
+//	context.Canceled         → 499 "canceled"
+//	context.DeadlineExceeded → 504 "deadline"
+//	prooferr.ErrMalformedProof → 400 "malformed"  (structural garbage)
+//	prooferr.ErrProofRejected  → 422 "rejected"   (well-formed, refused)
+//	anything else            → 500 "internal"
+//
+// Order matters: queue and lifecycle conditions are checked before the
+// prooferr taxonomy so that, e.g., a canceled job whose error chain also
+// carries a classification still reports the lifecycle code.
+func statusFor(err error) (int, string) {
+	switch {
+	case err == nil:
+		return http.StatusOK, ""
+	case errors.Is(err, jobqueue.ErrFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrDraining), errors.Is(err, jobqueue.ErrClosed):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, prooferr.ErrMalformedProof):
+		return http.StatusBadRequest, "malformed"
+	case errors.Is(err, prooferr.ErrProofRejected):
+		return http.StatusUnprocessableEntity, "rejected"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// retryable reports whether resubmitting the same request later can
+// succeed: backpressure, drain, cancellation, and deadline are
+// transient; malformed and rejected requests are not.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		StatusClientClosedRequest, http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}

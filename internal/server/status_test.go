@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"unizk/internal/jobqueue"
+	"unizk/internal/jobs"
+	"unizk/internal/prooferr"
+)
+
+// TestStatusFor pins every mapping from the internal error taxonomy to
+// HTTP status codes — the one place the service translates errors.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		status    int
+		class     string
+		retryable bool
+	}{
+		{"nil", nil, http.StatusOK, "", false},
+		{"queue full", jobqueue.ErrFull, http.StatusTooManyRequests, "queue_full", true},
+		{"wrapped queue full", fmt.Errorf("push: %w", jobqueue.ErrFull), http.StatusTooManyRequests, "queue_full", true},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, "draining", true},
+		{"queue closed", jobqueue.ErrClosed, http.StatusServiceUnavailable, "draining", true},
+		{"canceled", context.Canceled, StatusClientClosedRequest, "canceled", true},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline", true},
+		{"malformed", prooferr.ErrMalformedProof, http.StatusBadRequest, "malformed", false},
+		{"wrapped malformed", fmt.Errorf("jobs: %w: %w", jobs.ErrBadRequest, prooferr.ErrMalformedProof), http.StatusBadRequest, "malformed", false},
+		{"rejected", prooferr.ErrProofRejected, http.StatusUnprocessableEntity, "rejected", false},
+		{"refused policy", fmt.Errorf("rows: %w: %w", jobs.ErrRefused, prooferr.ErrProofRejected), http.StatusUnprocessableEntity, "rejected", false},
+		{"unclassified", errors.New("boom"), http.StatusInternalServerError, "internal", false},
+		{"build failure", fmt.Errorf("gen: %w", jobs.ErrBuild), http.StatusInternalServerError, "internal", false},
+	}
+	for _, tc := range cases {
+		status, class := statusFor(tc.err)
+		if status != tc.status || class != tc.class {
+			t.Errorf("%s: statusFor = (%d, %q), want (%d, %q)",
+				tc.name, status, class, tc.status, tc.class)
+		}
+		if got := retryable(status); got != tc.retryable {
+			t.Errorf("%s: retryable(%d) = %v, want %v", tc.name, status, got, tc.retryable)
+		}
+	}
+}
+
+// TestStatusForLifecycleBeatsTaxonomy checks the documented precedence:
+// a canceled job whose error chain also carries a prooferr class still
+// maps to the lifecycle code.
+func TestStatusForLifecycleBeatsTaxonomy(t *testing.T) {
+	err := fmt.Errorf("%w during verify: %w", context.Canceled, prooferr.ErrProofRejected)
+	status, class := statusFor(err)
+	if status != StatusClientClosedRequest || class != "canceled" {
+		t.Fatalf("statusFor = (%d, %q), want (499, canceled)", status, class)
+	}
+}

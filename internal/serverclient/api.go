@@ -1,0 +1,53 @@
+// Package serverclient is the HTTP client for the proving service
+// (internal/server, cmd/unizk-server) and the home of the service's
+// JSON API types. The server imports this package for the response
+// shapes, so client and server cannot drift; proof requests and results
+// themselves travel as internal/jobs wire encodings, identical to what
+// cmd/prove uses locally.
+package serverclient
+
+// JobStatus is the JSON body of GET /v1/jobs/{id} (and of the 202
+// replies for jobs that are not finished yet).
+type JobStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload"`
+	LogRows  int    `json:"log_rows"`
+	Priority int    `json:"priority,omitempty"`
+	// State is one of "queued", "running", "done", "failed", "canceled".
+	State string `json:"state"`
+	// Error and Class are set for failed/canceled jobs; Class is the
+	// server's error class ("malformed", "rejected", "canceled",
+	// "deadline", "draining", "internal").
+	Error string `json:"error,omitempty"`
+	Class string `json:"class,omitempty"`
+	// Retryable reports whether resubmitting the same job later can
+	// succeed (drain rejections, cancellations — not malformed input).
+	Retryable bool `json:"retryable,omitempty"`
+	// QueueWaitMS and ProveMS are measured once the job leaves the
+	// respective stage.
+	QueueWaitMS int64 `json:"queue_wait_ms,omitempty"`
+	ProveMS     int64 `json:"prove_ms,omitempty"`
+}
+
+// SubmitReply is the JSON body of a 202 from POST /v1/jobs.
+type SubmitReply struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+}
+
+// ErrorBody is the JSON body of every non-2xx API response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// Health is the JSON body of GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Queued   int    `json:"queued"`
+	InFlight int64  `json:"in_flight"`
+}

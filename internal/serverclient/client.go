@@ -1,0 +1,247 @@
+package serverclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"unizk/internal/jobs"
+)
+
+// ErrNotReady is returned by Result while the job is still queued or
+// running.
+var ErrNotReady = errors.New("serverclient: job not finished")
+
+// APIError is a non-2xx reply decoded from the service's error body.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Class is the server's error class ("queue_full", "draining",
+	// "malformed", "rejected", "canceled", "deadline", "internal", …).
+	Class string
+	// Message is the human-readable error.
+	Message string
+	// RetryAfter is the backpressure hint on 429/503 replies.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.StatusCode, e.Class, e.Message)
+}
+
+// Retryable reports whether resubmitting the same job later can
+// succeed: true for backpressure (429), drain (503), cancellation, and
+// deadline replies.
+func (e *APIError) Retryable() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		499, http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// Options tune one submission.
+type Options struct {
+	// Timeout bounds the prove on the server (capped by the server's
+	// MaxTimeout); 0 uses the server default.
+	Timeout time.Duration
+	// Priority biases the queue: higher pops first, FIFO within a level.
+	Priority int
+}
+
+// Client talks to a proving service (cmd/unizk-server).
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8427".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling; default 25ms.
+	PollInterval time.Duration
+}
+
+// New returns a client for the service at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// submitURL builds the submit/prove URL with option query parameters.
+func (c *Client) submitURL(path string, opts Options) string {
+	q := url.Values{}
+	if opts.Timeout > 0 {
+		q.Set("timeout", opts.Timeout.String())
+	}
+	if opts.Priority != 0 {
+		q.Set("priority", strconv.Itoa(opts.Priority))
+	}
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// apiError decodes a non-2xx response into an *APIError.
+func apiError(resp *http.Response, body []byte) error {
+	e := &APIError{StatusCode: resp.StatusCode}
+	var eb ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		e.Class, e.Message = eb.Class, eb.Error
+		e.RetryAfter = time.Duration(eb.RetryAfterSeconds) * time.Second
+	} else {
+		e.Message = string(body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// do issues a request and returns the response body, converting non-2xx
+// replies (other than accept202's tolerated 202) into *APIError.
+func (c *Client) do(ctx context.Context, method, u string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, nil, apiError(resp, data)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Submit enqueues a job asynchronously and returns its id.
+func (c *Client) Submit(ctx context.Context, req *jobs.Request, opts Options) (string, error) {
+	raw, err := req.MarshalBinary()
+	if err != nil {
+		return "", err
+	}
+	_, body, err := c.do(ctx, http.MethodPost, c.submitURL("/v1/jobs", opts), raw)
+	if err != nil {
+		return "", err
+	}
+	var reply SubmitReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return "", fmt.Errorf("serverclient: decoding submit reply: %w", err)
+	}
+	return reply.ID, nil
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	_, body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	st := new(JobStatus)
+	if err := json.Unmarshal(body, st); err != nil {
+		return nil, fmt.Errorf("serverclient: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// Result fetches a completed job's proof, ErrNotReady while it is still
+// queued or running, or the job's mapped error if it failed.
+func (c *Client) Result(ctx context.Context, id string) (*jobs.Result, error) {
+	status, body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/proof", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusAccepted {
+		return nil, ErrNotReady
+	}
+	res := new(jobs.Result)
+	if err := res.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Cancel asks the server to cancel a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	_, _, err := c.do(ctx, http.MethodPost, c.BaseURL+"/v1/jobs/"+id+"/cancel", nil)
+	return err
+}
+
+// Wait polls until the job finishes, then returns its result (or its
+// mapped error). The poll loop exits early when ctx is done.
+func (c *Client) Wait(ctx context.Context, id string) (*jobs.Result, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		res, err := c.Result(ctx, id)
+		if !errors.Is(err, ErrNotReady) {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Prove submits a job on the synchronous endpoint and returns the proof
+// in one round trip. Canceling ctx mid-prove disconnects, which cancels
+// the job on the server through its context plumbing.
+func (c *Client) Prove(ctx context.Context, req *jobs.Request, opts Options) (*jobs.Result, error) {
+	raw, err := req.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	_, body, err := c.do(ctx, http.MethodPost, c.submitURL("/v1/prove", opts), raw)
+	if err != nil {
+		return nil, err
+	}
+	res := new(jobs.Result)
+	if err := res.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Health checks /healthz; a draining or down server returns an error.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	_, body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	h := new(Health)
+	if err := json.Unmarshal(body, h); err != nil {
+		return nil, fmt.Errorf("serverclient: decoding health: %w", err)
+	}
+	return h, nil
+}

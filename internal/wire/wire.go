@@ -41,6 +41,13 @@ func (w *Writer) Len(n int) {
 	w.buf = binary.AppendUvarint(w.buf, uint64(n))
 }
 
+// Uvarint writes a scalar varint. Unlike Len it carries no collection
+// semantics: the value is not a length, is not recorded in LenOffsets,
+// and the reader side applies no remaining-bytes cap.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
 // U64 writes a raw 64-bit word.
 func (w *Writer) U64(v uint64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
@@ -55,6 +62,20 @@ func (w *Writer) Elems(es []field.Element) {
 	for _, e := range es {
 		w.Elem(e)
 	}
+}
+
+// Blob writes a length-prefixed opaque byte string. It is used by the
+// job-request encoding (internal/jobs) for nested payloads, not by the
+// proof format itself.
+func (w *Writer) Blob(b []byte) {
+	w.Len(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// Str writes a length-prefixed UTF-8 string.
+func (w *Writer) Str(s string) {
+	w.Len(len(s))
+	w.buf = append(w.buf, s...)
 }
 
 // Ext writes an extension element.
@@ -147,6 +168,20 @@ func (r *Reader) Len() int {
 	return int(v)
 }
 
+// Uvarint reads a scalar varint written by Writer.Uvarint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
 // lenFor reads a collection length whose elements each occupy at least
 // elemBytes, rejecting lengths the remaining stream cannot possibly hold
 // (so corrupted lengths cannot trigger huge allocations).
@@ -197,6 +232,38 @@ func (r *Reader) Elems() []field.Element {
 		out[i] = r.Elem()
 	}
 	return out
+}
+
+// Blob reads a length-prefixed opaque byte string. The decoded length is
+// already capped against the remaining stream by Len, and is re-checked
+// here before slicing.
+func (r *Reader) Blob() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.data)-r.pos {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := append([]byte(nil), r.data[r.pos:r.pos+n]...)
+	r.pos += n
+	return out
+}
+
+// Str reads a length-prefixed UTF-8 string.
+func (r *Reader) Str() string {
+	n := r.Len()
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.data)-r.pos {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
 }
 
 // Ext reads an extension element.

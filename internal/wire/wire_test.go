@@ -176,3 +176,70 @@ func TestCorruptedLengthCannotOverAllocate(t *testing.T) {
 		t.Fatal("oversized collection not rejected cheaply")
 	}
 }
+
+func TestStrBlobRoundTrip(t *testing.T) {
+	var w Writer
+	w.Str("Image Crop")
+	w.Blob([]byte{0xde, 0xad, 0xbe, 0xef})
+	w.Str("")
+	w.Blob(nil)
+	r := NewReader(w.Bytes())
+	if got := r.Str(); got != "Image Crop" {
+		t.Fatalf("Str = %q, want %q", got, "Image Crop")
+	}
+	if got := r.Blob(); len(got) != 4 || got[0] != 0xde || got[3] != 0xef {
+		t.Fatalf("Blob = %x", got)
+	}
+	if got := r.Str(); got != "" {
+		t.Fatalf("empty Str = %q", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Fatalf("empty Blob = %x", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrBlobTruncated(t *testing.T) {
+	var w Writer
+	w.Str("hello world")
+	data := w.Bytes()
+	// Cut the stream mid-string: the decoded length exceeds the
+	// remainder and must fail without slicing out of bounds.
+	r := NewReader(data[:4])
+	if got := r.Str(); got != "" || r.Err() == nil {
+		t.Fatalf("truncated Str = %q, err %v", got, r.Err())
+	}
+	var wb Writer
+	wb.Blob([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	rb := NewReader(wb.Bytes()[:3])
+	if got := rb.Blob(); got != nil || rb.Err() == nil {
+		t.Fatalf("truncated Blob = %x, err %v", got, rb.Err())
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{0, 1, 127, 128, 1 << 40, ^uint64(0)}
+	for _, v := range vals {
+		w.Uvarint(v)
+	}
+	if n := len(w.LenOffsets()); n != 0 {
+		t.Fatalf("Uvarint recorded %d length offsets, want 0", n)
+	}
+	r := NewReader(w.Bytes())
+	for _, v := range vals {
+		if got := r.Uvarint(); got != v {
+			t.Fatalf("Uvarint = %d, want %d", got, v)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream fails cleanly.
+	rt := NewReader(nil)
+	if got := rt.Uvarint(); got != 0 || rt.Err() == nil {
+		t.Fatalf("Uvarint on empty stream = %d, err %v", got, rt.Err())
+	}
+}
