@@ -30,6 +30,15 @@ else
 	echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@v1.1.4)"
 fi
 
+# Chaos soak (fixed seed, small circuits): concurrent clients drive real
+# proof jobs through injected connection resets, truncated responses,
+# and 503 blips, retrying under idempotency keys. The gate asserts
+# bit-identical proofs, exactly one prove per unique job, every error
+# classified retryable, and zero goroutine leaks — all under the race
+# detector. The full -race run below repeats it; this step makes a
+# chaos regression fail under its own name.
+go test -race -timeout 10m -run '^TestChaosSoak$' ./internal/faultinject/netchaos
+
 # The race detector is a hard gate: every parallel kernel (NTT butterfly
 # layers, Merkle levels, FRI fold/queries, quotient evaluation) runs under
 # it via the differential serial-vs-parallel tests, which sweep worker
@@ -63,7 +72,7 @@ done
 [ -s "$SMOKE_DIR/port" ] || { cat "$SMOKE_DIR/server.log"; exit 1; }
 ADDR=$(head -n1 "$SMOKE_DIR/port")
 go run ./cmd/prove -remote "http://$ADDR" -protocol plonky2 -app Fibonacci -rows 6
-go run ./cmd/prove -remote "http://$ADDR" -protocol starky -app Factorial -rows 6
+go run ./cmd/prove -remote "http://$ADDR" -protocol starky -app Factorial -rows 6 -retries 3
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 grep -q 'drained cleanly' "$SMOKE_DIR/server.log"

@@ -8,6 +8,7 @@
 //	prove -protocol plonky2 -app "Image Crop" -rows 10
 //	prove -protocol starky -app Fibonacci -rows 12 -timeout 30s
 //	prove -remote http://127.0.0.1:8427 -app Fibonacci -rows 10
+//	prove -remote http://127.0.0.1:8427 -app Fibonacci -rows 10 -retries 5
 //
 // -workers sets the shared prover pool size. It is independent of
 // GOMAXPROCS: the Go scheduler still multiplexes the pool's goroutines
@@ -24,6 +25,8 @@ package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +53,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort proving after this duration (0 = no limit)")
 	remote := flag.String("remote", "", "prove on a unizk-server at this base URL instead of locally")
 	workers := flag.Int("workers", 0, "prover pool size for local proving (0 = NumCPU; capped by GOMAXPROCS in practice)")
+	retries := flag.Int("retries", 1, "total remote attempts for retryable failures (transport faults, 429/502/503)")
+	idemKey := flag.String("idempotency-key", "", "idempotency key for remote submits; auto-generated when -retries > 1")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -65,10 +70,10 @@ func main() {
 
 	kind, err := jobs.KindByName(*protocol)
 	exitOn(err, exitUsage)
-	req := &jobs.Request{Kind: kind, Workload: *app, LogRows: *rows}
+	req := &jobs.Request{Kind: kind, Workload: *app, LogRows: *rows, IdempotencyKey: *idemKey}
 
 	if *remote != "" {
-		runRemote(ctx, *remote, req, *timeout)
+		runRemote(ctx, *remote, req, *timeout, *retries)
 		return
 	}
 	runLocal(ctx, req)
@@ -93,9 +98,20 @@ func runLocal(ctx context.Context, req *jobs.Request) {
 
 // runRemote submits the job on the service's synchronous endpoint and
 // re-verifies the returned proof locally, so a lying server still
-// exits 4.
-func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout time.Duration) {
+// exits 4. With -retries > 1 the client transparently retries retryable
+// failures under an idempotency key, so a retried submit that raced a
+// lost response attaches to the original job instead of proving twice.
+func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout time.Duration, retries int) {
 	c := serverclient.New(baseURL)
+	if retries > 1 {
+		if req.IdempotencyKey == "" {
+			key, err := randomIdempotencyKey()
+			exitOn(err, exitProve)
+			req.IdempotencyKey = key
+		}
+		c.Retry = &serverclient.RetryPolicy{MaxAttempts: retries}
+		c.Breaker = &serverclient.Breaker{}
+	}
 	fmt.Printf("remote prove: %s %q 2^%d rows via %s\n", req.Kind, req.Workload, req.LogRows, baseURL)
 
 	start := time.Now()
@@ -120,17 +136,29 @@ func compileExitCode(err error) int {
 }
 
 // remoteExitCode maps the server's reply onto the local exit codes:
-// 4xx request rejections are usage errors, everything else (including
-// transport failures and server-side prove errors) is a prove failure.
+// 4xx request rejections (including idempotency-key conflicts) are
+// usage errors, everything else (including transport failures and
+// server-side prove errors) is a prove failure.
 func remoteExitCode(err error) int {
 	var apiErr *serverclient.APIError
 	if errors.As(err, &apiErr) {
 		switch apiErr.StatusCode {
-		case 400, 404, 422:
+		case 400, 404, 409, 422:
 			return exitUsage
 		}
 	}
 	return exitProve
+}
+
+// randomIdempotencyKey generates a fresh key for one CLI invocation's
+// retries: unique across invocations (each run is a new logical
+// request), stable within one (every retry replays the same request).
+func randomIdempotencyKey() (string, error) {
+	var buf [16]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		return "", fmt.Errorf("generating idempotency key: %w", err)
+	}
+	return "prove-" + hex.EncodeToString(buf[:]), nil
 }
 
 func exitOn(err error, code int) {

@@ -41,25 +41,30 @@ func main() {
 	workers := flag.Int("workers", 0, "prover pool size shared by all in-flight jobs (0 = NumCPU)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline, measured from admission")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+	idemTTL := flag.Duration("idem-ttl", 10*time.Minute, "how long a submitted idempotency key deduplicates retries")
+	idemKeys := flag.Int("idem-keys", 4096, "max idempotency keys tracked before the oldest are evicted")
 	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
 	flag.Parse()
 
-	if err := run(*addr, *queueCap, *inflight, *workers, *jobTimeout, *drain, *portfile); err != nil {
+	cfg := server.Config{
+		QueueCap:           *queueCap,
+		MaxInFlight:        *inflight,
+		DefaultTimeout:     *jobTimeout,
+		IdempotencyTTL:     *idemTTL,
+		MaxIdempotencyKeys: *idemKeys,
+	}
+	if err := run(*addr, cfg, *workers, *drain, *portfile); err != nil {
 		fmt.Fprintln(os.Stderr, "unizk-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queueCap, inflight, workers int, jobTimeout, drain time.Duration, portfile string) error {
+func run(addr string, cfg server.Config, workers int, drain time.Duration, portfile string) error {
 	if workers > 0 {
 		parallel.SetWorkers(workers)
 	}
 
-	s := server.New(server.Config{
-		QueueCap:       queueCap,
-		MaxInFlight:    inflight,
-		DefaultTimeout: jobTimeout,
-	})
+	s := server.New(cfg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -73,7 +78,7 @@ func run(addr string, queueCap, inflight, workers int, jobTimeout, drain time.Du
 		}
 	}
 	fmt.Printf("unizk-server listening on %s (queue=%d inflight=%d workers=%d)\n",
-		bound, queueCap, inflight, parallel.Workers())
+		bound, cfg.QueueCap, cfg.MaxInFlight, parallel.Workers())
 
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)

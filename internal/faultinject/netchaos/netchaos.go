@@ -1,0 +1,290 @@
+// Package netchaos injects network faults between the proving service
+// and its clients: a wrapping net.Listener that delays and resets
+// accepted connections (the server's view of a flaky network) and a
+// wrapping http.RoundTripper that resets exchanges, truncates response
+// bodies mid-read, and substitutes 5xx blips (the client's view). All
+// fault decisions come from one seeded PRNG, so a soak run is
+// reproducible from its seed; counters record every injected fault so a
+// test can assert the chaos actually happened.
+//
+// The injected faults are exactly the ambiguity the retry/idempotency
+// machinery exists for: a request reset before it is sent never reached
+// the server, a truncated response body means the server did the work
+// but the client cannot know, and a 5xx blip is a reply that says
+// nothing about whether a side effect happened. A client retrying
+// through this package must converge on exactly one prove per
+// idempotency key — the chaos soak test pins that end to end.
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset marks every fault this package injects into a
+// connection or exchange, so test assertions can tell injected chaos
+// from real failures.
+var ErrInjectedReset = errors.New("netchaos: connection reset by peer (injected)")
+
+// Config sets fault probabilities (each in [0, 1]) and latency bounds.
+// The zero value injects nothing.
+type Config struct {
+	// Seed fixes the fault-decision PRNG; 0 means seed 1 (still
+	// deterministic — netchaos never falls back to the wall clock).
+	Seed int64
+
+	// AcceptDelayProb delays Accept by up to MaxDelay.
+	AcceptDelayProb float64
+	// ConnDelayProb delays an individual connection Read/Write by up to
+	// MaxDelay.
+	ConnDelayProb float64
+	// ConnResetProb makes an individual connection Read/Write fail with
+	// ErrInjectedReset and severs the underlying connection.
+	ConnResetProb float64
+	// MaxDelay bounds injected latency; 0 means 2ms.
+	MaxDelay time.Duration
+
+	// ReqResetProb fails a client exchange before it is sent — the
+	// request never reaches the server.
+	ReqResetProb float64
+	// TruncateProb cuts a successful (non-4xx/5xx) response body short:
+	// the client reads a prefix and then ErrInjectedReset — the server
+	// did the work, the client cannot know.
+	TruncateProb float64
+	// BlipProb replaces the server's response with a synthesized 503 —
+	// the exchange happened, the reply says nothing about it.
+	BlipProb float64
+}
+
+// Stats counts injected faults; read a snapshot with Chaos.Stats.
+type Stats struct {
+	AcceptDelays int64
+	ConnDelays   int64
+	ConnResets   int64
+	ReqResets    int64
+	Truncations  int64
+	Blips        int64
+}
+
+// Total is the number of faults injected across all classes.
+func (s Stats) Total() int64 {
+	return s.AcceptDelays + s.ConnDelays + s.ConnResets +
+		s.ReqResets + s.Truncations + s.Blips
+}
+
+// Chaos is a seeded fault injector; one instance may back a listener
+// and a transport at once (sharing the PRNG and counters). Safe for
+// concurrent use.
+type Chaos struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	acceptDelays atomic.Int64
+	connDelays   atomic.Int64
+	connResets   atomic.Int64
+	reqResets    atomic.Int64
+	truncations  atomic.Int64
+	blips        atomic.Int64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Chaos {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (c *Chaos) Stats() Stats {
+	return Stats{
+		AcceptDelays: c.acceptDelays.Load(),
+		ConnDelays:   c.connDelays.Load(),
+		ConnResets:   c.connResets.Load(),
+		ReqResets:    c.reqResets.Load(),
+		Truncations:  c.truncations.Load(),
+		Blips:        c.blips.Load(),
+	}
+}
+
+// roll draws one fault decision.
+func (c *Chaos) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// jitter draws a latency in [0, MaxDelay).
+func (c *Chaos) jitter() time.Duration {
+	max := c.cfg.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Millisecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(max)))
+}
+
+// cutpoint draws how many bytes of a truncated body the client gets.
+func (c *Chaos) cutpoint() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(64)
+}
+
+// WrapListener returns l with accept latency and per-connection
+// read/write faults injected.
+func (c *Chaos) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, c: c}
+}
+
+type listener struct {
+	net.Listener
+	c *Chaos
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.c.roll(l.c.cfg.AcceptDelayProb) {
+		l.c.acceptDelays.Add(1)
+		time.Sleep(l.c.jitter())
+	}
+	return &chaosConn{Conn: conn, c: l.c}, nil
+}
+
+// chaosConn injects latency and resets into one accepted connection.
+type chaosConn struct {
+	net.Conn
+	c *Chaos
+}
+
+func (cc *chaosConn) Read(p []byte) (int, error) {
+	if err := cc.fault(); err != nil {
+		return 0, err
+	}
+	return cc.Conn.Read(p)
+}
+
+func (cc *chaosConn) Write(p []byte) (int, error) {
+	if err := cc.fault(); err != nil {
+		return 0, err
+	}
+	return cc.Conn.Write(p)
+}
+
+// fault applies the per-operation connection chaos: maybe a delay,
+// maybe a reset (severing the underlying connection so the peer sees it
+// too).
+func (cc *chaosConn) fault() error {
+	if cc.c.roll(cc.c.cfg.ConnDelayProb) {
+		cc.c.connDelays.Add(1)
+		time.Sleep(cc.c.jitter())
+	}
+	if cc.c.roll(cc.c.cfg.ConnResetProb) {
+		cc.c.connResets.Add(1)
+		_ = cc.Conn.Close()
+		return ErrInjectedReset
+	}
+	return nil
+}
+
+// WrapTransport returns rt with client-side exchange faults injected.
+// Pass http.DefaultTransport (or a dedicated *http.Transport) as rt.
+func (c *Chaos) WrapTransport(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &transport{inner: rt, c: c}
+}
+
+type transport struct {
+	inner http.RoundTripper
+	c     *Chaos
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.c.roll(t.c.cfg.ReqResetProb) {
+		t.c.reqResets.Add(1)
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.c.roll(t.c.cfg.BlipProb) {
+		t.c.blips.Add(1)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return blip(req), nil
+	}
+	if resp.StatusCode < 400 && t.c.roll(t.c.cfg.TruncateProb) {
+		t.c.truncations.Add(1)
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: t.c.cutpoint()}
+		// The advertised length no longer matches what the body will
+		// deliver — exactly like a connection cut mid-response.
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// blip synthesizes the 503 a dying intermediary would return.
+func blip(req *http.Request) *http.Response {
+	body := `{"error":"injected 503 blip","class":"injected_blip"}` + "\n"
+	return &http.Response{
+		Status:     "503 Service Unavailable",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}
+}
+
+// truncatedBody delivers a prefix of the real body, then resets.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, ErrInjectedReset
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The real body ended inside the cut: nothing was truncated
+		// after all, pass the EOF through.
+		return n, err
+	}
+	if err == nil && b.remaining <= 0 {
+		return n, ErrInjectedReset
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

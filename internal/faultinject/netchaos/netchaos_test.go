@@ -1,0 +1,211 @@
+package netchaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubRT returns a fixed 200 with a small body.
+type stubRT struct{ calls int }
+
+func (s *stubRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: http.Header{},
+		Body:   io.NopCloser(strings.NewReader(`{"state":"done","payload":"0123456789abcdef0123456789abcdef"}`)),
+	}, nil
+}
+
+// outcome classifies one exchange through a chaos transport.
+func outcome(rt http.RoundTripper) string {
+	req, _ := http.NewRequest(http.MethodGet, "http://server.invalid/x", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return "reset"
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return "blip"
+	case err != nil:
+		return fmt.Sprintf("trunc-%d", len(data))
+	default:
+		return "ok"
+	}
+}
+
+// TestTransportDeterministic pins that a fixed seed yields a fixed
+// fault sequence — the property that makes a chaos soak reproducible.
+func TestTransportDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		c := New(Config{Seed: seed, ReqResetProb: 0.2, TruncateProb: 0.2, BlipProb: 0.2})
+		rt := c.WrapTransport(&stubRT{})
+		var out []string
+		for i := 0; i < 100; i++ {
+			out = append(out, outcome(rt))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across same-seed runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Same config, different seed: a different schedule (overwhelmingly).
+	other := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+	// With 0.2 probabilities over 100 calls every fault class fires.
+	kinds := map[string]bool{}
+	for _, o := range a {
+		if strings.HasPrefix(o, "trunc-") {
+			o = "trunc"
+		}
+		kinds[o] = true
+	}
+	for _, want := range []string{"ok", "reset", "blip", "trunc"} {
+		if !kinds[want] {
+			t.Fatalf("outcome %q never occurred in 100 calls: %v", want, kinds)
+		}
+	}
+}
+
+// TestTransportStatsCount checks the counters move with the faults.
+func TestTransportStatsCount(t *testing.T) {
+	c := New(Config{Seed: 3, ReqResetProb: 1})
+	rt := c.WrapTransport(&stubRT{})
+	for i := 0; i < 5; i++ {
+		if out := outcome(rt); out != "reset" {
+			t.Fatalf("call %d = %q, want reset", i, out)
+		}
+	}
+	if s := c.Stats(); s.ReqResets != 5 || s.Total() != 5 {
+		t.Fatalf("stats = %+v, want 5 request resets", s)
+	}
+}
+
+// TestTruncationSurfacesInjectedReset checks a truncated body delivers
+// a prefix and then the marker error, never silently-complete data.
+func TestTruncationSurfacesInjectedReset(t *testing.T) {
+	c := New(Config{Seed: 5, TruncateProb: 1})
+	rt := c.WrapTransport(&stubRT{})
+	sawPartial := false
+	for i := 0; i < 20; i++ {
+		req, _ := http.NewRequest(http.MethodGet, "http://server.invalid/x", nil)
+		resp, err := rt.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil {
+			// A cutpoint beyond the body length truncates nothing.
+			continue
+		}
+		if !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("truncated read error = %v, want ErrInjectedReset", err)
+		}
+		if len(data) >= 64 {
+			t.Fatalf("truncated body delivered %d bytes, want < 64", len(data))
+		}
+		sawPartial = true
+	}
+	if !sawPartial {
+		t.Fatal("no truncation occurred in 20 forced attempts")
+	}
+}
+
+// TestBlipReplacesResponse checks the 5xx substitution: the client sees
+// a decodable 503 even though the server answered 200.
+func TestBlipReplacesResponse(t *testing.T) {
+	inner := &stubRT{}
+	c := New(Config{Seed: 5, BlipProb: 1})
+	rt := c.WrapTransport(inner)
+	req, _ := http.NewRequest(http.MethodGet, "http://server.invalid/x", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || !strings.Contains(string(body), "injected_blip") {
+		t.Fatalf("blip body = %q err = %v", body, err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner transport calls = %d, want 1 (blip happens after the exchange)", inner.calls)
+	}
+}
+
+// TestListenerInjectsConnFaults serves real HTTP through a chaos
+// listener with certain resets: requests fail, the counters move, and
+// the server survives.
+func TestListenerInjectsConnFaults(t *testing.T) {
+	c := New(Config{Seed: 9, ConnResetProb: 1})
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ts.Listener = c.WrapListener(ts.Listener)
+	ts.Start()
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d succeeded through a 100%% reset listener", i)
+		}
+	}
+	if s := c.Stats(); s.ConnResets == 0 {
+		t.Fatalf("stats = %+v, want connection resets", s)
+	}
+}
+
+// TestZeroConfigIsTransparent: the zero config injects nothing, end to
+// end.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	c := New(Config{})
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("payload"))
+	}))
+	ts.Listener = c.WrapListener(ts.Listener)
+	ts.Start()
+	defer ts.Close()
+
+	client := &http.Client{Transport: c.WrapTransport(&http.Transport{}), Timeout: 5 * time.Second}
+	defer client.CloseIdleConnections()
+	for i := 0; i < 10; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != "payload" {
+			t.Fatalf("request %d: body %q err %v", i, body, err)
+		}
+	}
+	if s := c.Stats(); s.Total() != 0 {
+		t.Fatalf("zero config injected faults: %+v", s)
+	}
+}

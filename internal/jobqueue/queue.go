@@ -62,14 +62,41 @@ func (h *entryHeap[T]) Pop() any {
 	return e
 }
 
+// Stats is a point-in-time observability snapshot of a queue.
+type Stats struct {
+	// Len and Cap are the current depth and the fixed capacity.
+	Len, Cap int
+	// HighWater is the deepest the queue has ever been — how close the
+	// service has come to backpressure even if no push was ever refused.
+	HighWater int
+	// RejectedFull and RejectedClosed count every push refused with
+	// ErrFull (backpressure) and ErrClosed (after drain) respectively.
+	RejectedFull, RejectedClosed int64
+}
+
 // Queue is a bounded priority/FIFO queue. The zero value is not usable;
 // construct with New.
+//
+// Semantics after Close are pinned (and tested) as:
+//
+//   - Push returns ErrClosed, never ErrFull, and never enqueues — even
+//     if the queue was full when it closed.
+//   - Pop returns ErrClosed immediately. Close itself drains every
+//     queued item, so a closed queue is always empty, and ErrClosed
+//     takes precedence over the caller's context: Pop on a closed queue
+//     reports ErrClosed even if ctx is already canceled. (While the
+//     queue is open, a canceled ctx wins over blocking.)
+//   - Close is idempotent: the first call returns the drained items in
+//     pop order, every later call returns nil.
 type Queue[T any] struct {
-	mu     sync.Mutex
-	items  entryHeap[T]
-	cap    int
-	seq    uint64
-	closed bool
+	mu        sync.Mutex
+	items     entryHeap[T]
+	cap       int
+	seq       uint64
+	closed    bool
+	highWater int
+	rejFull   int64
+	rejClosed int64
 
 	// notify carries at most one wakeup token; pushes post to it
 	// non-blockingly and poppers re-post when items remain, so any
@@ -101,20 +128,40 @@ func (q *Queue[T]) Len() int {
 	return len(q.items)
 }
 
+// Stats returns the queue's observability counters. The high-water mark
+// and rejection counts survive Close, so a drained service can still
+// report how hard it was pushed.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Len:            len(q.items),
+		Cap:            q.cap,
+		HighWater:      q.highWater,
+		RejectedFull:   q.rejFull,
+		RejectedClosed: q.rejClosed,
+	}
+}
+
 // Push enqueues v at the given priority. It never blocks: a full queue
 // returns ErrFull immediately (backpressure), a closed queue ErrClosed.
 func (q *Queue[T]) Push(v T, priority int) error {
 	q.mu.Lock()
 	if q.closed {
+		q.rejClosed++
 		q.mu.Unlock()
 		return ErrClosed
 	}
 	if len(q.items) >= q.cap {
+		q.rejFull++
 		q.mu.Unlock()
 		return ErrFull
 	}
 	heap.Push(&q.items, entry[T]{value: v, pri: priority, seq: q.seq})
 	q.seq++
+	if len(q.items) > q.highWater {
+		q.highWater = len(q.items)
+	}
 	q.mu.Unlock()
 	select {
 	case q.notify <- struct{}{}:

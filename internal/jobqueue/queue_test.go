@@ -253,3 +253,84 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		t.Fatalf("accepted %d items, want %d", count, producers*perProducer)
 	}
 }
+
+// TestStatsObservability pins the queue's counters: high-water tracks
+// the deepest the queue has been, rejection counters split by cause,
+// and everything survives Close.
+func TestStatsObservability(t *testing.T) {
+	q := New[int](2)
+	if s := q.Stats(); s.Len != 0 || s.Cap != 2 || s.HighWater != 0 ||
+		s.RejectedFull != 0 || s.RejectedClosed != 0 {
+		t.Fatalf("fresh queue stats = %+v", s)
+	}
+
+	q.Push(1, 0)
+	q.Push(2, 0)
+	if err := q.Push(3, 0); !errors.Is(err, ErrFull) {
+		t.Fatal(err)
+	}
+	if err := q.Push(4, 0); !errors.Is(err, ErrFull) {
+		t.Fatal(err)
+	}
+	if s := q.Stats(); s.Len != 2 || s.HighWater != 2 || s.RejectedFull != 2 {
+		t.Fatalf("saturated stats = %+v, want len 2, highwater 2, 2 full rejections", s)
+	}
+
+	// Draining lowers Len but never the high-water mark.
+	if _, err := q.Pop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := q.Stats(); s.Len != 1 || s.HighWater != 2 {
+		t.Fatalf("after pop stats = %+v, want len 1, highwater still 2", s)
+	}
+
+	q.Close()
+	if err := q.Push(5, 0); !errors.Is(err, ErrClosed) {
+		t.Fatal(err)
+	}
+	if s := q.Stats(); s.Len != 0 || s.HighWater != 2 ||
+		s.RejectedFull != 2 || s.RejectedClosed != 1 {
+		t.Fatalf("post-close stats = %+v, want counters to survive Close", s)
+	}
+}
+
+// TestPushAfterCloseNeverErrFull pins a subtle corner of the after-Close
+// contract: a queue that was full when it closed still reports ErrClosed
+// (not ErrFull) and never enqueues — drain beats backpressure.
+func TestPushAfterCloseNeverErrFull(t *testing.T) {
+	q := New[int](1)
+	if err := q.Push(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	drained := q.Close()
+	if len(drained) != 1 {
+		t.Fatalf("Close drained %v", drained)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Push(i, 0); !errors.Is(err, ErrClosed) || errors.Is(err, ErrFull) {
+			t.Fatalf("push %d after close = %v, want ErrClosed and not ErrFull", i, err)
+		}
+	}
+	if s := q.Stats(); s.Len != 0 || s.RejectedClosed != 3 {
+		t.Fatalf("stats after closed pushes = %+v, want nothing enqueued", s)
+	}
+}
+
+// TestPopClosedBeatsCanceledCtx pins the documented precedence: Pop on
+// a closed queue reports ErrClosed even when the caller's context is
+// already canceled — drain state is a property of the queue, not of the
+// caller.
+func TestPopClosedBeatsCanceledCtx(t *testing.T) {
+	q := New[int](1)
+	q.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.Pop(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Pop(canceled ctx) on closed queue = %v, want ErrClosed", err)
+	}
+	// While the queue is open, the canceled context wins over blocking.
+	q2 := New[int](1)
+	if _, err := q2.Pop(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Pop(canceled ctx) on open empty queue = %v, want context.Canceled", err)
+	}
+}

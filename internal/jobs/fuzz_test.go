@@ -16,6 +16,7 @@ func FuzzRequestRoundTrip(f *testing.F) {
 	seed := []Request{
 		{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6},
 		{Kind: KindStark, Workload: "SHA-256", LogRows: 12, Payload: []byte{1, 2, 3, 4}},
+		{Kind: KindStark, Workload: "Factorial", LogRows: 8, IdempotencyKey: "retry-key"},
 		{Kind: 0, Workload: "", LogRows: 0},
 	}
 	for _, q := range seed {
@@ -39,7 +40,8 @@ func FuzzRequestRoundTrip(f *testing.F) {
 			t.Fatalf("canonical encoding does not decode: %v", err)
 		}
 		if q2.Kind != q.Kind || q2.Workload != q.Workload ||
-			q2.LogRows != q.LogRows || !bytes.Equal(q2.Payload, q.Payload) {
+			q2.LogRows != q.LogRows || !bytes.Equal(q2.Payload, q.Payload) ||
+			q2.IdempotencyKey != q.IdempotencyKey {
 			t.Fatalf("value changed across round trip: %+v vs %+v", q, q2)
 		}
 		raw2, err := q2.MarshalBinary()

@@ -83,11 +83,13 @@ var (
 // Limits on acceptable requests. MaxLogRows bounds the resource cost of
 // a single job (2^20 rows is the paper's full-scale operating point);
 // MaxPayload and MaxWorkloadName bound attacker-controlled allocations
-// before the wire layer's own caps kick in.
+// before the wire layer's own caps kick in. MaxIdempotencyKey bounds the
+// client-chosen retry-deduplication key.
 const (
-	MaxLogRows      = 20
-	MaxPayload      = 1 << 27
-	MaxWorkloadName = 128
+	MaxLogRows        = 20
+	MaxPayload        = 1 << 27
+	MaxWorkloadName   = 128
+	MaxIdempotencyKey = 128
 )
 
 // Request is one proof job: which proof system, which workload, how many
@@ -103,6 +105,15 @@ type Request struct {
 	Workload string
 	LogRows  int
 	Payload  []byte
+
+	// IdempotencyKey, when non-empty, makes the request safe to retry
+	// against the proving service: submissions carrying the same key and
+	// identical request bytes converge on one job (and one prove), and
+	// the service replays the cached result instead of proving again.
+	// Reusing a key with a different request is rejected. Empty means no
+	// deduplication. The key travels in the request encoding, so an HTTP
+	// retransmit of the same body is a dedup hit by construction.
+	IdempotencyKey string
 }
 
 // EncodeTo serializes the request into an existing writer.
@@ -111,6 +122,7 @@ func (q *Request) EncodeTo(w *wire.Writer) {
 	w.Str(q.Workload)
 	w.Uvarint(uint64(q.LogRows))
 	w.Blob(q.Payload)
+	w.Str(q.IdempotencyKey)
 }
 
 // MarshalBinary serializes the request (implements
@@ -129,6 +141,7 @@ func (q *Request) UnmarshalBinary(data []byte) error {
 	q.Workload = r.Str()
 	q.LogRows = int(r.Uvarint())
 	q.Payload = r.Blob()
+	q.IdempotencyKey = r.Str()
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("jobs: decode request: %w: %w: %w",
 			err, ErrBadRequest, prooferr.ErrMalformedProof)
@@ -162,6 +175,10 @@ func (q *Request) Validate() error {
 	if q.Kind == KindPlonk && len(q.Payload) != 0 {
 		return fmt.Errorf("jobs: plonk requests take no payload: %w: %w",
 			ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	if len(q.IdempotencyKey) > MaxIdempotencyKey {
+		return fmt.Errorf("jobs: idempotency key length %d exceeds %d: %w: %w",
+			len(q.IdempotencyKey), MaxIdempotencyKey, ErrBadRequest, prooferr.ErrMalformedProof)
 	}
 	return nil
 }

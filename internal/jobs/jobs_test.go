@@ -18,6 +18,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6},
 		{Kind: KindStark, Workload: "Factorial", LogRows: 8, Payload: []byte{1, 2, 3}},
 		{Kind: KindStark, Workload: "SHA-256", LogRows: 1},
+		{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6, IdempotencyKey: "client-7/retry-group-3"},
 	}
 	for _, q := range cases {
 		raw, err := q.MarshalBinary()
@@ -29,7 +30,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			t.Fatalf("%+v: %v", q, err)
 		}
 		if got.Kind != q.Kind || got.Workload != q.Workload ||
-			got.LogRows != q.LogRows || !bytes.Equal(got.Payload, q.Payload) {
+			got.LogRows != q.LogRows || !bytes.Equal(got.Payload, q.Payload) ||
+			got.IdempotencyKey != q.IdempotencyKey {
 			t.Fatalf("round trip: got %+v, want %+v", got, q)
 		}
 	}
@@ -67,6 +69,8 @@ func TestValidateClassification(t *testing.T) {
 		{"rows too big", Request{Kind: KindPlonk, Workload: "Fibonacci", LogRows: MaxLogRows + 1}, prooferr.ErrProofRejected},
 		{"rows too small", Request{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 0}, prooferr.ErrProofRejected},
 		{"plonk payload", Request{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6, Payload: []byte{1}}, prooferr.ErrMalformedProof},
+		{"oversized idempotency key", Request{Kind: KindPlonk, Workload: "Fibonacci", LogRows: 6,
+			IdempotencyKey: string(make([]byte, MaxIdempotencyKey+1))}, prooferr.ErrMalformedProof},
 	}
 	for _, c := range cases {
 		if err := c.req.Validate(); !errors.Is(err, c.want) {

@@ -81,6 +81,34 @@ func pooledIgnoresCtx(ctx context.Context, next func() ([]int, bool)) {
 	}
 }
 
+// retryLoop mirrors the resilient client's do loop: an unbounded
+// attempt loop whose backoff sleep selects on ctx.Done — the select
+// counts as consulting ctx.
+func retryLoop(ctx context.Context, attempt func() error, sleep <-chan struct{}) error {
+	for i := 1; ; i++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-sleep:
+		}
+	}
+}
+
+// retryLoopNoCtx is the same shape with the ctx arm missing: the loop
+// spins (and sleeps) forever after cancellation and must be flagged.
+func retryLoopNoCtx(ctx context.Context, attempt func() error, sleep <-chan struct{}) error {
+	for i := 1; ; i++ { // want `never consults`
+		if attempt() == nil {
+			return nil
+		}
+		<-sleep
+	}
+}
+
 type queue struct{ items chan int }
 
 func (q *queue) pop(ctx context.Context) (int, error) {

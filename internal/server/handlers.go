@@ -98,15 +98,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	j, err := s.admit(req, priority, timeout)
+	j, deduped, err := s.admit(req, priority, timeout)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	state := stateQueued
+	if deduped {
+		// A dedup hit may attach to a job in any state; report the one
+		// it is actually in so a replayed "done" submit is immediately
+		// fetchable.
+		state, _, _, _ = j.snapshot()
+	}
 	writeJSON(w, http.StatusAccepted, serverclient.SubmitReply{
-		ID:        j.id,
-		State:     stateQueued.String(),
-		StatusURL: "/v1/jobs/" + j.id,
+		ID:           j.id,
+		State:        state.String(),
+		StatusURL:    "/v1/jobs/" + j.id,
+		Deduplicated: deduped,
 	})
 }
 
@@ -120,7 +128,7 @@ func (s *Server) handleProveSync(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	j, err := s.admit(req, priority, timeout)
+	j, deduped, err := s.admit(req, priority, timeout)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -128,8 +136,13 @@ func (s *Server) handleProveSync(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		j.cancel()
-		<-j.done
+		// Disconnect cancels only a job this request admitted; a
+		// deduplicated job belongs to its original submitter, and
+		// canceling it here would fail every other waiter.
+		if !deduped {
+			j.cancel()
+			<-j.done
+		}
 	}
 	res, err := j.result()
 	if err != nil {
@@ -234,9 +247,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics assembles the current MetricsSnapshot — the same data GET
+// /metrics serves, exposed directly for embedding servers and for the
+// chaos soak's exact prove-invocation accounting.
+func (s *Server) Metrics() MetricsSnapshot {
 	m := s.met
-	writeJSON(w, http.StatusOK, MetricsSnapshot{
-		Queued:            s.queue.Len(),
+	qs := s.queue.Stats()
+	s.mu.Lock()
+	idemEntries := len(s.idemIndex)
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Queued:            qs.Len,
 		InFlight:          m.inFlight.Load(),
 		Submitted:         m.submitted.Load(),
 		Completed:         m.completed.Load(),
@@ -246,9 +270,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RejectedInvalid:   m.rejectedInvalid.Load(),
 		RejectedDraining:  m.rejectedDrain.Load(),
 		Workers:           parallel.Workers(),
+
+		ProveInvocations:    m.proveInvocations.Load(),
+		IdempotentHits:      m.idemHits.Load(),
+		IdempotentConflicts: m.idemConflicts.Load(),
+		IdempotencyEntries:  idemEntries,
+
+		QueueHighWater:      qs.HighWater,
+		QueueRejectedPushes: qs.RejectedFull + qs.RejectedClosed,
+
 		ProveLatencyP50MS: ms(m.proveLat.quantile(0.50)),
 		ProveLatencyP99MS: ms(m.proveLat.quantile(0.99)),
 		QueueWaitP50MS:    ms(m.queueWait.quantile(0.50)),
 		QueueWaitP99MS:    ms(m.queueWait.quantile(0.99)),
-	})
+	}
 }

@@ -1,0 +1,123 @@
+// Idempotent submission: the service deduplicates submits that carry a
+// jobs.Request.IdempotencyKey, so a client retrying a dropped or
+// ambiguous submit (response lost after the server admitted the job)
+// converges on the same job — and therefore, by the prover's determinism
+// contract, on the same bit-identical proof — instead of proving twice.
+//
+// The index is a bounded, TTL'd map from key to the job it admitted,
+// fingerprinted over the full request encoding:
+//
+//   - same key, same request bytes  → dedup hit: the original job (or
+//     its retained result) is returned, nothing is re-proved;
+//   - same key, different request   → ErrIdempotencyConflict (409);
+//   - entry expired or evicted      → the retry admits a fresh job.
+//
+// Only in-flight and successful jobs replay. A job that ended canceled
+// or failed drops its entry on the next lookup, so retrying after a
+// drain rejection or a deadline re-proves rather than replaying the
+// failure forever. Entries are evicted oldest-first beyond
+// Config.MaxIdempotencyKeys, and an entry whose job record has been
+// retired out of the finished-job cache (Config.MaxRetained) is dropped
+// too — the result bytes live in the job record, the index only points
+// at it.
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"time"
+)
+
+// ErrIdempotencyConflict rejects a submit whose idempotency key was
+// already used for a different request. It is terminal: retrying the
+// same (key, request) pair cannot succeed; the client must pick a new
+// key or resend the original request.
+var ErrIdempotencyConflict = errors.New("server: idempotency key reused with a different request")
+
+// idemEntry records one admitted key.
+type idemEntry struct {
+	jobID   string
+	fp      [sha256.Size]byte
+	seq     uint64
+	expires time.Time
+}
+
+// idemOrderEntry is the FIFO eviction record; seq disambiguates a key
+// that was re-admitted after its earlier entry was dropped.
+type idemOrderEntry struct {
+	key string
+	seq uint64
+}
+
+// requestFingerprint identifies a request for conflict detection: the
+// hash of its full wire encoding (key included).
+func requestFingerprint(raw []byte) [sha256.Size]byte { return sha256.Sum256(raw) }
+
+// idemLookupLocked resolves a key under s.mu. It returns the job to
+// replay, nil when the caller should admit fresh, or
+// ErrIdempotencyConflict. Expired entries, entries whose job record was
+// evicted, and entries whose job ended canceled/failed are dropped.
+func (s *Server) idemLookupLocked(key string, fp [sha256.Size]byte) (*job, error) {
+	e, ok := s.idemIndex[key]
+	if !ok {
+		return nil, nil
+	}
+	if !e.expires.After(time.Now()) {
+		delete(s.idemIndex, key)
+		return nil, nil
+	}
+	if e.fp != fp {
+		s.met.idemConflicts.Add(1)
+		return nil, ErrIdempotencyConflict
+	}
+	j, ok := s.jobsByID[e.jobID]
+	if !ok {
+		// The job record aged out of the finished cache; the cached
+		// result is gone, so the retry proves fresh.
+		delete(s.idemIndex, key)
+		return nil, nil
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state == stateFailed || state == stateCanceled {
+		// Failures are not cached: a retry after a drain rejection,
+		// deadline, or cancellation deserves a fresh prove.
+		delete(s.idemIndex, key)
+		return nil, nil
+	}
+	return j, nil
+}
+
+// idemInsertLocked records a key → job binding under s.mu, evicting
+// expired then oldest entries beyond the configured bound.
+func (s *Server) idemInsertLocked(key string, fp [sha256.Size]byte, jobID string) {
+	seq := s.idemSeq
+	s.idemSeq++
+	s.idemIndex[key] = &idemEntry{
+		jobID:   jobID,
+		fp:      fp,
+		seq:     seq,
+		expires: time.Now().Add(s.cfg.IdempotencyTTL),
+	}
+	s.idemOrder = append(s.idemOrder, idemOrderEntry{key: key, seq: seq})
+	for len(s.idemIndex) > s.cfg.MaxIdempotencyKeys && len(s.idemOrder) > 0 {
+		oldest := s.idemOrder[0]
+		s.idemOrder = s.idemOrder[1:]
+		if e, ok := s.idemIndex[oldest.key]; ok && e.seq == oldest.seq {
+			delete(s.idemIndex, oldest.key)
+		}
+	}
+}
+
+// idemDeleteLocked removes a key if it still points at jobID — the
+// rollback path when a Push fails after registration, and the retire
+// path when a finished job record is evicted.
+func (s *Server) idemDeleteLocked(key, jobID string) {
+	if key == "" {
+		return
+	}
+	if e, ok := s.idemIndex[key]; ok && e.jobID == jobID {
+		delete(s.idemIndex, key)
+	}
+}

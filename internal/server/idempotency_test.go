@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/serverclient"
+)
+
+// TestIdempotentReplay pins the core dedup contract: resubmitting the
+// same request under the same idempotency key attaches to the original
+// job — same id, same bit-identical proof, and exactly one prover
+// invocation no matter how many times the submit is replayed.
+func TestIdempotentReplay(t *testing.T) {
+	s, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2})
+	ctx := context.Background()
+	req := &jobs.Request{Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 5,
+		IdempotencyKey: "replay-key"}
+
+	first, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Deduplicated {
+		t.Fatal("first submit reported deduplicated")
+	}
+	res, err := c.Wait(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		replay, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if !replay.Deduplicated || replay.ID != first.ID {
+			t.Fatalf("replay %d = %+v, want deduplicated hit on %s", i, replay, first.ID)
+		}
+		// A replayed submit against a finished job is immediately
+		// fetchable: the reply reports the job's actual state.
+		if replay.State != "done" {
+			t.Fatalf("replay %d state = %q, want done", i, replay.State)
+		}
+		again, err := c.Result(ctx, replay.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Proof, res.Proof) {
+			t.Fatalf("replay %d returned different proof bytes", i)
+		}
+	}
+
+	m := s.Metrics()
+	if m.ProveInvocations != 1 {
+		t.Fatalf("prove invocations = %d, want 1", m.ProveInvocations)
+	}
+	if m.IdempotentHits != 3 {
+		t.Fatalf("idempotent hits = %d, want 3", m.IdempotentHits)
+	}
+	if m.IdempotencyEntries != 1 {
+		t.Fatalf("idempotency entries = %d, want 1", m.IdempotencyEntries)
+	}
+}
+
+// TestIdempotentConcurrentSubmits races N identical submissions under
+// one key: exactly one admits, the rest attach to its job, and the
+// prover runs once.
+func TestIdempotentConcurrentSubmits(t *testing.T) {
+	s, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2})
+	ctx := context.Background()
+	req := &jobs.Request{Kind: jobs.KindStark, Workload: "Factorial", LogRows: 5,
+		IdempotencyKey: "race-key"}
+
+	const n = 8
+	replies := make([]*serverclient.SubmitReply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			replies[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	id := replies[0].ID
+	admitted := 0
+	for i, r := range replies {
+		if r.ID != id {
+			t.Fatalf("submit %d attached to job %s, others to %s", i, r.ID, id)
+		}
+		if !r.Deduplicated {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("%d submits admitted fresh jobs, want exactly 1", admitted)
+	}
+
+	if _, err := c.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.ProveInvocations != 1 || m.Submitted != 1 {
+		t.Fatalf("prove invocations = %d, submitted = %d, want 1/1",
+			m.ProveInvocations, m.Submitted)
+	}
+}
+
+// TestIdempotencyConflict reuses a key with a different request body:
+// the server must refuse with 409 "idempotency_conflict" — a terminal,
+// non-retryable error — rather than silently returning the other
+// request's proof.
+func TestIdempotencyConflict(t *testing.T) {
+	s, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2})
+	ctx := context.Background()
+
+	a := &jobs.Request{Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 5,
+		IdempotencyKey: "shared-key"}
+	if _, err := c.Submit(ctx, a, serverclient.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := &jobs.Request{Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 6,
+		IdempotencyKey: "shared-key"}
+	_, err := c.Submit(ctx, b, serverclient.Options{})
+	var apiErr *serverclient.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("conflicting submit = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusConflict || apiErr.Class != "idempotency_conflict" {
+		t.Fatalf("conflict reply = %+v, want 409/idempotency_conflict", apiErr)
+	}
+	if apiErr.Retryable() {
+		t.Fatal("idempotency conflict marked retryable")
+	}
+	if m := s.Metrics(); m.IdempotentConflicts != 1 {
+		t.Fatalf("conflict counter = %d, want 1", m.IdempotentConflicts)
+	}
+}
+
+// TestIdempotencyFailureNotCached pins the "retries re-prove failures"
+// rule: a canceled job does not poison its key — the retry admits a
+// fresh job and gets a real proof.
+func TestIdempotencyFailureNotCached(t *testing.T) {
+	gate := make(chan struct{})
+	s, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 1,
+		testHookRunning: func(j *job) {
+			select {
+			case <-gate:
+			case <-j.ctx.Done():
+			}
+		}})
+	ctx := context.Background()
+	req := &jobs.Request{Kind: jobs.KindPlonk, Workload: "MVM", LogRows: 5,
+		IdempotencyKey: "failed-once"}
+
+	first, err := c.Submit(ctx, req, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, first, "running")
+	if err := c.Cancel(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, first, "canceled")
+
+	close(gate) // let the retry's prover run
+	retry, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Deduplicated || retry.ID == first {
+		t.Fatalf("retry after cancel = %+v, want a fresh job", retry)
+	}
+	res, err := c.Wait(ctx, retry.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.CheckResult(req, res); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.Completed != 1 || m.Canceled != 1 {
+		t.Fatalf("completed = %d canceled = %d, want 1/1", m.Completed, m.Canceled)
+	}
+}
+
+// TestIdempotencyEviction bounds the key index: with MaxIdempotencyKeys
+// of 2, the oldest key is evicted and re-admits fresh while the newest
+// still dedups.
+func TestIdempotencyEviction(t *testing.T) {
+	_, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2, MaxIdempotencyKeys: 2})
+	ctx := context.Background()
+
+	mk := func(key string, rows int) *jobs.Request {
+		return &jobs.Request{Kind: jobs.KindStark, Workload: "Fibonacci", LogRows: rows,
+			IdempotencyKey: key}
+	}
+	ids := make(map[string]string)
+	for i, key := range []string{"k1", "k2", "k3"} {
+		r, err := c.SubmitDetail(ctx, mk(key, 5+i%2), serverclient.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, r.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids[key] = r.ID
+	}
+
+	// k1 was evicted when k3 was inserted: it re-admits fresh.
+	r1, err := c.SubmitDetail(ctx, mk("k1", 5), serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Deduplicated || r1.ID == ids["k1"] {
+		t.Fatalf("evicted key resubmit = %+v, want fresh admit", r1)
+	}
+	// k3 is still indexed: it dedups.
+	r3, err := c.SubmitDetail(ctx, mk("k3", 5), serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Deduplicated || r3.ID != ids["k3"] {
+		t.Fatalf("retained key resubmit = %+v, want dedup onto %s", r3, ids["k3"])
+	}
+}
+
+// TestIdempotencyTTL expires an entry by time: after the TTL, the same
+// key re-admits a fresh job.
+func TestIdempotencyTTL(t *testing.T) {
+	_, c := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2,
+		IdempotencyTTL: 10 * time.Millisecond})
+	ctx := context.Background()
+	req := &jobs.Request{Kind: jobs.KindPlonk, Workload: "SHA-256", LogRows: 5,
+		IdempotencyKey: "short-lived"}
+
+	first, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	second, err := c.SubmitDetail(ctx, req, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Deduplicated || second.ID == first.ID {
+		t.Fatalf("expired key resubmit = %+v, want fresh admit", second)
+	}
+}
+
+// TestDrainRetryAfterScalesWithInFlight unit-tests the drain branch of
+// the backpressure hint: while draining, the estimate switches from
+// queue depth to the in-flight jobs shutdown is waiting out.
+func TestDrainRetryAfterScalesWithInFlight(t *testing.T) {
+	s := New(Config{QueueCap: 4, MaxInFlight: 1, RetryAfter: time.Second})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	// Seed the latency estimator with a 3s median prove.
+	for i := 0; i < 4; i++ {
+		s.met.proveLat.add(3 * time.Second)
+	}
+	if got := s.retryAfterSeconds(); got != 3 {
+		// Not draining: empty queue → depth 1 → 1·p50 = 3s.
+		t.Fatalf("idle hint = %ds, want 3", got)
+	}
+	s.draining.Store(true)
+	s.met.inFlight.Add(2)
+	defer s.met.inFlight.Add(-2)
+	if got := s.retryAfterSeconds(); got != 9 {
+		// Draining with 2 in flight → depth 3 → 3·p50 = 9s.
+		t.Fatalf("draining hint = %ds, want 9", got)
+	}
+}
+
+// TestDrainRejectionRetryAfter checks the 503 drain rejection end to
+// end: the reply carries a computed Retry-After header and JSON field,
+// parity with the 429 backpressure path.
+func TestDrainRejectionRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	s, c := newTestServer(t, Config{QueueCap: 4, MaxInFlight: 1,
+		testHookRunning: func(j *job) {
+			select {
+			case <-gate:
+			case <-j.ctx.Done():
+			}
+		}})
+	ctx := context.Background()
+
+	held, err := c.Submit(ctx, &jobs.Request{Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 5}, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, held, "running")
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(sctx)
+	}()
+	waitForDraining(t, s)
+
+	_, err = c.Submit(ctx, &jobs.Request{Kind: jobs.KindStark, Workload: "Factorial", LogRows: 5}, serverclient.Options{})
+	var apiErr *serverclient.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("submit while draining = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusServiceUnavailable || apiErr.Class != "draining" {
+		t.Fatalf("drain rejection = %+v, want 503/draining", apiErr)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Fatalf("drain rejection Retry-After = %v, want ≥1s", apiErr.RetryAfter)
+	}
+
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+}
+
+// waitForDraining polls until Shutdown has flipped the drain flag.
+func waitForDraining(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

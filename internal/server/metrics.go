@@ -59,6 +59,10 @@ type metrics struct {
 	rejectedDrain   atomic.Int64 // queued jobs rejected at drain
 	inFlight        atomic.Int64 // currently proving
 
+	proveInvocations atomic.Int64 // prover entries; == unique proved jobs
+	idemHits         atomic.Int64 // submits deduplicated onto an existing job
+	idemConflicts    atomic.Int64 // submits rejected: key reused with new request
+
 	proveLat  *latencySampler // running → finished
 	queueWait *latencySampler // submitted → running
 }
@@ -79,6 +83,23 @@ type MetricsSnapshot struct {
 	RejectedInvalid   int64 `json:"rejected_invalid"`
 	RejectedDraining  int64 `json:"rejected_draining"`
 	Workers           int   `json:"workers"`
+
+	// ProveInvocations counts prover entries. With idempotent submits it
+	// equals the number of unique admitted jobs that reached the prover,
+	// regardless of how many times each was (re)submitted.
+	ProveInvocations int64 `json:"prove_invocations"`
+	// IdempotentHits / IdempotentConflicts / IdempotencyEntries expose
+	// the dedup index: replayed submits, key-reuse rejections, and the
+	// current (bounded, TTL'd) entry count.
+	IdempotentHits      int64 `json:"idempotent_hits"`
+	IdempotentConflicts int64 `json:"idempotent_conflicts"`
+	IdempotencyEntries  int   `json:"idempotency_entries"`
+
+	// QueueHighWater and QueueRejectedPushes come from the jobqueue
+	// itself: the deepest the queue has ever been, and every push it
+	// refused (full or closed) since startup.
+	QueueHighWater      int   `json:"queue_high_water"`
+	QueueRejectedPushes int64 `json:"queue_rejected_pushes"`
 
 	ProveLatencyP50MS float64 `json:"prove_latency_p50_ms"`
 	ProveLatencyP99MS float64 `json:"prove_latency_p99_ms"`

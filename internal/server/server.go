@@ -61,7 +61,15 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxRetained bounds finished-job records kept for status/result
 	// queries; the oldest finished jobs are evicted first. Default 1024.
+	// Retained records double as the idempotency result cache: an
+	// evicted job's idempotency entry is dropped with it.
 	MaxRetained int
+	// IdempotencyTTL bounds how long a submitted idempotency key
+	// deduplicates retries. Default 10m.
+	IdempotencyTTL time.Duration
+	// MaxIdempotencyKeys bounds the idempotency index; the oldest
+	// entries are evicted first. Default 4096.
+	MaxIdempotencyKeys int
 
 	// testHookRunning, when set by in-package tests, runs synchronously
 	// after a job transitions to running and before its prover starts —
@@ -91,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetained <= 0 {
 		c.MaxRetained = 1024
+	}
+	if c.IdempotencyTTL <= 0 {
+		c.IdempotencyTTL = 10 * time.Minute
+	}
+	if c.MaxIdempotencyKeys <= 0 {
+		c.MaxIdempotencyKeys = 4096
 	}
 	return c
 }
@@ -197,6 +211,9 @@ type Server struct {
 	mu           sync.Mutex
 	jobsByID     map[string]*job
 	finishedList []string
+	idemIndex    map[string]*idemEntry
+	idemOrder    []idemOrderEntry
+	idemSeq      uint64
 }
 
 // New builds the service and starts its scheduler runners.
@@ -210,6 +227,7 @@ func New(cfg Config) *Server {
 		base:      base,
 		cancelAll: cancel,
 		jobsByID:  make(map[string]*job),
+		idemIndex: make(map[string]*idemEntry),
 	}
 	s.mux = s.buildMux()
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -258,6 +276,10 @@ func (s *Server) run(j *job) {
 		hook(j)
 	}
 
+	// proveInvocations counts actual prover entries (not admissions):
+	// it is what the chaos soak compares against unique admitted jobs to
+	// prove that retried submits never prove twice.
+	s.met.proveInvocations.Add(1)
 	res, err := j.compiled.Prove(j.ctx)
 	s.met.inFlight.Add(-1)
 	s.finish(j, res, err)
@@ -309,7 +331,9 @@ func (s *Server) finish(j *job, res *jobs.Result, err error) {
 }
 
 // retire records a finished job for later status queries and evicts the
-// oldest finished records beyond the retention bound.
+// oldest finished records beyond the retention bound. An evicted job's
+// idempotency entry goes with it: the index only ever points at live
+// records, so a dedup hit can always replay the result.
 func (s *Server) retire(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -317,21 +341,44 @@ func (s *Server) retire(j *job) {
 	for len(s.finishedList) > s.cfg.MaxRetained {
 		evict := s.finishedList[0]
 		s.finishedList = s.finishedList[1:]
-		delete(s.jobsByID, evict)
+		if old, ok := s.jobsByID[evict]; ok {
+			s.idemDeleteLocked(old.req.IdempotencyKey, evict)
+			delete(s.jobsByID, evict)
+		}
 	}
 }
 
 // admit validates, compiles, registers, and enqueues a request. On any
 // error the job is not registered and the typed error maps to an HTTP
-// status via statusFor.
-func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (*job, error) {
+// status via statusFor. A request carrying an idempotency key already
+// admitted returns the original job with deduped=true: the caller
+// serves that job's (eventual) result instead of proving again.
+func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (j *job, deduped bool, err error) {
 	if s.draining.Load() {
-		return nil, ErrDraining
+		return nil, false, ErrDraining
+	}
+	var fp [32]byte
+	if req.IdempotencyKey != "" {
+		raw, err := req.MarshalBinary()
+		if err != nil {
+			return nil, false, err
+		}
+		fp = requestFingerprint(raw)
+		s.mu.Lock()
+		existing, err := s.idemLookupLocked(req.IdempotencyKey, fp)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, false, err
+		}
+		if existing != nil {
+			s.met.idemHits.Add(1)
+			return existing, true, nil
+		}
 	}
 	compiled, err := jobs.Compile(req)
 	if err != nil {
 		s.met.rejectedInvalid.Add(1)
-		return nil, err
+		return nil, false, err
 	}
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		if timeout > s.cfg.MaxTimeout {
@@ -350,7 +397,7 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		inner := cancel
 		cancel = func() { tcancel(); inner() }
 	}
-	j := &job{
+	j = &job{
 		id:        fmt.Sprintf("j%08d", s.nextID.Add(1)),
 		req:       req,
 		compiled:  compiled,
@@ -362,11 +409,28 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		submitted: time.Now(),
 	}
 	s.mu.Lock()
+	if req.IdempotencyKey != "" {
+		// Recheck under the lock: a concurrent duplicate may have
+		// registered the key while this request was compiling. Exactly
+		// one of the racing submits admits; the rest attach to its job.
+		existing, lerr := s.idemLookupLocked(req.IdempotencyKey, fp)
+		if lerr != nil || existing != nil {
+			s.mu.Unlock()
+			j.cancel()
+			if lerr != nil {
+				return nil, false, lerr
+			}
+			s.met.idemHits.Add(1)
+			return existing, true, nil
+		}
+		s.idemInsertLocked(req.IdempotencyKey, fp, j.id)
+	}
 	s.jobsByID[j.id] = j
 	s.mu.Unlock()
 	if err := s.queue.Push(j, priority); err != nil {
 		s.mu.Lock()
 		delete(s.jobsByID, j.id)
+		s.idemDeleteLocked(req.IdempotencyKey, j.id)
 		s.mu.Unlock()
 		j.cancel()
 		if errors.Is(err, jobqueue.ErrClosed) {
@@ -375,10 +439,10 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		if errors.Is(err, jobqueue.ErrFull) {
 			s.met.rejectedFull.Add(1)
 		}
-		return nil, err
+		return nil, false, err
 	}
 	s.met.submitted.Add(1)
-	return j, nil
+	return j, false, nil
 }
 
 // lookup returns a registered job by id.
@@ -422,11 +486,18 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // retryAfterSeconds is the backpressure hint for 429/503 responses: at
 // least the configured floor, scaled by how long the current queue will
-// take to drain at the observed median prove latency.
+// take to drain at the observed median prove latency. While draining,
+// the queue is already closed and empty, so the estimate switches to
+// the in-flight jobs that shutdown is waiting out — the soonest this
+// process (restarted) or a sibling replica could plausibly take the
+// retry.
 func (s *Server) retryAfterSeconds() int {
 	hint := s.cfg.RetryAfter
 	if p50 := s.met.proveLat.quantile(0.50); p50 > 0 {
 		depth := int64(s.queue.Len())/int64(s.cfg.MaxInFlight) + 1
+		if s.draining.Load() {
+			depth = s.met.inFlight.Load() + 1
+		}
 		if est := time.Duration(depth) * p50; est > hint {
 			hint = est
 		}

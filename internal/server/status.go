@@ -25,6 +25,7 @@ const StatusClientClosedRequest = 499
 //	nil                      → 200 ""
 //	jobqueue.ErrFull         → 429 "queue_full"   (backpressure; retry)
 //	ErrDraining / ErrClosed  → 503 "draining"     (drain; retry)
+//	ErrIdempotencyConflict   → 409 "idempotency_conflict" (terminal)
 //	context.Canceled         → 499 "canceled"
 //	context.DeadlineExceeded → 504 "deadline"
 //	prooferr.ErrMalformedProof → 400 "malformed"  (structural garbage)
@@ -42,6 +43,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrDraining), errors.Is(err, jobqueue.ErrClosed):
 		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrIdempotencyConflict):
+		return http.StatusConflict, "idempotency_conflict"
 	case errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest, "canceled"
 	case errors.Is(err, context.DeadlineExceeded):

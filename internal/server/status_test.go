@@ -27,6 +27,8 @@ func TestStatusFor(t *testing.T) {
 		{"wrapped queue full", fmt.Errorf("push: %w", jobqueue.ErrFull), http.StatusTooManyRequests, "queue_full", true},
 		{"draining", ErrDraining, http.StatusServiceUnavailable, "draining", true},
 		{"queue closed", jobqueue.ErrClosed, http.StatusServiceUnavailable, "draining", true},
+		{"idempotency conflict", ErrIdempotencyConflict, http.StatusConflict, "idempotency_conflict", false},
+		{"wrapped idempotency conflict", fmt.Errorf("key %q: %w", "k", ErrIdempotencyConflict), http.StatusConflict, "idempotency_conflict", false},
 		{"canceled", context.Canceled, StatusClientClosedRequest, "canceled", true},
 		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline", true},
 		{"malformed", prooferr.ErrMalformedProof, http.StatusBadRequest, "malformed", false},

@@ -35,6 +35,10 @@ type SubmitReply struct {
 	ID        string `json:"id"`
 	State     string `json:"state"`
 	StatusURL string `json:"status_url"`
+	// Deduplicated reports that the submit's idempotency key matched an
+	// already-admitted request: ID names the original job (which may be
+	// in any state, including done) and nothing was re-proved.
+	Deduplicated bool `json:"deduplicated,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx API response.

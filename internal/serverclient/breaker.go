@@ -1,0 +1,157 @@
+package serverclient
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Client.do when the circuit breaker is
+// open: recent exchanges all failed at the transport level, so the
+// client fails fast instead of queueing more work against a dead
+// server. It is not auto-retried within the same call — the caller
+// should back off and try again later (or let a higher-level loop do
+// so), by which time the breaker will probe on its own.
+var ErrCircuitOpen = errors.New("serverclient: circuit breaker open")
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // failing fast
+	breakerHalfOpen                     // one probe in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a circuit breaker over the client's transport. Only
+// transport-level failures count against it: any decoded HTTP response
+// — even a 500 — proves the server is alive and resets the failure
+// streak. After FailureThreshold consecutive transport failures the
+// breaker opens and every call fails fast with ErrCircuitOpen; once
+// OpenTimeout elapses it admits exactly one probe (half-open), whose
+// outcome either closes the breaker or re-opens it for another
+// OpenTimeout.
+//
+// A Breaker is safe for concurrent use and must not be copied after
+// first use. The zero value is usable with defaults.
+type Breaker struct {
+	// FailureThreshold is the consecutive-transport-failure count that
+	// opens the breaker; values below 1 mean DefaultFailureThreshold.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting a
+	// probe; 0 means DefaultOpenTimeout.
+	OpenTimeout time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	now      func() time.Time // test hook; nil means time.Now
+}
+
+// Defaults for the zero-valued fields of Breaker.
+const (
+	DefaultFailureThreshold = 5
+	DefaultOpenTimeout      = 2 * time.Second
+)
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold < 1 {
+		return DefaultFailureThreshold
+	}
+	return b.FailureThreshold
+}
+
+func (b *Breaker) openTimeout() time.Duration {
+	if b.OpenTimeout <= 0 {
+		return DefaultOpenTimeout
+	}
+	return b.OpenTimeout
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a call may proceed: nil in the closed state,
+// ErrCircuitOpen while open, and — once OpenTimeout has elapsed — nil
+// for exactly one half-open probe (concurrent callers keep failing
+// fast until the probe resolves via Record).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerHalfOpen:
+		return ErrCircuitOpen // a probe is already in flight
+	default: // breakerOpen
+		if b.clock().Sub(b.openedAt) < b.openTimeout() {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		return nil
+	}
+}
+
+// Record feeds one call's outcome back. Transport failures increment
+// the streak (opening the breaker at the threshold, or re-opening it
+// from half-open); a success or an APIError of any status — even a 500
+// — is a decoded reply from a live server and closes/clears the
+// breaker. The caller's own context expiring proves nothing in either
+// direction, so it leaves the breaker untouched (a half-open probe cut
+// short by its caller re-opens nothing and the next Allow may probe
+// again).
+func (b *Breaker) Record(err error) {
+	var te *TransportError
+	transportFailure := errors.As(err, &te)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !transportFailure {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Neither evidence of life nor of death; but release a
+			// half-open probe slot so the breaker cannot wedge.
+			if b.state == breakerHalfOpen {
+				// Re-open with the timeout already elapsed so the very
+				// next Allow can probe again.
+				b.state = breakerOpen
+				b.openedAt = b.clock().Add(-b.openTimeout())
+			}
+			return
+		}
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold() {
+		b.state = breakerOpen
+		b.openedAt = b.clock()
+	}
+}
+
+// State returns the breaker's current state name ("closed", "open",
+// "half-open") for logs and metrics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,206 @@
+package serverclient
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func transportFault() error {
+	return &TransportError{Op: "do", Err: errors.New("connection refused")}
+}
+
+// TestBreakerOpensAfterThreshold walks the closed → open transition and
+// the fail-fast behavior while open.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 3, OpenTimeout: time.Second,
+		now: func() time.Time { return now }}
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d while closed: %v", i, err)
+		}
+		b.Record(transportFault())
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2 failures = %s, want closed", b.State())
+	}
+	b.Record(transportFault()) // third consecutive failure
+	if b.State() != "open" {
+		t.Fatalf("state after threshold = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow while open = %v, want ErrCircuitOpen", err)
+	}
+}
+
+// TestBreakerHalfOpenProbe pins the open → half-open → closed/open
+// transitions: one probe after the timeout, concurrent calls still fail
+// fast, success closes, failure re-opens.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second,
+		now: func() time.Time { return now }}
+
+	b.Record(transportFault())
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+
+	// Before the timeout: still failing fast.
+	now = now.Add(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow before timeout = %v", err)
+	}
+
+	// After the timeout: exactly one probe passes.
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second concurrent probe admitted")
+	}
+
+	// A failing probe re-opens for another full timeout.
+	b.Record(transportFault())
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	// A successful probe closes the breaker.
+	b.Record(nil)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("allow after close: %v", err)
+	}
+}
+
+// TestBreakerAPIErrorIsContact pins that any decoded HTTP reply — even
+// a 500 — counts as a live server and clears the failure streak.
+func TestBreakerAPIErrorIsContact(t *testing.T) {
+	b := &Breaker{FailureThreshold: 2}
+	b.Record(transportFault())
+	b.Record(&APIError{StatusCode: 500, Class: "internal"})
+	b.Record(transportFault())
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed (streak broken by API reply)", b.State())
+	}
+	b.Record(transportFault())
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open after 2 consecutive faults", b.State())
+	}
+}
+
+// TestBreakerIgnoresCallerCancellation: the caller's own ctx expiring
+// proves nothing about the server and must not trip the breaker.
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	b := &Breaker{FailureThreshold: 2}
+	b.Record(transportFault())
+	b.Record(context.Canceled)
+	b.Record(transportFault())
+	if b.State() != "open" {
+		// Cancellation neither reset nor extended the streak: fault,
+		// (ignored), fault = 2 consecutive faults.
+		t.Fatalf("state = %s, want open", b.State())
+	}
+}
+
+// TestClientFailsFastWhenOpen wires the breaker into Client.do: once a
+// dead server opens it, subsequent calls return ErrCircuitOpen without
+// touching the transport, and recovery goes through a probe.
+func TestClientFailsFastWhenOpen(t *testing.T) {
+	calls := 0
+	dead := true
+	transport := roundTripFunc(func(*http.Request) (*http.Response, error) {
+		calls++
+		if dead {
+			return nil, errors.New("connection refused")
+		}
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Body:       io.NopCloser(strings.NewReader(`{"id":"j0001","state":"done"}`)),
+			Header:     http.Header{},
+		}, nil
+	})
+
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 2, OpenTimeout: time.Second,
+		now: func() time.Time { return now }}
+	c := New("http://server.invalid")
+	c.HTTPClient = &http.Client{Transport: transport}
+	c.Breaker = b
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Status(ctx, "j0001"); err == nil {
+			t.Fatal("dead server call succeeded")
+		}
+	}
+	if calls != 2 || b.State() != "open" {
+		t.Fatalf("calls=%d state=%s, want 2 calls then open", calls, b.State())
+	}
+
+	// Open: fail fast, no transport traffic.
+	if _, err := c.Status(ctx, "j0001"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call while open = %v, want ErrCircuitOpen", err)
+	}
+	if calls != 2 {
+		t.Fatalf("open breaker still hit the transport (%d calls)", calls)
+	}
+
+	// Server recovers; after the timeout one probe goes through and
+	// closes the breaker.
+	dead = false
+	now = now.Add(2 * time.Second)
+	st, err := c.Status(ctx, "j0001")
+	if err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if st.State != "done" || b.State() != "closed" {
+		t.Fatalf("after probe: state=%q breaker=%s", st.State, b.State())
+	}
+}
+
+// TestBreakerOpenNotAutoRetried: ErrCircuitOpen must surface
+// immediately even when a retry policy is set — retrying into an open
+// breaker just burns the budget.
+func TestBreakerOpenNotAutoRetried(t *testing.T) {
+	if autoRetryable(ErrCircuitOpen) {
+		t.Fatal("ErrCircuitOpen classified auto-retryable")
+	}
+	calls := 0
+	dead := roundTripFunc(func(*http.Request) (*http.Response, error) {
+		calls++
+		return nil, errors.New("connection refused")
+	})
+	now := time.Unix(0, 0)
+	c := New("http://server.invalid")
+	c.HTTPClient = &http.Client{Transport: dead}
+	c.Breaker = &Breaker{FailureThreshold: 1, OpenTimeout: time.Hour,
+		now: func() time.Time { return now }}
+	c.Retry = &RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, Seed: 1}
+
+	_, err := c.Status(context.Background(), "j0001")
+	if err == nil {
+		t.Fatal("dead server call succeeded")
+	}
+	// The first attempt fails and opens the breaker; the retry loop's
+	// next attempt hits Allow → ErrCircuitOpen and stops.
+	if calls != 1 {
+		t.Fatalf("transport hit %d times, want 1 (breaker opened)", calls)
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+}

@@ -66,6 +66,16 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Wait's status polling; default 25ms.
 	PollInterval time.Duration
+	// Retry, when non-nil, transparently re-issues requests that fail
+	// with a retryable error (transport faults, 429/502/503) using
+	// capped exponential backoff with full jitter. Retried submissions
+	// should carry an idempotency key so a retry after an ambiguous
+	// transport failure cannot prove twice.
+	Retry *RetryPolicy
+	// Breaker, when non-nil, fails calls fast with ErrCircuitOpen after
+	// a streak of transport-level failures, instead of piling timeouts
+	// onto a dead server.
+	Breaker *Breaker
 }
 
 // New returns a client for the service at baseURL.
@@ -113,8 +123,41 @@ func apiError(resp *http.Response, body []byte) error {
 }
 
 // do issues a request and returns the response body, converting non-2xx
-// replies (other than accept202's tolerated 202) into *APIError.
+// replies into *APIError and exchange failures into *TransportError.
+// When the client has a Retry policy, retryable failures are re-issued
+// with backoff; when it has a Breaker, calls fail fast with
+// ErrCircuitOpen while the breaker is open.
 func (c *Client) do(ctx context.Context, method, u string, body []byte) (int, []byte, error) {
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				return 0, nil, err
+			}
+		}
+		status, data, err := c.doOnce(ctx, method, u, body)
+		if c.Breaker != nil {
+			c.Breaker.Record(err)
+		}
+		if err == nil || c.Retry == nil {
+			return status, data, err
+		}
+		delay, ok := c.Retry.next(attempt, time.Since(start), err)
+		if !ok {
+			return status, data, err
+		}
+		select {
+		case <-ctx.Done():
+			// Surface the last real failure, not the bare ctx error:
+			// it says why the retries were happening.
+			return status, data, err
+		case <-time.After(delay):
+		}
+	}
+}
+
+// doOnce issues a single HTTP exchange.
+func (c *Client) doOnce(ctx context.Context, method, u string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -128,12 +171,12 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte) (int, []
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, transportErr(ctx, "do", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, nil, transportErr(ctx, "read body", err)
 	}
 	if resp.StatusCode >= 400 {
 		return resp.StatusCode, nil, apiError(resp, data)
@@ -143,19 +186,30 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte) (int, []
 
 // Submit enqueues a job asynchronously and returns its id.
 func (c *Client) Submit(ctx context.Context, req *jobs.Request, opts Options) (string, error) {
-	raw, err := req.MarshalBinary()
+	reply, err := c.SubmitDetail(ctx, req, opts)
 	if err != nil {
 		return "", err
+	}
+	return reply.ID, nil
+}
+
+// SubmitDetail enqueues a job and returns the full submit reply,
+// including whether the server deduplicated it onto an existing job via
+// the request's idempotency key.
+func (c *Client) SubmitDetail(ctx context.Context, req *jobs.Request, opts Options) (*SubmitReply, error) {
+	raw, err := req.MarshalBinary()
+	if err != nil {
+		return nil, err
 	}
 	_, body, err := c.do(ctx, http.MethodPost, c.submitURL("/v1/jobs", opts), raw)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	var reply SubmitReply
-	if err := json.Unmarshal(body, &reply); err != nil {
-		return "", fmt.Errorf("serverclient: decoding submit reply: %w", err)
+	reply := new(SubmitReply)
+	if err := json.Unmarshal(body, reply); err != nil {
+		return nil, &TransportError{Op: "decode submit reply", Err: err}
 	}
-	return reply.ID, nil
+	return reply, nil
 }
 
 // Status fetches a job's status.
@@ -166,7 +220,7 @@ func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
 	}
 	st := new(JobStatus)
 	if err := json.Unmarshal(body, st); err != nil {
-		return nil, fmt.Errorf("serverclient: decoding status: %w", err)
+		return nil, &TransportError{Op: "decode status", Err: err}
 	}
 	return st, nil
 }
@@ -183,7 +237,9 @@ func (c *Client) Result(ctx context.Context, id string) (*jobs.Result, error) {
 	}
 	res := new(jobs.Result)
 	if err := res.UnmarshalBinary(body); err != nil {
-		return nil, err
+		// A 2xx body that does not decode was mangled in flight, not
+		// refused by the server: retrying the fetch can succeed.
+		return nil, &TransportError{Op: "decode result", Err: err}
 	}
 	return res, nil
 }
@@ -228,7 +284,7 @@ func (c *Client) Prove(ctx context.Context, req *jobs.Request, opts Options) (*j
 	}
 	res := new(jobs.Result)
 	if err := res.UnmarshalBinary(body); err != nil {
-		return nil, err
+		return nil, &TransportError{Op: "decode proof", Err: err}
 	}
 	return res, nil
 }
@@ -241,7 +297,7 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	}
 	h := new(Health)
 	if err := json.Unmarshal(body, h); err != nil {
-		return nil, fmt.Errorf("serverclient: decoding health: %w", err)
+		return nil, &TransportError{Op: "decode health", Err: err}
 	}
 	return h, nil
 }
