@@ -39,6 +39,18 @@ fi
 # chaos regression fail under its own name.
 go test -race -timeout 10m -run '^TestChaosSoak$' ./internal/faultinject/netchaos
 
+# Cluster chaos soak (fixed seed, 3 nodes): the fault-tolerant
+# coordinator drives concurrent retrying clients through per-node
+# fault-injecting listeners while node 0 is hard-killed mid-load and
+# restarted on the same address. The gate asserts bit-identical proofs,
+# duplicate work accounted across node epochs (no node process proves a
+# job twice; every surplus invocation is paid for by a recorded
+# re-dispatch), the restart detected as an epoch change, and zero
+# goroutine leaks — all under the race detector. The full -race run
+# below repeats it; this step makes a cluster regression fail under its
+# own name.
+go test -race -timeout 10m -run '^TestClusterChaosSoak$' ./internal/cluster
+
 # The race detector is a hard gate: every parallel kernel (NTT butterfly
 # layers, Merkle levels, FRI fold/queries, quotient evaluation) runs under
 # it via the differential serial-vs-parallel tests, which sweep worker

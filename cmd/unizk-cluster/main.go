@@ -1,0 +1,169 @@
+// Command unizk-cluster runs the fault-tolerant proving cluster
+// coordinator: the same HTTP job API as unizk-server, fronting N
+// prover nodes with least-loaded placement, health-probed failover,
+// and a replicated idempotency index. See DESIGN.md §12.
+//
+// Point it at existing nodes:
+//
+//	unizk-cluster -addr 127.0.0.1:8500 \
+//	    -nodes http://127.0.0.1:8427,http://127.0.0.1:8428
+//
+// or let it spawn a local fleet in-process (each node is a full
+// internal/server instance on its own ephemeral port — handy for
+// development and demos, not a substitute for separate processes):
+//
+//	unizk-cluster -addr 127.0.0.1:8500 -spawn 3
+//
+// On SIGINT/SIGTERM the coordinator drains: new submissions get 503,
+// in-flight cluster jobs run to completion (bounded by -drain), then
+// any self-spawned nodes drain too.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unizk/internal/cluster"
+	"unizk/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8500", "coordinator listen address (use :0 for an ephemeral port)")
+	nodes := flag.String("nodes", "", "comma-separated prover node base URLs")
+	spawn := flag.Int("spawn", 0, "spawn N in-process prover nodes on ephemeral ports (instead of -nodes)")
+	probe := flag.Duration("probe", 250*time.Millisecond, "health/load probe interval per node")
+	stale := flag.Duration("stale", 3*time.Second, "failed-probe duration after which a node is ejected")
+	drain := flag.Duration("drain", 60*time.Second, "how long shutdown waits for in-flight cluster jobs")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline, measured from admission")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if err := run(*addr, urls, *spawn, *probe, *stale, *drain, *jobTimeout, *portfile); err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// localNode is one self-spawned in-process prover node.
+type localNode struct {
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+// spawnLocal starts n prover nodes on ephemeral loopback ports.
+func spawnLocal(n int) ([]*localNode, []string, error) {
+	var locals []*localNode
+	var urls []string
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range locals {
+				l.hs.Close()
+			}
+			return nil, nil, err
+		}
+		s := server.New(server.Config{})
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		u := "http://" + ln.Addr().String()
+		locals = append(locals, &localNode{srv: s, hs: hs, url: u})
+		urls = append(urls, u)
+	}
+	return locals, urls, nil
+}
+
+func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout time.Duration, portfile string) error {
+	if spawn > 0 && len(urls) > 0 {
+		return errors.New("use -nodes or -spawn, not both")
+	}
+	var locals []*localNode
+	if spawn > 0 {
+		var err error
+		locals, urls, err = spawnLocal(spawn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("unizk-cluster: spawned %d local nodes: %s\n", spawn, strings.Join(urls, " "))
+	}
+	if len(urls) == 0 {
+		return errors.New("no prover nodes: pass -nodes or -spawn")
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Nodes:          urls,
+		ProbeInterval:  probe,
+		StaleAfter:     stale,
+		DefaultTimeout: jobTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = coord.WaitReady(rctx)
+	rcancel()
+	if err != nil {
+		fmt.Println("unizk-cluster: warning: no node answered a probe yet; serving anyway")
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Printf("unizk-cluster listening on %s (nodes=%d probe=%v stale=%v)\n",
+		bound, len(urls), probe, stale)
+
+	hs := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("unizk-cluster: %v, draining (up to %v)\n", sig, drain)
+	case err := <-serveErr:
+		return err
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	forced := coord.Shutdown(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr
+	for _, l := range locals {
+		_ = l.srv.Shutdown(dctx)
+		_ = l.hs.Shutdown(dctx)
+	}
+	if forced != nil {
+		fmt.Println("unizk-cluster: drain deadline hit, in-flight jobs canceled")
+	} else {
+		fmt.Println("unizk-cluster: drained cleanly")
+	}
+	return nil
+}

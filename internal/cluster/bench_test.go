@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/server"
+	"unizk/internal/serverclient"
+)
+
+// TestBenchClusterThroughput is the cluster scaling benchmark behind
+// BENCH_cluster.json: the same job batch pushed through a 1-node and a
+// 3-node cluster (identical coordinator, so its overhead is held
+// constant), recording throughput for the perf trajectory. It runs only
+// when UNIZK_BENCH_CLUSTER=1 — it is a measurement, not a gate — and
+// rewrites BENCH_cluster.json at the repo root:
+//
+//	UNIZK_BENCH_CLUSTER=1 go test -run '^TestBenchClusterThroughput$' ./internal/cluster
+func TestBenchClusterThroughput(t *testing.T) {
+	if os.Getenv("UNIZK_BENCH_CLUSTER") != "1" {
+		t.Skip("set UNIZK_BENCH_CLUSTER=1 to run the cluster throughput benchmark")
+	}
+
+	const (
+		numJobs    = 24
+		numClients = 6
+		logRows    = 10
+	)
+	workloads := []string{"Fibonacci", "Factorial", "SHA-256"}
+
+	run := func(numNodes int) (jobsPerSec float64, elapsed time.Duration) {
+		var tns []*testNode
+		var urls []string
+		for i := 0; i < numNodes; i++ {
+			tn := startTestNode(t, server.Config{MaxInFlight: 2})
+			tns = append(tns, tn)
+			urls = append(urls, tn.url)
+		}
+		defer func() {
+			for _, tn := range tns {
+				tn.kill()
+			}
+		}()
+		coord, cl, _ := startCluster(t, fastConfig(urls...))
+		waitHealthy(t, coord, numNodes)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, numJobs)
+		for c := 0; c < numClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for n := c; n < numJobs; n += numClients {
+					req := &jobs.Request{
+						Kind:     jobs.KindStark,
+						Workload: workloads[n%len(workloads)],
+						LogRows:  logRows,
+					}
+					id, err := cl.Submit(ctx, req, serverclient.Options{})
+					if err != nil {
+						errs <- fmt.Errorf("job %d submit: %w", n, err)
+						return
+					}
+					if _, err := cl.Wait(ctx, id); err != nil {
+						errs <- fmt.Errorf("job %d wait: %w", n, err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		elapsed = time.Since(start)
+		return float64(numJobs) / elapsed.Seconds(), elapsed
+	}
+
+	single, singleDur := run(1)
+	triple, tripleDur := run(3)
+
+	out := map[string]any{
+		"bench":     "cluster-throughput",
+		"date":      time.Now().UTC().Format("2006-01-02"),
+		"workload":  fmt.Sprintf("%d stark jobs, log_rows=%d, %d concurrent clients", numJobs, logRows, numClients),
+		"node_cfg":  "MaxInFlight=2 per node",
+		"host_cpus": runtime.NumCPU(),
+		"1_node":    map[string]any{"jobs_per_sec": round2(single), "elapsed_sec": round2(singleDur.Seconds())},
+		"3_nodes":   map[string]any{"jobs_per_sec": round2(triple), "elapsed_sec": round2(tripleDur.Seconds())},
+		"speedup_x": round2(triple / single),
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_cluster.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 node: %.2f jobs/s, 3 nodes: %.2f jobs/s (%.2fx) → %s", single, triple, triple/single, path)
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -1,0 +1,591 @@
+// Package cluster scales the proving service horizontally: a
+// coordinator that fronts N unizk-server prover nodes behind the same
+// HTTP job API a single node serves, so clients (and cmd/prove -remote)
+// talk to a cluster exactly as they would to one server.
+//
+// The coordinator's defining property is surviving node failure, not
+// just adding throughput:
+//
+//   - Submits are routed by least-loaded placement over each node's
+//     probed /metrics in-flight and queue-wait signals.
+//   - Every node is health-probed on a fixed cadence through the
+//     serverclient breaker/retry stack; a node whose probes have failed
+//     for longer than Config.StaleAfter is ejected (its in-flight
+//     attributions are declared lost), and a later successful probe —
+//     admitted by the breaker's own half-open machinery — readmits it.
+//   - Each node's /healthz identity (node_id, start_ns) is watched for
+//     epoch changes: a restarted node at the same address lost its
+//     in-memory jobs, so its attributions are invalidated even though
+//     the address answers.
+//   - Jobs lost to a dead or restarted node are re-dispatched to a
+//     healthy one under a stable per-job idempotency key, after a
+//     last-chance attempt to recover the original result — so a node
+//     kill mid-prove yields exactly one completed proof, bit-identical
+//     to direct proving, and a recoverable result is never proved
+//     twice.
+//   - The idempotency fingerprint index is replicated at the
+//     coordinator: a client retry landing after a failover still dedups
+//     onto the original cluster job, whose cached result replays even
+//     when the node that proved it is gone.
+//
+// Degradation is graceful: the coordinator keeps accepting and
+// completing jobs while any node is healthy, and refuses with 503 +
+// Retry-After only when every node is ejected/unprobed or the cluster
+// is saturated (Config.PendingCap).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/server"
+)
+
+// Rejection sentinels for cluster admission. Both are retryable — they
+// map to 503 + a computed Retry-After — and are deliberately distinct
+// classes so a client can tell "the cluster is full" from "the cluster
+// is dead".
+var (
+	// ErrNoHealthyNodes rejects work while every node is ejected,
+	// draining, or has never answered a probe.
+	ErrNoHealthyNodes = errors.New("cluster: no healthy prover nodes")
+	// ErrSaturated rejects work while the coordinator's pending-job
+	// count is at Config.PendingCap — all node queues plus the
+	// coordinator's own buffer are full.
+	ErrSaturated = errors.New("cluster: saturated, retry later")
+)
+
+// Config sizes the coordinator. The zero value of every field except
+// Nodes has a usable default.
+type Config struct {
+	// Nodes lists the base URLs of the prover nodes, e.g.
+	// "http://127.0.0.1:8427". At least one is required.
+	Nodes []string
+
+	// ProbeInterval is the health/load probe cadence per node.
+	// Default 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe exchange. Default 1s.
+	ProbeTimeout time.Duration
+	// StaleAfter is how long a node's probes may keep failing before it
+	// is ejected and its in-flight jobs are re-dispatched. It must
+	// comfortably exceed ProbeInterval; ejection is deliberately
+	// conservative because re-dispatching a job whose node is merely
+	// slow risks proving it twice. Default 3s.
+	StaleAfter time.Duration
+	// PollInterval paces result polling for dispatched jobs.
+	// Default 25ms.
+	PollInterval time.Duration
+	// SaturationBackoff is how long a node that refused a submit with
+	// queue-full backpressure is skipped by placement. Default 250ms.
+	SaturationBackoff time.Duration
+	// RecoverTimeout bounds the last-chance result fetch from a node
+	// that was just declared lost, before its job is re-dispatched.
+	// Default 2s.
+	RecoverTimeout time.Duration
+
+	// PendingCap bounds queued+dispatched cluster jobs; beyond it
+	// submissions are refused with 503 (ErrSaturated).
+	// Default 64 × len(Nodes).
+	PendingCap int
+	// MaxRetained bounds finished-job records kept for status/result
+	// queries (and, with them, replayable idempotent results).
+	// Default 1024.
+	MaxRetained int
+	// DefaultTimeout / MaxTimeout mirror the node-side per-job deadline
+	// policy, measured from cluster admission. Defaults 5m / 30m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the floor of the computed Retry-After hint.
+	// Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies. Default 1<<26.
+	MaxBodyBytes int64
+	// IdempotencyTTL / MaxIdempotencyKeys bound the replicated
+	// idempotency index. Defaults 10m / 4096.
+	IdempotencyTTL     time.Duration
+	MaxIdempotencyKeys int
+
+	// Node-client tuning: each node handle gets its own
+	// breaker/retry stack built from these; zero values use the
+	// serverclient defaults. Tests and soaks shrink them so failure
+	// detection runs on a millisecond cadence.
+	NodeFailureThreshold int
+	NodeOpenTimeout      time.Duration
+	NodeMaxAttempts      int
+	NodeBaseDelay        time.Duration
+	NodeMaxDelay         time.Duration
+
+	// Seed fixes the node clients' retry jitter for deterministic
+	// soaks; 0 seeds from the wall clock.
+	Seed int64
+	// Transport, when non-nil, is the HTTP transport node clients use —
+	// the seam tests use to inject network chaos between coordinator
+	// and nodes. nil means http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.SaturationBackoff <= 0 {
+		c.SaturationBackoff = 250 * time.Millisecond
+	}
+	if c.RecoverTimeout <= 0 {
+		c.RecoverTimeout = 2 * time.Second
+	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 64 * len(c.Nodes)
+		if c.PendingCap < 64 {
+			c.PendingCap = 64
+		}
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 1024
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 26
+	}
+	if c.IdempotencyTTL <= 0 {
+		c.IdempotencyTTL = 10 * time.Minute
+	}
+	if c.MaxIdempotencyKeys <= 0 {
+		c.MaxIdempotencyKeys = 4096
+	}
+	return c
+}
+
+// cjobState is a cluster job's lifecycle position.
+type cjobState int
+
+const (
+	cstateQueued cjobState = iota
+	cstateDispatched
+	cstateDone
+	cstateFailed
+	cstateCanceled
+)
+
+func (s cjobState) String() string {
+	switch s {
+	case cstateQueued:
+		return "queued"
+	case cstateDispatched:
+		return "running"
+	case cstateDone:
+		return "done"
+	case cstateFailed:
+		return "failed"
+	case cstateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// cjob is one admitted cluster job and its mutable lifecycle record.
+type cjob struct {
+	id  string
+	req *jobs.Request
+	// nodeKey is the idempotency key node submits travel under:
+	// "cluster/<id>". It is stable across re-dispatches and resubmits,
+	// so an ambiguous submit retried against the same node attaches to
+	// the node's original job instead of proving twice.
+	nodeKey  string
+	priority int
+	timeout  time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     cjobState
+	res       *jobs.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// Attribution: which node (and which of its generations) currently
+	// owns the job, and the remote job id there. A node's generation
+	// bumps on ejection and on epoch change, so genAt < node.gen means
+	// the attribution is lost.
+	node     *node
+	genAt    int64
+	remoteID string
+
+	// Completion provenance, surfaced on status for operators and
+	// pinned by the soak's exactly-once accounting.
+	doneNodeURL string
+	doneNodeID  string
+
+	redispatches int
+}
+
+func (j *cjob) snapshot() (state cjobState, err error, queueWait, run time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	state, err = j.state, j.err
+	if !j.started.IsZero() {
+		queueWait = j.started.Sub(j.submitted)
+		if !j.finished.IsZero() {
+			run = j.finished.Sub(j.started)
+		}
+	} else if !j.finished.IsZero() {
+		queueWait = j.finished.Sub(j.submitted)
+	}
+	return state, err, queueWait, run
+}
+
+// result returns the terminal outcome, or errNotFinished.
+func (j *cjob) result() (*jobs.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case cstateDone:
+		return j.res, nil
+	case cstateFailed, cstateCanceled:
+		return nil, j.err
+	default:
+		return nil, errNotFinished
+	}
+}
+
+var errNotFinished = errors.New("cluster: job not finished")
+
+// Coordinator fronts the prover nodes. Construct with New; its probers
+// are running on return.
+type Coordinator struct {
+	cfg   Config
+	nodes []*node
+	met   *metrics
+	mux   *http.ServeMux
+
+	base      context.Context
+	cancelAll context.CancelFunc
+	probers   sync.WaitGroup
+	watchers  sync.WaitGroup
+	draining  atomic.Bool
+	nextID    atomic.Int64
+
+	mu           sync.Mutex
+	jobsByID     map[string]*cjob
+	finishedList []string
+	pending      int
+	idemIndex    map[string]*idemEntry
+	idemOrder    []idemOrderEntry
+	idemSeq      uint64
+}
+
+// New builds the coordinator and starts one prober per node.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: Config.Nodes is empty")
+	}
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:       cfg,
+		met:       newMetrics(),
+		base:      base,
+		cancelAll: cancel,
+		jobsByID:  make(map[string]*cjob),
+		idemIndex: make(map[string]*idemEntry),
+	}
+	for i, u := range cfg.Nodes {
+		c.nodes = append(c.nodes, newNode(u, i, cfg))
+	}
+	c.mux = c.buildMux()
+	for _, n := range c.nodes {
+		c.probers.Add(1)
+		go c.probeLoop(n)
+	}
+	return c, nil
+}
+
+// Handler returns the cluster's HTTP API — the same surface a single
+// unizk-server exposes, so serverclient.Client (and cmd/prove -remote)
+// work against a cluster unchanged.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// admit validates, registers, and starts a cluster job. A request
+// carrying an idempotency key already admitted returns the original job
+// with deduped=true.
+func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Duration) (j *cjob, deduped bool, err error) {
+	if c.draining.Load() {
+		return nil, false, server.ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		c.met.rejectedInvalid.Add(1)
+		return nil, false, err
+	}
+	var fp fingerprint
+	if req.IdempotencyKey != "" {
+		raw, err := req.MarshalBinary()
+		if err != nil {
+			return nil, false, err
+		}
+		fp = requestFingerprint(raw)
+		c.mu.Lock()
+		existing, err := c.idemLookupLocked(req.IdempotencyKey, fp)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, false, err
+		}
+		if existing != nil {
+			c.met.idemHits.Add(1)
+			return existing, true, nil
+		}
+	}
+	if c.healthyNodes() == 0 {
+		c.met.rejectedNoNodes.Add(1)
+		return nil, false, ErrNoHealthyNodes
+	}
+	if timeout <= 0 || timeout > c.cfg.MaxTimeout {
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		} else {
+			timeout = c.cfg.DefaultTimeout
+		}
+	}
+	ctx, cancel := context.WithCancel(c.base)
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	j = &cjob{
+		id:        fmt.Sprintf("c%08d", c.nextID.Add(1)),
+		req:       req,
+		priority:  priority,
+		timeout:   timeout,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	j.nodeKey = "cluster/" + j.id
+
+	c.mu.Lock()
+	if req.IdempotencyKey != "" {
+		// Recheck under the lock: a concurrent duplicate may have
+		// registered the key while this request was being validated.
+		existing, lerr := c.idemLookupLocked(req.IdempotencyKey, fp)
+		if lerr != nil || existing != nil {
+			c.mu.Unlock()
+			j.cancel()
+			if lerr != nil {
+				return nil, false, lerr
+			}
+			c.met.idemHits.Add(1)
+			return existing, true, nil
+		}
+	}
+	if c.pending >= c.cfg.PendingCap {
+		c.mu.Unlock()
+		j.cancel()
+		c.met.rejectedSaturated.Add(1)
+		return nil, false, ErrSaturated
+	}
+	if req.IdempotencyKey != "" {
+		c.idemInsertLocked(req.IdempotencyKey, fp, j.id)
+	}
+	c.jobsByID[j.id] = j
+	c.pending++
+	c.mu.Unlock()
+
+	c.met.submitted.Add(1)
+	c.watchers.Add(1)
+	go c.watch(j)
+	return j, false, nil
+}
+
+// lookup returns a registered cluster job by id.
+func (c *Coordinator) lookup(id string) (*cjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobsByID[id]
+	return j, ok
+}
+
+// finishJob moves a job to its terminal state exactly once, records
+// metrics, and retires the record.
+func (c *Coordinator) finishJob(j *cjob, res *jobs.Result, err error) {
+	j.mu.Lock()
+	if j.state == cstateDone || j.state == cstateFailed || j.state == cstateCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = time.Now()
+	j.res, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = cstateDone
+	case errors.Is(err, context.Canceled):
+		j.state = cstateCanceled
+	default:
+		j.state = cstateFailed
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	switch state {
+	case cstateDone:
+		c.met.completed.Add(1)
+	case cstateCanceled:
+		c.met.canceled.Add(1)
+	default:
+		c.met.failed.Add(1)
+	}
+	j.cancel()
+	close(j.done)
+
+	c.mu.Lock()
+	c.pending--
+	c.finishedList = append(c.finishedList, j.id)
+	for len(c.finishedList) > c.cfg.MaxRetained {
+		evict := c.finishedList[0]
+		c.finishedList = c.finishedList[1:]
+		if old, ok := c.jobsByID[evict]; ok {
+			c.idemDeleteLocked(old.req.IdempotencyKey, evict)
+			delete(c.jobsByID, evict)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// healthyNodes counts nodes currently eligible for placement gating:
+// probed at least once, not ejected, not draining.
+func (c *Coordinator) healthyNodes() int {
+	count := 0
+	for _, n := range c.nodes {
+		if n.healthy() {
+			count++
+		}
+	}
+	return count
+}
+
+// Shutdown drains the coordinator: admission stops, in-flight cluster
+// jobs run to completion unless ctx expires first (then their contexts
+// are canceled and their remote jobs are best-effort canceled), and the
+// probers stop. Returns nil on a clean drain, ctx.Err() if jobs had to
+// be canceled.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		c.watchers.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		c.mu.Lock()
+		jobsNow := make([]*cjob, 0, len(c.jobsByID))
+		for _, j := range c.jobsByID {
+			jobsNow = append(jobsNow, j)
+		}
+		c.mu.Unlock()
+		for _, j := range jobsNow {
+			j.cancel()
+		}
+		<-done
+	}
+	c.cancelAll()
+	c.probers.Wait()
+	return forced
+}
+
+// Draining reports whether Shutdown has begun.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// WaitReady blocks until at least one node is healthy (or ctx ends) —
+// the startup barrier cmd/unizk-cluster and tests use before accepting
+// traffic.
+func (c *Coordinator) WaitReady(ctx context.Context) error {
+	for {
+		if c.healthyNodes() > 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.cfg.ProbeInterval / 4):
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting false when ctx
+// ended the sleep early.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// retryAfterSeconds computes the backpressure hint for 503 replies: the
+// configured floor scaled by how long the pending backlog will take at
+// the slowest node's observed median prove latency.
+func (c *Coordinator) retryAfterSeconds() int {
+	hint := c.cfg.RetryAfter
+	var p50ms float64
+	for _, n := range c.nodes {
+		if v := n.proveLatencyP50(); v > p50ms {
+			p50ms = v
+		}
+	}
+	if p50ms > 0 {
+		c.mu.Lock()
+		depth := c.pending
+		c.mu.Unlock()
+		healthy := c.healthyNodes()
+		if healthy < 1 {
+			healthy = 1
+		}
+		est := time.Duration(float64(depth+1) / float64(healthy) * p50ms * float64(time.Millisecond))
+		if est > hint {
+			hint = est
+		}
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

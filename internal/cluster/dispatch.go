@@ -1,0 +1,335 @@
+// Job dispatch and failover. Each admitted cluster job gets a watcher
+// goroutine that places it on the least-loaded healthy node, submits it
+// under the job's stable "cluster/<id>" idempotency key, and polls for
+// the result. The exactly-once discipline lives here:
+//
+//   - An *ambiguous* submit failure (transport fault, breaker open,
+//     unclassified 5xx) may mean the node admitted the job before the
+//     reply was lost — so the watcher sticks to that node and resubmits
+//     the same key until the node either answers (dedup attaches to the
+//     original job) or is declared lost. Re-routing on ambiguity would
+//     risk proving the job on two nodes.
+//   - Only a *provable non-admission* — the node's own "queue_full" or
+//     "draining" class, which it emits strictly before enqueueing — is
+//     safe to re-route immediately.
+//   - A node is *lost* for a job when its generation moved past the
+//     dispatch generation: the prober ejected it (probes stale beyond
+//     StaleAfter) or its /healthz epoch changed (restart). Before
+//     re-dispatching, the watcher makes one last bounded attempt to
+//     fetch the finished result from the old address, so a proof that
+//     actually completed is recovered instead of recomputed.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/serverclient"
+)
+
+// Internal dispatch outcomes.
+var (
+	// errNodeLost: the attributed node was ejected or changed epoch; the
+	// job must be re-dispatched elsewhere.
+	errNodeLost = errors.New("cluster: node lost")
+	// errNodeBusy: the node provably refused the submit before admission
+	// (queue_full/draining); another node may be tried immediately.
+	errNodeBusy = errors.New("cluster: node refused submission")
+)
+
+// watch drives one cluster job to a terminal state.
+func (c *Coordinator) watch(j *cjob) {
+	defer c.watchers.Done()
+	res, err := c.runJob(j)
+	if err != nil && errors.Is(err, j.ctx.Err()) {
+		// The job's own context ended it (cancel or deadline); if a
+		// remote job is still attributed, cancel it there so the node
+		// does not burn a prover slot on a result nobody will read.
+		c.cancelRemote(j)
+		// Normalize: a cluster-timeout surfaces as the deadline error,
+		// an explicit cancel as context.Canceled.
+		err = j.ctx.Err()
+	}
+	c.finishJob(j, res, err)
+}
+
+// runJob is the placement/failover loop: pick a node, run the job
+// there, and either return its outcome or — when the node was lost or
+// provably refused — loop to try another.
+func (c *Coordinator) runJob(j *cjob) (*jobs.Result, error) {
+	for {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := c.pickNode()
+		if n == nil {
+			// Nothing placeable right now (all ejected, draining, or in
+			// saturation backoff). The job stays admitted; placement
+			// retries on the probe cadence until a node recovers or the
+			// job's deadline expires.
+			if !sleepCtx(j.ctx, c.cfg.ProbeInterval) {
+				return nil, j.ctx.Err()
+			}
+			continue
+		}
+		res, err := c.runOn(j, n)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, errNodeLost):
+			// If the "lost" node is actually alive (spurious ejection —
+			// probes starved or chaos-eaten), the orphaned remote job
+			// would burn a prover slot on a result nobody will consume.
+			// Best-effort cancel it before re-dispatching; against a
+			// truly dead node this fails fast (breaker or refused dial).
+			c.cancelRemote(j)
+			c.met.redispatches.Add(1)
+			j.mu.Lock()
+			j.redispatches++
+			j.node, j.remoteID = nil, ""
+			j.mu.Unlock()
+			continue
+		case errors.Is(err, errNodeBusy):
+			continue
+		default:
+			return nil, err
+		}
+	}
+}
+
+// pickNode returns the placeable node with the lowest load score, or
+// nil when none qualifies. Ties break by node-list order, keeping
+// placement deterministic for a given probe picture.
+func (c *Coordinator) pickNode() *node {
+	now := time.Now()
+	var best *node
+	bestScore := 0
+	for _, n := range c.nodes {
+		if !n.placeable(now) {
+			continue
+		}
+		if s := n.score(); best == nil || s < bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// runOn dispatches the job to one node and sees it through to a result
+// there, or to errNodeLost/errNodeBusy for the outer loop.
+func (c *Coordinator) runOn(j *cjob, n *node) (*jobs.Result, error) {
+	gen := n.generation()
+	j.mu.Lock()
+	j.node, j.genAt = n, gen
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	if j.state == cstateQueued {
+		j.state = cstateDispatched
+	}
+	j.mu.Unlock()
+
+	n.addOutstanding(1)
+	defer n.addOutstanding(-1)
+
+	remoteID, err := c.submitTo(j, n, gen)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.remoteID = remoteID
+	j.mu.Unlock()
+	return c.awaitResult(j, n, gen, remoteID)
+}
+
+// submitTo places the job on the node under its stable cluster
+// idempotency key, retrying ambiguous failures against the same node.
+func (c *Coordinator) submitTo(j *cjob, n *node, gen int64) (string, error) {
+	// The node-side key is the cluster job id, not the client's key: it
+	// is stable across resubmits and re-dispatches, never collides
+	// between cluster jobs, and — because IdempotencyKey is excluded
+	// from what the prover sees — leaves the proof bytes identical to a
+	// direct submission.
+	req := *j.req
+	req.IdempotencyKey = j.nodeKey
+	opts := serverclient.Options{Priority: j.priority}
+	if dl, ok := j.ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			opts.Timeout = rem
+		}
+	}
+	for {
+		if err := j.ctx.Err(); err != nil {
+			return "", err
+		}
+		reply, err := n.client.SubmitDetail(j.ctx, &req, opts)
+		if err == nil {
+			return reply.ID, nil
+		}
+		if refusedBeforeAdmission(err) {
+			n.markSaturated(c.cfg.SaturationBackoff)
+			return "", errNodeBusy
+		}
+		if terminalSubmitError(err) {
+			return "", err
+		}
+		// Ambiguous: the submit may or may not have been admitted.
+		// Stick with this node — resubmitting the same key is safe and
+		// converges — unless the prober has declared it lost.
+		if n.lostSince(gen) {
+			return "", errNodeLost
+		}
+		if !sleepCtx(j.ctx, c.cfg.PollInterval) {
+			return "", j.ctx.Err()
+		}
+	}
+}
+
+// refusedBeforeAdmission reports a *provable* non-admission: the node's
+// own backpressure/drain classes, emitted strictly before a job is
+// enqueued. Only these make immediate re-routing safe. A 503 with any
+// other class (e.g. a fault injector's blip) proves nothing about
+// admission and must be treated as ambiguous.
+func refusedBeforeAdmission(err error) bool {
+	var ae *serverclient.APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Class == "queue_full" || ae.Class == "draining"
+}
+
+// terminalSubmitError reports a decided, non-retryable API reply to the
+// submit itself (malformed request, idempotency conflict, …): the job
+// fails with that error rather than being re-dispatched.
+func terminalSubmitError(err error) bool {
+	var ae *serverclient.APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return !ae.Retryable()
+}
+
+// awaitResult polls the node for the remote job's outcome.
+func (c *Coordinator) awaitResult(j *cjob, n *node, gen int64, remoteID string) (*jobs.Result, error) {
+	for {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := n.client.Result(j.ctx, remoteID)
+		if err == nil {
+			c.recordCompletion(j, n)
+			return res, nil
+		}
+		switch classifyAwait(err) {
+		case awaitPoll:
+			// Not ready, or a transient fault/reply; keep polling unless
+			// the prober has declared the node lost — then try to salvage
+			// the result before re-dispatching.
+			if n.lostSince(gen) {
+				if res, ok := c.tryRecover(j, n, remoteID); ok {
+					c.recordCompletion(j, n)
+					return res, nil
+				}
+				return nil, errNodeLost
+			}
+		case awaitGone:
+			// The node answered and does not have the job (restart lost
+			// it, or it was swept): re-dispatch without a recovery
+			// attempt — the node itself just said there is nothing to
+			// recover.
+			return nil, errNodeLost
+		case awaitTerminal:
+			// The remote job's own decided outcome (rejected, malformed,
+			// canceled, deadline, internal error). Re-proving elsewhere
+			// would either fail identically or double-prove a job whose
+			// invocation already counted; the cluster job inherits the
+			// outcome.
+			return nil, err
+		}
+		if !sleepCtx(j.ctx, c.cfg.PollInterval) {
+			return nil, j.ctx.Err()
+		}
+	}
+}
+
+// Await-poll classification buckets.
+const (
+	awaitPoll = iota
+	awaitGone
+	awaitTerminal
+)
+
+func classifyAwait(err error) int {
+	if errors.Is(err, serverclient.ErrNotReady) {
+		return awaitPoll
+	}
+	var ae *serverclient.APIError
+	if !errors.As(err, &ae) {
+		// Transport fault or breaker open: the fetch, not the job,
+		// failed.
+		return awaitPoll
+	}
+	switch {
+	case ae.StatusCode == http.StatusNotFound:
+		return awaitGone
+	case ae.Class == "draining":
+		// The remote job was swept out of the queue by a drain without
+		// ever reaching the prover; it is safe and necessary to place it
+		// again.
+		return awaitGone
+	case ae.StatusCode == http.StatusTooManyRequests,
+		ae.StatusCode == http.StatusServiceUnavailable,
+		ae.StatusCode == http.StatusBadGateway:
+		// Injected blips and backpressure on the *fetch*: transient.
+		return awaitPoll
+	default:
+		return awaitTerminal
+	}
+}
+
+// tryRecover makes one bounded attempt to fetch the finished result
+// from a node that was just declared lost. If the node was ejected
+// spuriously (alive but unreachable-to-probes) and the proof completed,
+// this salvages it — the cheapest possible failover, and one fewer
+// wasted prove invocation.
+func (c *Coordinator) tryRecover(j *cjob, n *node, remoteID string) (*jobs.Result, bool) {
+	rctx, cancel := context.WithTimeout(j.ctx, c.cfg.RecoverTimeout)
+	defer cancel()
+	res, err := n.client.Result(rctx, remoteID)
+	if err != nil {
+		return nil, false
+	}
+	c.met.recovered.Add(1)
+	return res, true
+}
+
+// recordCompletion pins which node (and epoch) actually produced the
+// job's result — surfaced on status, and the anchor for the soak's
+// exactly-once accounting.
+func (c *Coordinator) recordCompletion(j *cjob, n *node) {
+	n.mu.Lock()
+	id := n.nodeID
+	n.mu.Unlock()
+	j.mu.Lock()
+	j.doneNodeURL = n.url
+	j.doneNodeID = id
+	j.mu.Unlock()
+}
+
+// cancelRemote best-effort cancels the job's attributed remote job,
+// bounded so shutdown cannot hang on a dead node. It runs outside the
+// job's (already ended) context.
+func (c *Coordinator) cancelRemote(j *cjob) {
+	j.mu.Lock()
+	n, remoteID := j.node, j.remoteID
+	j.mu.Unlock()
+	if n == nil || remoteID == "" {
+		return
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = n.client.Cancel(cctx, remoteID)
+}

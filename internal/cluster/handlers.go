@@ -1,0 +1,281 @@
+// The coordinator's HTTP API — deliberately the same surface a single
+// unizk-server exposes (submit/status/proof/cancel/sync-prove/healthz/
+// metrics, same wire encodings, same error classes), so serverclient
+// and cmd/prove -remote point at a cluster without knowing it is one.
+// Cluster-specific signals ride in extension fields (node attribution
+// on status, the roster on /metrics).
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/prooferr"
+	"unizk/internal/server"
+	"unizk/internal/serverclient"
+)
+
+func (c *Coordinator) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/proof", c.handleProof)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", c.handleCancel)
+	mux.HandleFunc("POST /v1/prove", c.handleProveSync)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// statusForCluster maps an error to (HTTP status, class), extending the
+// node taxonomy with the coordinator's own refusal classes. An APIError
+// passed through from a node keeps its original status and class — the
+// cluster must not re-map a decided outcome.
+func statusForCluster(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrNoHealthyNodes):
+		return http.StatusServiceUnavailable, "no_healthy_nodes"
+	case errors.Is(err, ErrSaturated):
+		return http.StatusServiceUnavailable, "cluster_saturated"
+	}
+	var ae *serverclient.APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode, ae.Class
+	}
+	return server.StatusFor(err)
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
+	status, class := statusForCluster(err)
+	body := serverclient.ErrorBody{Error: err.Error(), Class: class}
+	if server.RetryableStatus(status) {
+		body.RetryAfterSeconds = c.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
+	}
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already committed
+}
+
+// decodeSubmit reads and validates the submit body and options, shared
+// by the async and sync endpoints (mirrors the node-side parsing so
+// error behavior is identical).
+func (c *Coordinator) decodeSubmit(r *http.Request) (*jobs.Request, int, time.Duration, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("reading request body: %v: %w: %w",
+			err, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	req := new(jobs.Request)
+	if err := req.UnmarshalBinary(body); err != nil {
+		return nil, 0, 0, err
+	}
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		priority, err = strconv.Atoi(p)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("bad priority %q: %w: %w",
+				p, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+	}
+	var timeout time.Duration
+	if d := r.URL.Query().Get("timeout"); d != "" {
+		timeout, err = time.ParseDuration(d)
+		if err != nil || timeout < 0 {
+			return nil, 0, 0, fmt.Errorf("bad timeout %q: %w: %w",
+				d, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+		}
+	}
+	return req, priority, timeout, nil
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, priority, timeout, err := c.decodeSubmit(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	j, deduped, err := c.admit(req, priority, timeout)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	state := cstateQueued
+	if deduped {
+		state, _, _, _ = j.snapshot()
+	}
+	writeJSON(w, http.StatusAccepted, serverclient.SubmitReply{
+		ID:           j.id,
+		State:        state.String(),
+		StatusURL:    "/v1/jobs/" + j.id,
+		Deduplicated: deduped,
+	})
+}
+
+func (c *Coordinator) handleProveSync(w http.ResponseWriter, r *http.Request) {
+	req, priority, timeout, err := c.decodeSubmit(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	j, deduped, err := c.admit(req, priority, timeout)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Disconnect cancels only a job this request admitted; a
+		// deduplicated job belongs to its original submitter, and
+		// canceling it here would fail every other waiter.
+		if !deduped {
+			j.cancel()
+			<-j.done
+		}
+	}
+	res, err := j.result()
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	raw, err := res.MarshalBinary()
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Unizk-Job-Id", j.id)
+	_, _ = w.Write(raw)
+}
+
+// ClusterJobStatus is serverclient.JobStatus plus the coordinator's
+// placement trail. Plain serverclient users decode the embedded subset
+// and never see the extras.
+type ClusterJobStatus struct {
+	serverclient.JobStatus
+	// Node / NodeID identify where the job currently runs, or — once
+	// done — the node (and epoch) that produced the result.
+	Node   string `json:"node,omitempty"`
+	NodeID string `json:"node_id,omitempty"`
+	// Redispatches counts failovers this job survived.
+	Redispatches int `json:"redispatches,omitempty"`
+}
+
+func (c *Coordinator) statusJSON(j *cjob) ClusterJobStatus {
+	state, jerr, queueWait, run := j.snapshot()
+	st := ClusterJobStatus{JobStatus: serverclient.JobStatus{
+		ID:          j.id,
+		Kind:        j.req.Kind.String(),
+		Workload:    j.req.Workload,
+		LogRows:     j.req.LogRows,
+		Priority:    j.priority,
+		State:       state.String(),
+		QueueWaitMS: queueWait.Milliseconds(),
+		ProveMS:     run.Milliseconds(),
+	}}
+	if jerr != nil {
+		code, class := statusForCluster(jerr)
+		st.Error = jerr.Error()
+		st.Class = class
+		st.Retryable = server.RetryableStatus(code)
+	}
+	j.mu.Lock()
+	st.Redispatches = j.redispatches
+	if j.doneNodeURL != "" {
+		st.Node, st.NodeID = j.doneNodeURL, j.doneNodeID
+	} else if j.node != nil {
+		st.Node = j.node.url
+	}
+	j.mu.Unlock()
+	return st
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.statusJSON(j))
+}
+
+func (c *Coordinator) handleProof(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	res, err := j.result()
+	if err != nil {
+		if err == errNotFinished {
+			writeJSON(w, http.StatusAccepted, c.statusJSON(j))
+			return
+		}
+		c.writeError(w, err)
+		return
+	}
+	raw, err := res.MarshalBinary()
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(raw)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
+			Error: "unknown job id", Class: "not_found"})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, c.statusJSON(j))
+}
+
+// handleHealthz reports the coordinator's own liveness plus the cluster
+// picture: "ok" while any node can take work, "degraded" in the body's
+// status when some are out, 503 only when draining or no node is
+// healthy.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := c.healthyNodes()
+	c.mu.Lock()
+	pending := c.pending
+	c.mu.Unlock()
+	h := serverclient.Health{
+		Status: "ok",
+		Queued: pending,
+	}
+	status := http.StatusOK
+	switch {
+	case c.draining.Load():
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case healthy == 0:
+		h.Status = "no_healthy_nodes"
+		status = http.StatusServiceUnavailable
+	case healthy < len(c.nodes):
+		h.Status = "degraded"
+	}
+	writeJSON(w, status, h)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Metrics())
+}

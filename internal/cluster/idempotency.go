@@ -1,0 +1,102 @@
+// The coordinator's replicated idempotency index. It mirrors the
+// node-side semantics exactly — same fingerprint (sha256 of the
+// client's original request bytes), same key-reuse conflict rule, same
+// failures-are-never-cached policy, same TTL and entry-count bounds —
+// but lives at the coordinator, which is what makes it survive node
+// failure: a client retry landing *after* a failover dedups onto the
+// original cluster job, whose cached result replays even though the
+// node that proved it no longer exists.
+//
+// All idem* methods require c.mu.
+package cluster
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"unizk/internal/server"
+)
+
+type fingerprint [sha256.Size]byte
+
+// requestFingerprint hashes the request exactly as admitted, including
+// the client's own idempotency key — so key reuse with different
+// payloads is detectable as a conflict.
+func requestFingerprint(raw []byte) fingerprint { return sha256.Sum256(raw) }
+
+type idemEntry struct {
+	jobID   string
+	fp      fingerprint
+	seq     uint64
+	expires time.Time
+}
+
+type idemOrderEntry struct {
+	key string
+	seq uint64
+}
+
+// idemLookupLocked resolves a key to its live cluster job, erring with
+// server.ErrIdempotencyConflict when the key is bound to different
+// request bytes. Entries for failed/canceled jobs are dropped on sight:
+// a failure must never be replayed as if it were the outcome.
+func (c *Coordinator) idemLookupLocked(key string, fp fingerprint) (*cjob, error) {
+	e, ok := c.idemIndex[key]
+	if !ok {
+		return nil, nil
+	}
+	if time.Now().After(e.expires) {
+		delete(c.idemIndex, key)
+		return nil, nil
+	}
+	j, ok := c.jobsByID[e.jobID]
+	if !ok {
+		// The job record was evicted from the retained set; the key can
+		// no longer vouch for anything.
+		delete(c.idemIndex, key)
+		return nil, nil
+	}
+	if e.fp != fp {
+		c.met.idemConflicts.Add(1)
+		return nil, server.ErrIdempotencyConflict
+	}
+	j.mu.Lock()
+	failed := j.state == cstateFailed || j.state == cstateCanceled
+	j.mu.Unlock()
+	if failed {
+		delete(c.idemIndex, key)
+		return nil, nil
+	}
+	return j, nil
+}
+
+// idemInsertLocked binds key→job, evicting the oldest entries beyond
+// MaxIdempotencyKeys.
+func (c *Coordinator) idemInsertLocked(key string, fp fingerprint, jobID string) {
+	c.idemSeq++
+	c.idemIndex[key] = &idemEntry{
+		jobID:   jobID,
+		fp:      fp,
+		seq:     c.idemSeq,
+		expires: time.Now().Add(c.cfg.IdempotencyTTL),
+	}
+	c.idemOrder = append(c.idemOrder, idemOrderEntry{key: key, seq: c.idemSeq})
+	for len(c.idemIndex) > c.cfg.MaxIdempotencyKeys && len(c.idemOrder) > 0 {
+		oldest := c.idemOrder[0]
+		c.idemOrder = c.idemOrder[1:]
+		if e, ok := c.idemIndex[oldest.key]; ok && e.seq == oldest.seq {
+			delete(c.idemIndex, oldest.key)
+		}
+	}
+}
+
+// idemDeleteLocked drops a key, but only if it still points at the
+// given job — the key may have been rebound since.
+func (c *Coordinator) idemDeleteLocked(key, jobID string) {
+	if key == "" {
+		return
+	}
+	if e, ok := c.idemIndex[key]; ok && e.jobID == jobID {
+		delete(c.idemIndex, key)
+	}
+}

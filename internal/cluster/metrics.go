@@ -1,0 +1,169 @@
+// Cluster metrics: coordinator-level counters plus a per-node roster
+// that folds in each node's probed load picture and its client stack's
+// breaker/retry statistics. Served as JSON on GET /metrics.
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+
+	"unizk/internal/serverclient"
+)
+
+// metrics holds the coordinator's atomic counters.
+type metrics struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+
+	idemHits      atomic.Int64
+	idemConflicts atomic.Int64
+
+	rejectedSaturated atomic.Int64
+	rejectedNoNodes   atomic.Int64
+	rejectedInvalid   atomic.Int64
+
+	// Failover machinery counters.
+	redispatches atomic.Int64 // jobs re-placed after their node was lost
+	recovered    atomic.Int64 // results salvaged from a lost node
+	ejections    atomic.Int64 // stale-probe ejections
+	readmissions atomic.Int64 // ejected nodes probed healthy again
+	epochChanges atomic.Int64 // node restarts detected via healthz identity
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+// NodeMetrics is one node's row in the cluster metrics roster.
+type NodeMetrics struct {
+	URL     string `json:"url"`
+	NodeID  string `json:"node_id,omitempty"`
+	StartNS int64  `json:"start_ns,omitempty"`
+
+	Probed   bool `json:"probed"`
+	Ejected  bool `json:"ejected"`
+	Draining bool `json:"draining"`
+	// LastProbeAgeMS is how stale the node's last successful probe is;
+	// it climbs toward the ejection threshold while the node is dark.
+	LastProbeAgeMS int64 `json:"last_probe_age_ms"`
+
+	InFlight    int64 `json:"in_flight"`
+	Queued      int   `json:"queued"`
+	Outstanding int   `json:"outstanding"`
+
+	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
+	ProveLatencyP50MS float64 `json:"prove_latency_p50_ms"`
+	ProveInvocations  int64   `json:"prove_invocations"`
+	Completed         int64   `json:"completed"`
+
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
+	EpochChanges int64 `json:"epoch_changes"`
+
+	Breaker serverclient.BreakerStats `json:"breaker"`
+	Retry   serverclient.RetryStats   `json:"retry"`
+}
+
+// ClusterMetrics is the JSON body of the coordinator's GET /metrics.
+type ClusterMetrics struct {
+	// Status is "ok" (all nodes healthy), "degraded" (some healthy),
+	// "down" (none healthy), or "draining".
+	Status       string `json:"status"`
+	NodesTotal   int    `json:"nodes_total"`
+	NodesHealthy int    `json:"nodes_healthy"`
+	Pending      int    `json:"pending"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	IdempotentHits      int64 `json:"idempotent_hits"`
+	IdempotentConflicts int64 `json:"idempotent_conflicts"`
+	IdempotencyEntries  int   `json:"idempotency_entries"`
+
+	RejectedSaturated int64 `json:"rejected_saturated"`
+	RejectedNoNodes   int64 `json:"rejected_no_healthy_nodes"`
+	RejectedInvalid   int64 `json:"rejected_invalid"`
+
+	Redispatches int64 `json:"redispatches"`
+	Recovered    int64 `json:"recovered"`
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
+	EpochChanges int64 `json:"epoch_changes"`
+
+	Nodes []NodeMetrics `json:"nodes"`
+}
+
+// Metrics assembles the current cluster snapshot — the same data GET
+// /metrics serves, exposed directly for embedding processes and tests.
+func (c *Coordinator) Metrics() ClusterMetrics {
+	now := time.Now()
+	m := ClusterMetrics{
+		NodesTotal: len(c.nodes),
+		Submitted:  c.met.submitted.Load(),
+		Completed:  c.met.completed.Load(),
+		Failed:     c.met.failed.Load(),
+		Canceled:   c.met.canceled.Load(),
+
+		IdempotentHits:      c.met.idemHits.Load(),
+		IdempotentConflicts: c.met.idemConflicts.Load(),
+
+		RejectedSaturated: c.met.rejectedSaturated.Load(),
+		RejectedNoNodes:   c.met.rejectedNoNodes.Load(),
+		RejectedInvalid:   c.met.rejectedInvalid.Load(),
+
+		Redispatches: c.met.redispatches.Load(),
+		Recovered:    c.met.recovered.Load(),
+		Ejections:    c.met.ejections.Load(),
+		Readmissions: c.met.readmissions.Load(),
+		EpochChanges: c.met.epochChanges.Load(),
+	}
+	c.mu.Lock()
+	m.Pending = c.pending
+	m.IdempotencyEntries = len(c.idemIndex)
+	c.mu.Unlock()
+
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		row := NodeMetrics{
+			URL:               n.url,
+			NodeID:            n.nodeID,
+			StartNS:           n.startNS,
+			Probed:            n.probed,
+			Ejected:           n.ejected,
+			Draining:          n.draining,
+			InFlight:          n.inFlight,
+			Queued:            n.queued,
+			Outstanding:       n.outstanding,
+			QueueWaitP50MS:    n.queueWaitP50,
+			ProveLatencyP50MS: n.proveP50,
+			ProveInvocations:  n.proveInvocations,
+			Completed:         n.completed,
+			Ejections:         n.ejections,
+			Readmissions:      n.readmissions,
+			EpochChanges:      n.epochChanges,
+		}
+		if !n.lastOK.IsZero() {
+			row.LastProbeAgeMS = now.Sub(n.lastOK).Milliseconds()
+		}
+		n.mu.Unlock()
+		row.Breaker = n.breaker.Stats()
+		row.Retry = n.retry.Stats()
+		if row.Probed && !row.Ejected && !row.Draining {
+			m.NodesHealthy++
+		}
+		m.Nodes = append(m.Nodes, row)
+	}
+	switch {
+	case c.draining.Load():
+		m.Status = "draining"
+	case m.NodesHealthy == 0:
+		m.Status = "down"
+	case m.NodesHealthy < m.NodesTotal:
+		m.Status = "degraded"
+	default:
+		m.Status = "ok"
+	}
+	return m
+}

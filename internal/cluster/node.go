@@ -1,0 +1,248 @@
+// Node handles: one per prover node, holding the serverclient stack
+// (breaker + seeded retry) the coordinator talks through, the probed
+// health/load picture, and the generation counter that invalidates job
+// attributions when the node dies or restarts.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"unizk/internal/serverclient"
+)
+
+type node struct {
+	url     string
+	client  *serverclient.Client
+	breaker *serverclient.Breaker
+	retry   *serverclient.RetryPolicy
+
+	mu sync.Mutex
+	// probed flips true on the first successful probe and never back: an
+	// address that has never answered is "unknown", not "ejected", and
+	// cannot hold attributions worth invalidating.
+	probed  bool
+	ejected bool
+	// draining mirrors the node's own /healthz drain state; a draining
+	// node finishes what it has but must not receive new placements.
+	draining bool
+	// gen bumps whenever in-flight attributions to this node become
+	// invalid: on ejection and on epoch change. A job dispatched at
+	// generation g is lost once n.gen > g.
+	gen     int64
+	lastOK  time.Time
+	lastErr error
+
+	// Epoch identity from /healthz.
+	nodeID  string
+	startNS int64
+
+	// Probed load signals (healthz + /metrics).
+	inFlight         int64
+	queued           int
+	queueWaitP50     float64
+	proveP50         float64
+	proveInvocations int64
+	completed        int64
+
+	// outstanding counts cluster jobs currently dispatched to this node
+	// by this coordinator — the placement signal that reacts instantly,
+	// between probe ticks.
+	outstanding int
+	// saturatedUntil backs off placement after the node refused a submit
+	// with queue-full backpressure.
+	saturatedUntil time.Time
+
+	// Lifetime transition counters for cluster metrics.
+	ejections    int64
+	readmissions int64
+	epochChanges int64
+}
+
+func newNode(baseURL string, index int, cfg Config) *node {
+	br := &serverclient.Breaker{
+		FailureThreshold: cfg.NodeFailureThreshold,
+		OpenTimeout:      cfg.NodeOpenTimeout,
+	}
+	rp := &serverclient.RetryPolicy{
+		MaxAttempts: cfg.NodeMaxAttempts,
+		BaseDelay:   cfg.NodeBaseDelay,
+		MaxDelay:    cfg.NodeMaxDelay,
+		// Per-node seeds derive from the cluster seed so soaks are
+		// reproducible but nodes do not retry in lockstep.
+		Seed: cfg.Seed + int64(index)*7919,
+	}
+	if cfg.Seed == 0 {
+		rp.Seed = 0
+	}
+	hc := http.DefaultClient
+	if cfg.Transport != nil {
+		hc = &http.Client{Transport: cfg.Transport}
+	}
+	return &node{
+		url:     baseURL,
+		breaker: br,
+		retry:   rp,
+		client: &serverclient.Client{
+			BaseURL:      baseURL,
+			HTTPClient:   hc,
+			PollInterval: cfg.PollInterval,
+			Retry:        rp,
+			Breaker:      br,
+		},
+	}
+}
+
+// generation returns the node's current attribution generation.
+func (n *node) generation() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gen
+}
+
+// lostSince reports whether attributions made at generation g are now
+// invalid: the node was ejected or changed epoch since the dispatch.
+func (n *node) lostSince(g int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gen > g
+}
+
+// healthy reports admission-level eligibility: the node has answered at
+// least one probe, is not ejected, and is not draining. Saturation
+// backoff deliberately does not count — a briefly-full node is healthy,
+// and admission must not 503 because of it.
+func (n *node) healthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probed && !n.ejected && !n.draining
+}
+
+// placeable reports placement-level eligibility: healthy and not inside
+// a saturation backoff window.
+func (n *node) placeable(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probed && !n.ejected && !n.draining && !now.Before(n.saturatedUntil)
+}
+
+// score is the least-loaded placement key: work the node already has
+// (probed queue depth + in-flight) plus work this coordinator has
+// dispatched there that the probes may not reflect yet. Lower is
+// better; ties break by node order for determinism.
+func (n *node) score() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queued + int(n.inFlight) + n.outstanding
+}
+
+func (n *node) addOutstanding(d int) {
+	n.mu.Lock()
+	n.outstanding += d
+	n.mu.Unlock()
+}
+
+// markSaturated starts a placement backoff window after the node
+// refused a submit with queue-full backpressure.
+func (n *node) markSaturated(d time.Duration) {
+	n.mu.Lock()
+	n.saturatedUntil = time.Now().Add(d)
+	n.mu.Unlock()
+}
+
+func (n *node) proveLatencyP50() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.proveP50
+}
+
+// probeLoop drives one node's health/load probes until the coordinator
+// shuts down. The first probe fires immediately so WaitReady clears as
+// soon as the nodes answer.
+func (c *Coordinator) probeLoop(n *node) {
+	defer c.probers.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		c.probe(n)
+		select {
+		case <-c.base.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe performs one health+metrics exchange against the node and folds
+// the outcome into its state: readmission on success after ejection,
+// epoch-change detection when the node identity moved, ejection once
+// failures have persisted past StaleAfter.
+func (c *Coordinator) probe(n *node) {
+	pctx, cancel := context.WithTimeout(c.base, c.cfg.ProbeTimeout)
+	defer cancel()
+
+	h, status, err := n.client.HealthAny(pctx)
+	now := time.Now()
+	if err != nil {
+		n.mu.Lock()
+		n.lastErr = err
+		// Ejection is edge-triggered and conservative: only a node that
+		// was once healthy can be ejected, and only after its probes have
+		// been failing for longer than StaleAfter — transient chaos
+		// (resets, latency spikes) must not strand its in-flight jobs.
+		eject := n.probed && !n.ejected && now.Sub(n.lastOK) > c.cfg.StaleAfter
+		if eject {
+			n.ejected = true
+			n.gen++
+			n.ejections++
+		}
+		n.mu.Unlock()
+		if eject {
+			c.met.ejections.Add(1)
+		}
+		return
+	}
+
+	var epochChanged, readmitted bool
+	n.mu.Lock()
+	if n.probed && (n.nodeID != h.NodeID || n.startNS != h.StartNS) {
+		// Same address, different process: the node restarted and lost
+		// its in-memory jobs. Everything attributed to the old epoch is
+		// gone even though the address answers.
+		epochChanged = true
+		n.gen++
+		n.epochChanges++
+	}
+	if n.ejected {
+		n.ejected = false
+		n.readmissions++
+		readmitted = true
+	}
+	n.probed = true
+	n.nodeID, n.startNS = h.NodeID, h.StartNS
+	n.lastOK = now
+	n.lastErr = nil
+	n.draining = h.Status == "draining" || status == 503
+	n.inFlight, n.queued = h.InFlight, h.Queued
+	n.mu.Unlock()
+	if epochChanged {
+		c.met.epochChanges.Add(1)
+	}
+	if readmitted {
+		c.met.readmissions.Add(1)
+	}
+
+	// Load detail is best-effort: the healthz probe alone keeps the node
+	// routable, a failed metrics fetch only staleness placement signals.
+	if m, merr := n.client.Metrics(pctx); merr == nil {
+		n.mu.Lock()
+		n.inFlight, n.queued = m.InFlight, m.Queued
+		n.queueWaitP50 = m.QueueWaitP50MS
+		n.proveP50 = m.ProveLatencyP50MS
+		n.proveInvocations = m.ProveInvocations
+		n.completed = m.Completed
+		n.mu.Unlock()
+	}
+}

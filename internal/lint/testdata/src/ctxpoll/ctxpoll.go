@@ -132,3 +132,31 @@ func scheduler(ctx context.Context, q *queue, run func(int)) {
 		run(v)
 	}
 }
+
+// probeLoop mirrors the cluster coordinator's per-node prober: an
+// unbounded ticker loop whose select has a ctx.Done arm — that arm
+// counts as consulting ctx.
+func probeLoop(ctx context.Context, tick <-chan struct{}, probe func()) {
+	for {
+		probe()
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		}
+	}
+}
+
+// redispatchLoopNoCtx is the coordinator's placement/failover shape
+// with the ctx consultation missing: after cancellation it would keep
+// picking nodes and re-dispatching forever and must be flagged.
+func redispatchLoopNoCtx(ctx context.Context, pick func() bool, dispatch func() error) {
+	for { // want `never consults`
+		if !pick() {
+			continue
+		}
+		if dispatch() == nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"unizk/internal/serverclient"
+)
+
+// TestHealthzEpochIdentity pins the node-identity contract the cluster
+// coordinator's restart detection rests on: /healthz carries a node id
+// and start time, the pair is stable across probes of one process, and
+// two server instances — a "restart" — never share it.
+func TestHealthzEpochIdentity(t *testing.T) {
+	ctx := context.Background()
+
+	newServer := func() (*Server, *serverclient.Client, func()) {
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		return s, serverclient.New(ts.URL), func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = s.Shutdown(sctx)
+			ts.Close()
+		}
+	}
+
+	s1, c1, stop1 := newServer()
+	defer stop1()
+
+	h, err := c1.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NodeID == "" || h.StartNS == 0 {
+		t.Fatalf("healthz identity incomplete: %+v", h)
+	}
+	if h.NodeID != s1.NodeID() || h.StartNS != s1.StartTime().UnixNano() {
+		t.Fatalf("healthz identity %s/%d differs from server accessors %s/%d",
+			h.NodeID, h.StartNS, s1.NodeID(), s1.StartTime().UnixNano())
+	}
+
+	// Stable within one epoch: a second probe sees the same identity.
+	h2, err := c1.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NodeID != h.NodeID || h2.StartNS != h.StartNS {
+		t.Fatalf("identity changed between probes: %+v vs %+v", h, h2)
+	}
+
+	// A different server process — what a restart on the same address
+	// looks like to a prober — presents a different epoch.
+	s2, c2, stop2 := newServer()
+	defer stop2()
+	h3, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.NodeID == h.NodeID {
+		t.Fatalf("two server instances minted the same node id %q", h3.NodeID)
+	}
+	if s2.NodeID() == s1.NodeID() {
+		t.Fatal("NodeID() collided across instances")
+	}
+}

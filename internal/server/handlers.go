@@ -237,6 +237,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   "ok",
 		Queued:   s.queue.Len(),
 		InFlight: s.met.inFlight.Load(),
+		NodeID:   s.nodeID,
+		StartNS:  s.started.UnixNano(),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"unizk/internal/serverclient"
 )
 
 // latWindow is the sliding-window size for latency quantiles.
@@ -71,40 +73,10 @@ func newMetrics() *metrics {
 	return &metrics{proveLat: &latencySampler{}, queueWait: &latencySampler{}}
 }
 
-// MetricsSnapshot is the JSON shape of GET /metrics.
-type MetricsSnapshot struct {
-	Queued            int   `json:"queued"`
-	InFlight          int64 `json:"in_flight"`
-	Submitted         int64 `json:"submitted"`
-	Completed         int64 `json:"completed"`
-	Failed            int64 `json:"failed"`
-	Canceled          int64 `json:"canceled"`
-	RejectedQueueFull int64 `json:"rejected_queue_full"`
-	RejectedInvalid   int64 `json:"rejected_invalid"`
-	RejectedDraining  int64 `json:"rejected_draining"`
-	Workers           int   `json:"workers"`
-
-	// ProveInvocations counts prover entries. With idempotent submits it
-	// equals the number of unique admitted jobs that reached the prover,
-	// regardless of how many times each was (re)submitted.
-	ProveInvocations int64 `json:"prove_invocations"`
-	// IdempotentHits / IdempotentConflicts / IdempotencyEntries expose
-	// the dedup index: replayed submits, key-reuse rejections, and the
-	// current (bounded, TTL'd) entry count.
-	IdempotentHits      int64 `json:"idempotent_hits"`
-	IdempotentConflicts int64 `json:"idempotent_conflicts"`
-	IdempotencyEntries  int   `json:"idempotency_entries"`
-
-	// QueueHighWater and QueueRejectedPushes come from the jobqueue
-	// itself: the deepest the queue has ever been, and every push it
-	// refused (full or closed) since startup.
-	QueueHighWater      int   `json:"queue_high_water"`
-	QueueRejectedPushes int64 `json:"queue_rejected_pushes"`
-
-	ProveLatencyP50MS float64 `json:"prove_latency_p50_ms"`
-	ProveLatencyP99MS float64 `json:"prove_latency_p99_ms"`
-	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
-	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
-}
+// MetricsSnapshot is the JSON shape of GET /metrics. The struct itself
+// lives in serverclient with the rest of the API types (the cluster
+// coordinator decodes it as a per-node load signal); the alias keeps
+// this package's established name.
+type MetricsSnapshot = serverclient.MetricsSnapshot
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

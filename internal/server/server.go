@@ -18,6 +18,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -202,6 +204,13 @@ type Server struct {
 	met   *metrics
 	mux   *http.ServeMux
 
+	// nodeID and started name this server epoch: a fresh random ID and
+	// the construction instant, surfaced on /healthz so a cluster
+	// coordinator can detect that a node at a known address restarted
+	// (same addr, new epoch) and lost its in-memory job state.
+	nodeID  string
+	started time.Time
+
 	base      context.Context
 	cancelAll context.CancelFunc
 	runners   sync.WaitGroup
@@ -224,6 +233,8 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		queue:     jobqueue.New[*job](cfg.QueueCap),
 		met:       newMetrics(),
+		nodeID:    newNodeID(),
+		started:   time.Now(),
 		base:      base,
 		cancelAll: cancel,
 		jobsByID:  make(map[string]*job),
@@ -241,6 +252,28 @@ func New(cfg Config) *Server {
 // httptest.Server); Shutdown drains jobs but leaves serving the
 // listener to the caller.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// NodeID returns this server epoch's random identity, as reported on
+// /healthz.
+func (s *Server) NodeID() string { return s.nodeID }
+
+// StartTime returns when this server epoch was constructed, as reported
+// on /healthz (UnixNano).
+func (s *Server) StartTime() time.Time { return s.started }
+
+// newNodeID mints the per-epoch identity: 8 random bytes, hex-encoded.
+// crypto/rand never feeds a transcript here — the ID exists precisely
+// to be different on every process start.
+func newNodeID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The system entropy source failing is unrecoverable for a
+		// service; fall back to a time-derived ID rather than refusing
+		// to start.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // runner is the scheduler loop: it pops admitted jobs in
 // priority-then-FIFO order and proves them on the shared pool. MaxInFlight

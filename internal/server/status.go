@@ -58,6 +58,15 @@ func statusFor(err error) (int, string) {
 	}
 }
 
+// StatusFor exposes the error→(status, class) mapping to the cluster
+// coordinator, which fronts this service and must speak the identical
+// wire taxonomy.
+func StatusFor(err error) (int, string) { return statusFor(err) }
+
+// RetryableStatus exposes the transient-status classification alongside
+// StatusFor.
+func RetryableStatus(status int) bool { return retryable(status) }
+
 // retryable reports whether resubmitting the same request later can
 // succeed: backpressure, drain, cancellation, and deadline are
 // transient; malformed and rejected requests are not.

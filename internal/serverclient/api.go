@@ -54,4 +54,51 @@ type Health struct {
 	Status   string `json:"status"`
 	Queued   int    `json:"queued"`
 	InFlight int64  `json:"in_flight"`
+	// NodeID is a random identifier minted when the server process
+	// started; StartNS is that start instant (UnixNano). Together they
+	// name one server *epoch*: a restart at the same address changes
+	// both, which is how a cluster coordinator detects that a node
+	// lost its in-memory state (jobs, idempotency index) and must have
+	// its in-flight attributions invalidated.
+	NodeID  string `json:"node_id,omitempty"`
+	StartNS int64  `json:"start_ns,omitempty"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics. It lives here with
+// the other API shapes so the server, the client, and the cluster
+// coordinator (which reads per-node metrics as load signals) cannot
+// drift; internal/server aliases it.
+type MetricsSnapshot struct {
+	Queued            int   `json:"queued"`
+	InFlight          int64 `json:"in_flight"`
+	Submitted         int64 `json:"submitted"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Canceled          int64 `json:"canceled"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedInvalid   int64 `json:"rejected_invalid"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	Workers           int   `json:"workers"`
+
+	// ProveInvocations counts prover entries. With idempotent submits it
+	// equals the number of unique admitted jobs that reached the prover,
+	// regardless of how many times each was (re)submitted.
+	ProveInvocations int64 `json:"prove_invocations"`
+	// IdempotentHits / IdempotentConflicts / IdempotencyEntries expose
+	// the dedup index: replayed submits, key-reuse rejections, and the
+	// current (bounded, TTL'd) entry count.
+	IdempotentHits      int64 `json:"idempotent_hits"`
+	IdempotentConflicts int64 `json:"idempotent_conflicts"`
+	IdempotencyEntries  int   `json:"idempotency_entries"`
+
+	// QueueHighWater and QueueRejectedPushes come from the jobqueue
+	// itself: the deepest the queue has ever been, and every push it
+	// refused (full or closed) since startup.
+	QueueHighWater      int   `json:"queue_high_water"`
+	QueueRejectedPushes int64 `json:"queue_rejected_pushes"`
+
+	ProveLatencyP50MS float64 `json:"prove_latency_p50_ms"`
+	ProveLatencyP99MS float64 `json:"prove_latency_p99_ms"`
+	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
 }

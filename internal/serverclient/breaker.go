@@ -61,6 +61,34 @@ type Breaker struct {
 	failures int
 	openedAt time.Time
 	now      func() time.Time // test hook; nil means time.Now
+
+	// Lifetime counters behind Stats. opens counts closed/half-open →
+	// open transitions; probes counts half-open admissions; the last two
+	// total every recorded outcome.
+	opens             int64
+	probes            int64
+	transportFailures int64
+	successes         int64
+}
+
+// BreakerStats is a snapshot of a Breaker's state and lifetime
+// counters, exposed so a coordinator (or a test) can observe per-node
+// circuit state without poking at internals.
+type BreakerStats struct {
+	// State is "closed", "open", or "half-open".
+	State string `json:"state"`
+	// ConsecutiveFailures is the current transport-failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts transitions into the open state (including re-opens
+	// from half-open).
+	Opens int64 `json:"opens"`
+	// Probes counts half-open admissions: calls allowed through while
+	// the breaker was deciding whether the server recovered.
+	Probes int64 `json:"probes"`
+	// TransportFailures and Successes total every outcome fed to Record
+	// (context expiries count as neither).
+	TransportFailures int64 `json:"transport_failures"`
+	Successes         int64 `json:"successes"`
 }
 
 // Defaults for the zero-valued fields of Breaker.
@@ -107,6 +135,7 @@ func (b *Breaker) Allow() error {
 			return ErrCircuitOpen
 		}
 		b.state = breakerHalfOpen
+		b.probes++
 		return nil
 	}
 }
@@ -139,10 +168,15 @@ func (b *Breaker) Record(err error) {
 		}
 		b.state = breakerClosed
 		b.failures = 0
+		b.successes++
 		return
 	}
 	b.failures++
+	b.transportFailures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold() {
+		if b.state != breakerOpen {
+			b.opens++
+		}
 		b.state = breakerOpen
 		b.openedAt = b.clock()
 	}
@@ -154,4 +188,18 @@ func (b *Breaker) State() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state.String()
+}
+
+// Stats returns a snapshot of the breaker's state and counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.failures,
+		Opens:               b.opens,
+		Probes:              b.probes,
+		TransportFailures:   b.transportFailures,
+		Successes:           b.successes,
+	}
 }

@@ -115,8 +115,11 @@ func apiError(resp *http.Response, body []byte) error {
 		e.Message = string(body)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			e.RetryAfter = time.Duration(secs) * time.Second
+		// Both RFC 9110 forms are accepted: delta-seconds and HTTP-date
+		// (a date converts to a delay relative to now). Invalid values
+		// leave whatever the JSON body carried.
+		if d, ok := parseRetryAfter(ra, time.Now()); ok {
+			e.RetryAfter = d
 		}
 	}
 	return e
@@ -158,30 +161,41 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte) (int, []
 
 // doOnce issues a single HTTP exchange.
 func (c *Client) doOnce(ctx context.Context, method, u string, body []byte) (int, []byte, error) {
+	resp, data, err := c.exchange(ctx, method, u, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, nil, apiError(resp, data)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// exchange performs the raw HTTP round trip and body read, classifying
+// only transport-level failures; the response body comes back verbatim
+// whatever the status code.
+func (c *Client) exchange(ctx context.Context, method, u string, body []byte) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return 0, nil, err
+		return nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, nil, transportErr(ctx, "do", err)
+		return nil, nil, transportErr(ctx, "do", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, nil, transportErr(ctx, "read body", err)
+		return resp, nil, transportErr(ctx, "read body", err)
 	}
-	if resp.StatusCode >= 400 {
-		return resp.StatusCode, nil, apiError(resp, data)
-	}
-	return resp.StatusCode, data, nil
+	return resp, data, nil
 }
 
 // Submit enqueues a job asynchronously and returns its id.
@@ -300,4 +314,50 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 		return nil, &TransportError{Op: "decode health", Err: err}
 	}
 	return h, nil
+}
+
+// HealthAny fetches /healthz in a single attempt and decodes the body
+// regardless of HTTP status: a draining server answers 503 but its body
+// still carries the node identity and load a cluster prober needs to
+// tell "draining" from "dead". The breaker (when configured) gates and
+// records the exchange — any decoded reply, 503 included, is evidence
+// of life — but the retry policy does not apply: the prober's own loop
+// is the retry.
+func (c *Client) HealthAny(ctx context.Context) (*Health, int, error) {
+	if c.Breaker != nil {
+		if err := c.Breaker.Allow(); err != nil {
+			return nil, 0, err
+		}
+	}
+	resp, data, err := c.exchange(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if c.Breaker != nil {
+		c.Breaker.Record(err)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	h := new(Health)
+	if jerr := json.Unmarshal(data, h); jerr != nil {
+		return nil, resp.StatusCode, &TransportError{Op: "decode health", Err: jerr}
+	}
+	if h.Status == "" {
+		// A non-health body (a proxy error page, a chaos blip) is a
+		// mangled exchange, not a readable probe.
+		return nil, resp.StatusCode, &TransportError{Op: "decode health", Err: errors.New("no status field")}
+	}
+	return h, resp.StatusCode, nil
+}
+
+// Metrics fetches /metrics — the counters and latency quantiles a
+// cluster coordinator reads as per-node load signals.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	_, body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	m := new(MetricsSnapshot)
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, &TransportError{Op: "decode metrics", Err: err}
+	}
+	return m, nil
 }

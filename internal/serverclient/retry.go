@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +37,40 @@ type RetryPolicy struct {
 	once sync.Once
 	mu   sync.Mutex
 	rng  *rand.Rand
+
+	// Lifetime counters behind Stats.
+	retries    atomic.Int64
+	exhausted  atomic.Int64
+	terminal   atomic.Int64
+	overBudget atomic.Int64
+}
+
+// RetryStats is a snapshot of a RetryPolicy's lifetime counters: how
+// many sleeps it scheduled and why it stopped retrying, so a
+// coordinator (or a test) can observe per-node retry pressure.
+type RetryStats struct {
+	// Retries counts attempts the policy allowed to be re-issued (each
+	// corresponds to one backoff sleep).
+	Retries int64 `json:"retries"`
+	// Exhausted counts calls that gave up because MaxAttempts ran out
+	// while the error was still retryable.
+	Exhausted int64 `json:"exhausted"`
+	// Terminal counts calls that stopped because the error was not
+	// retryable (a decided API reply, the caller's own context, …).
+	Terminal int64 `json:"terminal"`
+	// OverBudget counts calls that gave up because the next sleep would
+	// overrun the elapsed-time Budget.
+	OverBudget int64 `json:"over_budget"`
+}
+
+// Stats returns a snapshot of the policy's counters.
+func (p *RetryPolicy) Stats() RetryStats {
+	return RetryStats{
+		Retries:    p.retries.Load(),
+		Exhausted:  p.exhausted.Load(),
+		Terminal:   p.terminal.Load(),
+		OverBudget: p.overBudget.Load(),
+	}
 }
 
 // Defaults for the zero-valued fields of RetryPolicy.
@@ -61,10 +96,12 @@ func (p *RetryPolicy) maxAttempts() int {
 // failed), elapsed is the total time since the first attempt started,
 // and err is the failure being considered.
 func (p *RetryPolicy) next(attempt int, elapsed time.Duration, err error) (time.Duration, bool) {
-	if attempt >= p.maxAttempts() {
+	if !autoRetryable(err) {
+		p.terminal.Add(1)
 		return 0, false
 	}
-	if !autoRetryable(err) {
+	if attempt >= p.maxAttempts() {
+		p.exhausted.Add(1)
 		return 0, false
 	}
 	d := p.delay(attempt)
@@ -72,8 +109,10 @@ func (p *RetryPolicy) next(attempt int, elapsed time.Duration, err error) (time.
 		d = ra
 	}
 	if p.Budget > 0 && elapsed+d >= p.Budget {
+		p.overBudget.Add(1)
 		return 0, false
 	}
+	p.retries.Add(1)
 	return d, true
 }
 

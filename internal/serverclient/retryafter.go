@@ -1,0 +1,43 @@
+package serverclient
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// parseRetryAfter parses a Retry-After header value per RFC 9110
+// §10.2.3, which allows two forms:
+//
+//	Retry-After: 120                             (delay-seconds)
+//	Retry-After: Fri, 07 Aug 2026 12:00:00 GMT   (HTTP-date)
+//
+// The HTTP-date form is converted to a delay relative to now. A date in
+// the past (or exactly now) means "retry immediately" and parses as a
+// zero delay. The delay-seconds grammar is 1*DIGIT, so a negative
+// number — like any other garbage — is not a valid value and reports
+// ok=false; callers fall back to whatever the response body carried.
+func parseRetryAfter(v string, now time.Time) (delay time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	// http.ParseTime accepts the three HTTP-date formats RFC 9110
+	// grandfathers in: IMF-fixdate (RFC 1123), RFC 850, and ANSI C
+	// asctime.
+	when, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	if d := when.Sub(now); d > 0 {
+		return d, true
+	}
+	return 0, true
+}

@@ -1,0 +1,74 @@
+package serverclient
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 §10.2.3 value forms —
+// delay-seconds and HTTP-date (all three grandfathered date formats) —
+// and that garbage and out-of-grammar values report ok=false so callers
+// keep whatever hint the response body carried.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		delay time.Duration
+		ok    bool
+	}{
+		{"delay seconds", "120", 120 * time.Second, true},
+		{"zero seconds", "0", 0, true},
+		{"delay with whitespace", "  30 ", 30 * time.Second, true},
+		{"negative seconds out of grammar", "-5", 0, false},
+		{"imf-fixdate future", "Fri, 07 Aug 2026 12:00:30 GMT", 30 * time.Second, true},
+		{"imf-fixdate past means now", "Fri, 07 Aug 2026 11:59:00 GMT", 0, true},
+		{"imf-fixdate exactly now", "Fri, 07 Aug 2026 12:00:00 GMT", 0, true},
+		{"rfc850 future", "Friday, 07-Aug-26 12:01:00 GMT", time.Minute, true},
+		{"asctime future", "Fri Aug  7 12:02:00 2026", 2 * time.Minute, true},
+		{"empty", "", 0, false},
+		{"blank", "   ", 0, false},
+		{"garbage", "soon", 0, false},
+		{"fractional seconds out of grammar", "1.5", 0, false},
+		{"malformed date", "Fri, 32 Aug 2026 12:00:00 GMT", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			delay, ok := parseRetryAfter(tc.value, now)
+			if delay != tc.delay || ok != tc.ok {
+				t.Fatalf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+					tc.value, delay, ok, tc.delay, tc.ok)
+			}
+		})
+	}
+}
+
+// TestAPIErrorRetryAfterForms checks the header parsing end to end
+// through apiError: an HTTP-date header converts to a relative delay
+// and overrides the body, while a garbage header leaves the body's
+// retry_after_seconds hint in place.
+func TestAPIErrorRetryAfterForms(t *testing.T) {
+	body := []byte(`{"error":"draining","class":"draining","retry_after_seconds":7}`)
+
+	date := time.Now().Add(42 * time.Second).UTC().Format(http.TimeFormat)
+	resp := &http.Response{StatusCode: 503, Header: http.Header{"Retry-After": {date}}}
+	var ae *APIError
+	var ok bool
+	if ae, ok = apiError(resp, body).(*APIError); !ok {
+		t.Fatal("apiError did not return *APIError")
+	}
+	// The formatted date dropped sub-second precision, so allow a
+	// couple of seconds of slack below the nominal 42.
+	if ae.RetryAfter < 39*time.Second || ae.RetryAfter > 42*time.Second {
+		t.Fatalf("HTTP-date header gave RetryAfter %v, want ≈42s", ae.RetryAfter)
+	}
+
+	resp = &http.Response{StatusCode: 503, Header: http.Header{"Retry-After": {"soon"}}}
+	if ae, ok = apiError(resp, body).(*APIError); !ok {
+		t.Fatal("apiError did not return *APIError")
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("garbage header gave RetryAfter %v, want the body's 7s", ae.RetryAfter)
+	}
+}

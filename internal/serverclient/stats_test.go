@@ -1,0 +1,90 @@
+package serverclient
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerStats walks the breaker through a full
+// closed→open→half-open→closed cycle and checks every Stats counter
+// moved exactly as the state machine did.
+func TestBreakerStats(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 2, OpenTimeout: time.Second,
+		now: func() time.Time { return now }}
+
+	if s := b.Stats(); s.State != "closed" || s.Opens != 0 {
+		t.Fatalf("fresh breaker stats = %+v", s)
+	}
+
+	b.Record(nil) // success
+	te := &TransportError{Op: "do", Err: errors.New("reset")}
+	b.Record(te)
+	b.Record(te) // second consecutive transport failure: opens
+	s := b.Stats()
+	if s.State != "open" || s.Opens != 1 || s.TransportFailures != 2 || s.Successes != 1 {
+		t.Fatalf("after opening: %+v", s)
+	}
+	if s.ConsecutiveFailures != 2 {
+		t.Fatalf("streak = %d, want 2", s.ConsecutiveFailures)
+	}
+
+	// Half-open probe admitted after the timeout; its failure re-opens.
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.Record(te)
+	s = b.Stats()
+	if s.Probes != 1 || s.Opens != 2 || s.State != "open" {
+		t.Fatalf("after failed probe: %+v", s)
+	}
+
+	// Second probe succeeds and closes the breaker.
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	b.Record(nil)
+	s = b.Stats()
+	if s.State != "closed" || s.Probes != 2 || s.Successes != 2 || s.ConsecutiveFailures != 0 {
+		t.Fatalf("after recovery: %+v", s)
+	}
+}
+
+// TestRetryPolicyStats drives next() through each of its exits and
+// checks the corresponding counter is the one that moved.
+func TestRetryPolicyStats(t *testing.T) {
+	te := &TransportError{Op: "do", Err: errors.New("reset")}
+	terminal := &APIError{StatusCode: 422, Class: "rejected"}
+
+	p := &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 1}
+
+	if _, ok := p.next(1, 0, te); !ok {
+		t.Fatal("first retry refused")
+	}
+	if _, ok := p.next(2, 0, te); !ok {
+		t.Fatal("second retry refused")
+	}
+	if _, ok := p.next(3, 0, te); ok {
+		t.Fatal("retry allowed past MaxAttempts")
+	}
+	if _, ok := p.next(1, 0, terminal); ok {
+		t.Fatal("terminal error retried")
+	}
+	s := p.Stats()
+	if s.Retries != 2 || s.Exhausted != 1 || s.Terminal != 1 || s.OverBudget != 0 {
+		t.Fatalf("stats = %+v, want retries=2 exhausted=1 terminal=1", s)
+	}
+
+	// Budget exit: the next sleep would overrun the elapsed budget.
+	pb := &RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second, MaxDelay: time.Second,
+		Budget: time.Second, Seed: 1}
+	if _, ok := pb.next(1, time.Second, te); ok {
+		t.Fatal("retry allowed past budget")
+	}
+	if s := pb.Stats(); s.OverBudget != 1 {
+		t.Fatalf("budget stats = %+v, want over_budget=1", s)
+	}
+}
