@@ -1,15 +1,18 @@
 //go:build tools
 
 // Package tools pins the versions of third-party developer tooling that
-// ci.sh invokes when present. The directory's underscore prefix keeps the
-// go tool (and unizklint) from building it, so these imports never
+// ci.sh invokes as a mandatory gate (set UNIZK_CI_OFFLINE=1 to skip in
+// environments that cannot install them). The directory's underscore
+// prefix keeps the go tool (and unizklint) from building it, so these
+// imports never
 // resolve during normal builds — which also keeps go.mod free of tool
 // dependencies in offline environments. To install the pinned versions:
 //
 //	go install honnef.co/go/tools/cmd/staticcheck@2024.1.1
 //	go install golang.org/x/vuln/cmd/govulncheck@v1.1.4
 //
-// Bump a version here and in ci.sh's skip messages together.
+// Bump a version here and in ci.sh's error messages and ci.yml's
+// install step together.
 package tools
 
 import (

@@ -80,6 +80,7 @@ func spawnLocal(n int) ([]*localNode, []string, error) {
 		}
 		s := server.New(server.Config{})
 		hs := &http.Server{Handler: s.Handler()}
+		//unizklint:allow goroutinelife(embedded node server; exits when main calls l.hs.Shutdown during drain, or hs.Close on spawn failure)
 		go func() { _ = hs.Serve(ln) }()
 		u := "http://" + ln.Addr().String()
 		locals = append(locals, &localNode{srv: s, hs: hs, url: u})
@@ -137,6 +138,7 @@ func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout 
 
 	hs := &http.Server{Handler: coord.Handler()}
 	serveErr := make(chan error, 1)
+	//unizklint:allow goroutinelife(exits when hs.Serve returns; Shutdown below unblocks it and main waits on serveErr)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)

@@ -82,6 +82,7 @@ func run(addr string, cfg server.Config, workers int, drain time.Duration, portf
 
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
+	//unizklint:allow goroutinelife(exits when hs.Serve returns; Shutdown below unblocks it and main waits on serveErr)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)

@@ -8,13 +8,22 @@
 //	go run ./cmd/unizklint ./...
 //	go run ./cmd/unizklint -list
 //	go run ./cmd/unizklint -only fieldcanon,wirecheck ./internal/wire
+//	go run ./cmd/unizklint -json ./...
+//
+// With -json, findings are emitted as a JSON array of
+// {analyzer, file, line, col, message} objects on stdout (an empty
+// array when clean) for editor and CI integration; the GitHub Actions
+// problem matcher in .github/unizklint-problem-matcher.json consumes
+// the default text form instead.
 //
 // Findings are suppressed by an //unizklint:allow <analyzer> <reason>
-// directive on the flagged line or the line directly above; a malformed
-// directive is itself a finding.
+// directive (equivalently //unizklint:allow <analyzer>(<reason>)) on
+// the flagged line or the line directly above; a malformed directive is
+// itself a finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +31,15 @@ import (
 
 	"unizk/internal/lint"
 )
+
+// jsonFinding is the machine-readable form of one lint.Diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -31,8 +49,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("unizklint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: unizklint [-list] [-only a,b] packages...")
+		fmt.Fprintln(fs.Output(), "usage: unizklint [-list] [-json] [-only a,b] packages...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,8 +115,27 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "unizklint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		return 1

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if got := run(nil); got != 2 {
+		t.Errorf("no args: exit %d, want 2", got)
+	}
+	if got := run([]string{"-only", "nosuchanalyzer", "./..."}); got != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", got)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out := capture(t, func() {
+		if got := run([]string{"-list"}); got != 0 {
+			t.Errorf("-list: exit %d, want 0", got)
+		}
+	})
+	for _, name := range []string{"fieldcanon", "wirecheck", "lockguard", "goroutinelife", "atomicmix", "hotalloc"} {
+		if !containsLine(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRunJSONClean checks that -json emits a well-formed (empty) array
+// on a clean package, so CI consumers can rely on the shape.
+func TestRunJSONClean(t *testing.T) {
+	out := capture(t, func() {
+		if got := run([]string{"-json", "./internal/field"}); got != 0 {
+			t.Errorf("-json clean package: exit %d, want 0", got)
+		}
+	})
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean package produced findings: %+v", findings)
+	}
+}
+
+func containsLine(out, prefix string) bool {
+	for len(out) > 0 {
+		line := out
+		if i := indexByte(out, '\n'); i >= 0 {
+			line, out = out[:i], out[i+1:]
+		} else {
+			out = ""
+		}
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,17 @@
+// Package allocgate pins the steady-state heap-allocation counts of the
+// hot proving kernels and of whole proofs with testing.AllocsPerRun.
+//
+// It is the dynamic half of the hot-path allocation story: the hotalloc
+// analyzer in internal/lint statically forbids allocation constructs
+// inside functions annotated //unizklint:hotpath, and this package
+// verifies at runtime that the annotated kernels really run
+// allocation-free once caches and pools are warm — and that the
+// end-to-end per-proof allocation count stays within a pinned budget,
+// so a regression that slips past the analyzer (an allocation inside an
+// unannotated helper, a pool that stops being reused) still fails CI.
+//
+// The package holds no production code; everything lives in its tests.
+// ci.sh runs them as a dedicated gate, without -race (the race runtime
+// instruments allocations, which would make the counts meaningless —
+// the tests skip themselves under -race).
+package allocgate

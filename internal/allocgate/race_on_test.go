@@ -1,0 +1,8 @@
+//go:build race
+
+package allocgate
+
+// raceEnabled reports whether the race detector is compiled in. The
+// race runtime adds bookkeeping allocations, so every AllocsPerRun pin
+// skips itself when this is true.
+const raceEnabled = true

@@ -224,27 +224,39 @@ type cjob struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu        sync.Mutex
-	state     cjobState
-	res       *jobs.Result
-	err       error
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	state cjobState
+	//unizklint:guardedby mu
+	res *jobs.Result
+	//unizklint:guardedby mu
+	err error
+	//unizklint:guardedby mu
 	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	//unizklint:guardedby mu
+	started time.Time
+	//unizklint:guardedby mu
+	finished time.Time
 
 	// Attribution: which node (and which of its generations) currently
 	// owns the job, and the remote job id there. A node's generation
 	// bumps on ejection and on epoch change, so genAt < node.gen means
 	// the attribution is lost.
-	node     *node
-	genAt    int64
+	//unizklint:guardedby mu
+	node *node
+	//unizklint:guardedby mu
+	genAt int64
+	//unizklint:guardedby mu
 	remoteID string
 
 	// Completion provenance, surfaced on status for operators and
 	// pinned by the soak's exactly-once accounting.
+	//unizklint:guardedby mu
 	doneNodeURL string
-	doneNodeID  string
+	//unizklint:guardedby mu
+	doneNodeID string
 
+	//unizklint:guardedby mu
 	redispatches int
 }
 
@@ -294,13 +306,19 @@ type Coordinator struct {
 	draining  atomic.Bool
 	nextID    atomic.Int64
 
-	mu           sync.Mutex
-	jobsByID     map[string]*cjob
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	jobsByID map[string]*cjob
+	//unizklint:guardedby mu
 	finishedList []string
-	pending      int
-	idemIndex    map[string]*idemEntry
-	idemOrder    []idemOrderEntry
-	idemSeq      uint64
+	//unizklint:guardedby mu
+	pending int
+	//unizklint:guardedby mu
+	idemIndex map[string]*idemEntry
+	//unizklint:guardedby mu
+	idemOrder []idemOrderEntry
+	//unizklint:guardedby mu
+	idemSeq uint64
 }
 
 // New builds the coordinator and starts one prober per node.

@@ -40,6 +40,8 @@ type idemOrderEntry struct {
 // server.ErrIdempotencyConflict when the key is bound to different
 // request bytes. Entries for failed/canceled jobs are dropped on sight:
 // a failure must never be replayed as if it were the outcome.
+//
+//unizklint:holds c.mu
 func (c *Coordinator) idemLookupLocked(key string, fp fingerprint) (*cjob, error) {
 	e, ok := c.idemIndex[key]
 	if !ok {
@@ -72,6 +74,8 @@ func (c *Coordinator) idemLookupLocked(key string, fp fingerprint) (*cjob, error
 
 // idemInsertLocked binds key→job, evicting the oldest entries beyond
 // MaxIdempotencyKeys.
+//
+//unizklint:holds c.mu
 func (c *Coordinator) idemInsertLocked(key string, fp fingerprint, jobID string) {
 	c.idemSeq++
 	c.idemIndex[key] = &idemEntry{
@@ -92,6 +96,8 @@ func (c *Coordinator) idemInsertLocked(key string, fp fingerprint, jobID string)
 
 // idemDeleteLocked drops a key, but only if it still points at the
 // given job — the key may have been rebound since.
+//
+//unizklint:holds c.mu
 func (c *Coordinator) idemDeleteLocked(key, jobID string) {
 	if key == "" {
 		return

@@ -23,41 +23,60 @@ type node struct {
 	// probed flips true on the first successful probe and never back: an
 	// address that has never answered is "unknown", not "ejected", and
 	// cannot hold attributions worth invalidating.
-	probed  bool
+	//unizklint:guardedby mu
+	probed bool
+	//unizklint:guardedby mu
 	ejected bool
 	// draining mirrors the node's own /healthz drain state; a draining
 	// node finishes what it has but must not receive new placements.
+	//unizklint:guardedby mu
 	draining bool
 	// gen bumps whenever in-flight attributions to this node become
 	// invalid: on ejection and on epoch change. A job dispatched at
 	// generation g is lost once n.gen > g.
-	gen     int64
-	lastOK  time.Time
+	//unizklint:guardedby mu
+	gen int64
+	//unizklint:guardedby mu
+	lastOK time.Time
+	//unizklint:guardedby mu
 	lastErr error
 
 	// Epoch identity from /healthz.
-	nodeID  string
+	//unizklint:guardedby mu
+	nodeID string
+	//unizklint:guardedby mu
 	startNS int64
 
 	// Probed load signals (healthz + /metrics).
-	inFlight         int64
-	queued           int
-	queueWaitP50     float64
-	proveP50         float64
+	//unizklint:guardedby mu
+	inFlight int64
+	//unizklint:guardedby mu
+	queued int
+	//unizklint:guardedby mu
+	queueWaitP50 float64
+	//unizklint:guardedby mu
+	proveP50 float64
+	//unizklint:guardedby mu
 	proveInvocations int64
-	completed        int64
+	//unizklint:guardedby mu
+	completed int64
 
 	// outstanding counts cluster jobs currently dispatched to this node
 	// by this coordinator — the placement signal that reacts instantly,
 	// between probe ticks.
+	//unizklint:guardedby mu
 	outstanding int
 	// saturatedUntil backs off placement after the node refused a submit
 	// with queue-full backpressure.
+	//unizklint:guardedby mu
 	saturatedUntil time.Time
 
 	// Lifetime transition counters for cluster metrics.
-	ejections    int64
+	//unizklint:guardedby mu
+	ejections int64
+	//unizklint:guardedby mu
 	readmissions int64
+	//unizklint:guardedby mu
 	epochChanges int64
 }
 

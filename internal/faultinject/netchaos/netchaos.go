@@ -85,7 +85,8 @@ func (s Stats) Total() int64 {
 type Chaos struct {
 	cfg Config
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//unizklint:guardedby mu
 	rng *rand.Rand
 
 	acceptDelays atomic.Int64

@@ -30,17 +30,25 @@ func NewExt(a, b uint64) Ext { return Ext{New(a), New(b)} }
 func (e Ext) IsZero() bool { return e.A == 0 && e.B == 0 }
 
 // ExtAdd returns x + y.
+//
+//unizklint:hotpath
 func ExtAdd(x, y Ext) Ext { return Ext{Add(x.A, y.A), Add(x.B, y.B)} }
 
 // ExtSub returns x - y.
+//
+//unizklint:hotpath
 func ExtSub(x, y Ext) Ext { return Ext{Sub(x.A, y.A), Sub(x.B, y.B)} }
 
 // ExtNeg returns -x.
+//
+//unizklint:hotpath
 func ExtNeg(x Ext) Ext { return Ext{Neg(x.A), Neg(x.B)} }
 
 // ExtMul returns x * y:
 //
 //	(a + bX)(c + dX) = (ac + W·bd) + (ad + bc)X.
+//
+//unizklint:hotpath
 func ExtMul(x, y Ext) Ext {
 	ac := Mul(x.A, y.A)
 	bd := Mul(x.B, y.B)
@@ -50,14 +58,20 @@ func ExtMul(x, y Ext) Ext {
 }
 
 // ExtSquare returns x^2.
+//
+//unizklint:hotpath
 func ExtSquare(x Ext) Ext { return ExtMul(x, x) }
 
 // ExtScalarMul returns s·x for a base-field scalar s.
+//
+//unizklint:hotpath
 func ExtScalarMul(s Element, x Ext) Ext { return Ext{Mul(s, x.A), Mul(s, x.B)} }
 
 // ExtInverse returns x^-1 (zero for x == 0). Using the conjugate:
 //
 //	(a + bX)^-1 = (a - bX) / (a^2 - W·b^2).
+//
+//unizklint:hotpath
 func ExtInverse(x Ext) Ext {
 	if x.IsZero() {
 		return ExtZero
@@ -71,6 +85,8 @@ func ExtInverse(x Ext) Ext {
 func ExtDiv(x, y Ext) Ext { return ExtMul(x, ExtInverse(y)) }
 
 // ExtExp returns base^exp.
+//
+//unizklint:hotpath
 func ExtExp(base Ext, exp uint64) Ext {
 	result := ExtOne
 	for exp > 0 {
@@ -84,16 +100,21 @@ func ExtExp(base Ext, exp uint64) Ext {
 }
 
 // ExtMulAdd returns a*b + c.
+//
+//unizklint:hotpath
 func ExtMulAdd(a, b, c Ext) Ext { return ExtAdd(ExtMul(a, b), c) }
 
 // ExtBatchInverse inverts every element of xs in place using Montgomery's
 // trick. Zero entries stay zero.
+//
+//unizklint:hotpath
 func ExtBatchInverse(xs []Ext) {
 	n := len(xs)
 	if n == 0 {
 		return
 	}
-	prefix := make([]Ext, n)
+	sp := extScratchFor(n)
+	prefix := (*sp)[:n]
 	acc := ExtOne
 	for i, x := range xs {
 		if !x.IsZero() {
@@ -114,4 +135,5 @@ func ExtBatchInverse(xs []Ext) {
 		inv = ExtMul(inv, xs[i])
 		xs[i] = thisInv
 	}
+	putExtScratch(sp)
 }

@@ -51,6 +51,8 @@ func (e Element) Uint64() uint64 { return uint64(e) }
 func (e Element) IsZero() bool { return e == 0 }
 
 // Add returns a + b mod p.
+//
+//unizklint:hotpath
 func Add(a, b Element) Element {
 	s, carry := bits.Add64(uint64(a), uint64(b), 0)
 	// a, b < p <= 2^64 - 2^32 + 1, so a+b < 2^65; on carry, subtracting p
@@ -65,6 +67,8 @@ func Add(a, b Element) Element {
 }
 
 // Sub returns a - b mod p.
+//
+//unizklint:hotpath
 func Sub(a, b Element) Element {
 	d, borrow := bits.Sub64(uint64(a), uint64(b), 0)
 	if borrow != 0 {
@@ -74,6 +78,8 @@ func Sub(a, b Element) Element {
 }
 
 // Neg returns -a mod p.
+//
+//unizklint:hotpath
 func Neg(a Element) Element {
 	if a == 0 {
 		return 0
@@ -82,20 +88,28 @@ func Neg(a Element) Element {
 }
 
 // Double returns 2a mod p.
+//
+//unizklint:hotpath
 func Double(a Element) Element { return Add(a, a) }
 
 // Mul returns a * b mod p using the 2^64 ≡ 2^32 - 1 reduction.
+//
+//unizklint:hotpath
 func Mul(a, b Element) Element {
 	hi, lo := bits.Mul64(uint64(a), uint64(b))
 	return reduce128(hi, lo)
 }
 
 // Square returns a^2 mod p.
+//
+//unizklint:hotpath
 func Square(a Element) Element { return Mul(a, a) }
 
 // Reduce128 reduces a 128-bit value hi·2^64 + lo modulo p. It is exposed
 // for callers that accumulate several small-by-large products in 128 bits
 // before reducing once (e.g. the Poseidon MDS layer).
+//
+//unizklint:hotpath
 func Reduce128(hi, lo uint64) Element { return reduce128(hi, lo) }
 
 // reduce128 reduces a 128-bit value hi*2^64 + lo modulo p.
@@ -105,6 +119,8 @@ func Reduce128(hi, lo uint64) Element { return reduce128(hi, lo) }
 //	x ≡ lo + hiLo*(2^32 - 1) - hiHi  (mod p)
 //
 // because 2^64 ≡ 2^32 - 1 and 2^96 ≡ -1 (mod p).
+//
+//unizklint:hotpath
 func reduce128(hi, lo uint64) Element {
 	hiHi := hi >> 32
 	hiLo := hi & epsilon
@@ -127,6 +143,8 @@ func reduce128(hi, lo uint64) Element {
 // Dot returns Σ a[i]·b[i] mod p with a single final reduction: products
 // accumulate in a three-limb (lo, hi, carry) register using the identity
 // 2^128 ≡ -2^32 (mod p). Slices must have equal length below 2^32.
+//
+//unizklint:hotpath
 func Dot(a, b []Element) Element {
 	var lo, hi, top uint64
 	for i := range a {
@@ -145,6 +163,8 @@ func Dot(a, b []Element) Element {
 }
 
 // Exp returns base^exp mod p by square-and-multiply.
+//
+//unizklint:hotpath
 func Exp(base Element, exp uint64) Element {
 	result := One
 	for exp > 0 {
@@ -161,6 +181,8 @@ func Exp(base Element, exp uint64) Element {
 // zero operand must check IsZero first; the proof systems in this repo
 // only invert verifier challenges, which are nonzero with overwhelming
 // probability, and guard the places where a zero is structurally possible).
+//
+//unizklint:hotpath
 func Inverse(a Element) Element {
 	if a == 0 {
 		return 0
@@ -173,6 +195,8 @@ func Div(a, b Element) Element { return Mul(a, Inverse(b)) }
 
 // MulAdd returns a*b + c mod p, the fused operation one UniZK PE performs
 // per cycle (one modular multiplier + one modular adder, §4).
+//
+//unizklint:hotpath
 func MulAdd(a, b, c Element) Element { return Add(Mul(a, b), c) }
 
 // PrimitiveRootOfUnity returns a generator of the order-2^logN subgroup.
@@ -201,13 +225,17 @@ var pow2Gen = func() Element {
 
 // BatchInverse inverts every element of xs in place using Montgomery's
 // trick (one inversion + 3(n-1) multiplications). Zero entries stay zero.
+//
+//unizklint:hotpath
 func BatchInverse(xs []Element) {
 	n := len(xs)
 	if n == 0 {
 		return
 	}
-	// prefix[i] = product of non-zero xs[0..i].
-	prefix := make([]Element, n)
+	// prefix[i] = product of non-zero xs[0..i]; pooled so the steady
+	// state allocates nothing.
+	sp := elemScratchFor(n)
+	prefix := (*sp)[:n]
 	acc := One
 	for i, x := range xs {
 		if x != 0 {
@@ -228,4 +256,5 @@ func BatchInverse(xs []Element) {
 		inv = Mul(inv, xs[i])
 		xs[i] = thisInv
 	}
+	putElemScratch(sp)
 }

@@ -170,14 +170,7 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 			off = k
 			point := g.Point
 			if err = parallel.For(ctx, m, vecGrain, func(lo, hi int) {
-				for j := lo; j < hi; j++ {
-					bj := field.ExtZero
-					for p := range ldes {
-						bj = field.ExtAdd(bj, field.ExtScalarMul(ldes[p][j], gpows[p]))
-					}
-					b[j] = bj
-					diff[j] = field.ExtSub(field.FromBase(xs[j]), point)
-				}
+				combineRange(lo, hi, ldes, gpows, xs, point, b, diff)
 			}); err != nil {
 				return
 			}
@@ -185,10 +178,7 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 				return
 			}
 			if err = parallel.For(ctx, m, vecGrain, func(lo, hi int) {
-				for j := lo; j < hi; j++ {
-					f[j] = field.ExtAdd(f[j],
-						field.ExtMul(field.ExtSub(b[j], y), diff[j]))
-				}
+				accumulateQuotientRange(lo, hi, f, b, diff, y)
 			}); err != nil {
 				return
 			}
@@ -263,14 +253,7 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 				return
 			}
 			err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					a, bv := layer[2*k], layer[2*k+1]
-					x := xPow[ntt.BitReverse(k, logLayer-1)]
-					num := field.ExtAdd(
-						field.ExtScalarMul(x, field.ExtAdd(a, bv)),
-						field.ExtMul(beta, field.ExtSub(a, bv)))
-					next[k] = field.ExtScalarMul(inv2x[k], num)
-				}
+				foldRange(lo, hi, layer, next, inv2x, xPow, beta, logLayer)
 			})
 		})
 		if err != nil {
@@ -440,4 +423,51 @@ func extCosetInverseNN(ctx context.Context, values []field.Ext, shift field.Elem
 		return nil, err
 	}
 	return out, nil
+}
+
+// combineRange is the α-combination inner loop: for each point j of the
+// chunk it evaluates the batched column combination Σ α^k·lde_k[j] and
+// the (x_j - point) denominators the batch inversion consumes. The
+// parallel.For orchestrator above owns the chunking and the scratch
+// slices; this leaf does pure field arithmetic.
+//
+//unizklint:hotpath
+func combineRange(lo, hi int, ldes [][]field.Element, gpows []field.Ext,
+	xs []field.Element, point field.Ext, b, diff []field.Ext) {
+	for j := lo; j < hi; j++ {
+		bj := field.ExtZero
+		for p := range ldes {
+			bj = field.ExtAdd(bj, field.ExtScalarMul(ldes[p][j], gpows[p]))
+		}
+		b[j] = bj
+		diff[j] = field.ExtSub(field.FromBase(xs[j]), point)
+	}
+}
+
+// accumulateQuotientRange adds the group's opening quotient
+// (b(x) - y) / (x - point) into the running combined polynomial f.
+//
+//unizklint:hotpath
+func accumulateQuotientRange(lo, hi int, f, b, diff []field.Ext, y field.Ext) {
+	for j := lo; j < hi; j++ {
+		f[j] = field.ExtAdd(f[j],
+			field.ExtMul(field.ExtSub(b[j], y), diff[j]))
+	}
+}
+
+// foldRange is the arity-2 FRI fold inner loop: each output point k
+// combines the sibling pair (layer[2k], layer[2k+1]) with the verifier
+// challenge β and the precomputed 1/(2x) inverses.
+//
+//unizklint:hotpath
+func foldRange(lo, hi int, layer, next []field.Ext, inv2x, xPow []field.Element,
+	beta field.Ext, logLayer int) {
+	for k := lo; k < hi; k++ {
+		a, bv := layer[2*k], layer[2*k+1]
+		x := xPow[ntt.BitReverse(k, logLayer-1)]
+		num := field.ExtAdd(
+			field.ExtScalarMul(x, field.ExtAdd(a, bv)),
+			field.ExtMul(beta, field.ExtSub(a, bv)))
+		next[k] = field.ExtScalarMul(inv2x[k], num)
+	}
 }

@@ -89,13 +89,19 @@ type Stats struct {
 //   - Close is idempotent: the first call returns the drained items in
 //     pop order, every later call returns nil.
 type Queue[T any] struct {
-	mu        sync.Mutex
-	items     entryHeap[T]
-	cap       int
-	seq       uint64
-	closed    bool
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	items entryHeap[T]
+	cap   int
+	//unizklint:guardedby mu
+	seq uint64
+	//unizklint:guardedby mu
+	closed bool
+	//unizklint:guardedby mu
 	highWater int
-	rejFull   int64
+	//unizklint:guardedby mu
+	rejFull int64
+	//unizklint:guardedby mu
 	rejClosed int64
 
 	// notify carries at most one wakeup token; pushes post to it

@@ -1,0 +1,75 @@
+// Annotation-verb helpers shared by the concurrency and hot-path
+// analyzers. parseDirectives (driver.go) validates the shape of these
+// directives; the functions here read them off the AST nodes they
+// decorate:
+//
+//   - //unizklint:guardedby <mutex> on a struct field (doc or trailing
+//     comment) names the sibling mutex that must be held to touch it —
+//     consumed by lockguard.
+//   - //unizklint:hotpath on a function declaration marks it as an
+//     allocation-free kernel — consumed by hotalloc.
+//   - //unizklint:holds <path> [<path> ...] on a function declaration
+//     states a lock precondition the callers must establish — consumed
+//     by lockguard on both sides (the body assumes it, call sites are
+//     checked for it).
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directiveArgs returns the whitespace-split arguments of the first
+// //unizklint:<verb> directive in cg, and whether one was found.
+func directiveArgs(cg *ast.CommentGroup, verb string) ([]string, bool) {
+	if cg == nil {
+		return nil, false
+	}
+	for _, c := range cg.List {
+		text := c.Text
+		if rest, ok := strings.CutPrefix(text, "/*"); ok {
+			text = strings.TrimSuffix(rest, "*/")
+		} else {
+			text = strings.TrimPrefix(text, "//")
+		}
+		text = strings.TrimSpace(text)
+		rest, ok := strings.CutPrefix(text, directivePrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 || fields[0] != verb {
+			continue
+		}
+		return fields[1:], true
+	}
+	return nil, false
+}
+
+// fieldGuardedBy returns the mutex field name named by a guardedby
+// annotation on a struct field, looking at both the doc comment and the
+// trailing line comment.
+func fieldGuardedBy(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if args, ok := directiveArgs(cg, "guardedby"); ok && len(args) == 1 {
+			return args[0], true
+		}
+	}
+	return "", false
+}
+
+// funcIsHotpath reports whether fd carries a hotpath annotation.
+func funcIsHotpath(fd *ast.FuncDecl) bool {
+	_, ok := directiveArgs(fd.Doc, "hotpath")
+	return ok
+}
+
+// funcHolds returns the lock paths a holds annotation on fd declares as
+// caller-established preconditions (e.g. ["s.mu"]), or nil.
+func funcHolds(fd *ast.FuncDecl) []string {
+	args, ok := directiveArgs(fd.Doc, "holds")
+	if !ok {
+		return nil
+	}
+	return args
+}

@@ -8,8 +8,16 @@ import (
 	"strings"
 )
 
-// directivePrefix introduces a suppression: //unizklint:allow <analyzer>
-// <reason>. It must sit on the flagged line or the line directly above.
+// directivePrefix introduces a lint directive. The vocabulary:
+//
+//	//unizklint:allow <analyzer> <reason>    suppress a finding (reason required)
+//	//unizklint:allow <analyzer>(<reason>)   same, paren form
+//	//unizklint:guardedby <mutex>            struct field: guarded by sibling mutex
+//	//unizklint:hotpath                      func: allocation-free hot kernel
+//	//unizklint:holds <path> [<path> ...]    func: caller-held lock precondition
+//
+// Allow directives must sit on the flagged line or the line directly
+// above.
 const directivePrefix = "unizklint:"
 
 // A directive is one parsed //unizklint: comment.
@@ -23,10 +31,28 @@ type directive struct {
 	diag      Diagnostic // position for malformed-directive reporting
 }
 
+// parseAllow splits the remainder of an allow directive into analyzer
+// name and reason, accepting both the space form
+// "allow fieldcanon some reason" and the paren form
+// "allow fieldcanon(some reason)".
+func parseAllow(rest string) (name, reason string) {
+	rest = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "allow"))
+	if i := strings.IndexByte(rest, '('); i >= 0 && strings.HasSuffix(rest, ")") {
+		return strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1 : len(rest)-1])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	return fields[0], strings.Join(fields[1:], " ")
+}
+
 // parseDirectives extracts every //unizklint: comment from a file.
 // Validation is strict by design: a suppression that names no analyzer,
 // names an unknown analyzer, or gives no reason is a finding itself —
-// silent, unexplained suppressions are how invariants rot.
+// silent, unexplained suppressions are how invariants rot. Annotation
+// verbs (guardedby, hotpath, holds) are validated for shape here and
+// interpreted by their analyzers (lockguard, hotalloc).
 func parseDirectives(p *Pass0, f *ast.File) []directive {
 	var out []directive
 	for _, cg := range f.Comments {
@@ -46,19 +72,40 @@ func parseDirectives(p *Pass0, f *ast.File) []directive {
 			d.diag = Diagnostic{Analyzer: "directive", Pos: pos}
 			rest := strings.TrimPrefix(text, directivePrefix)
 			fields := strings.Fields(rest)
-			switch {
-			case len(fields) == 0 || fields[0] != "allow":
-				d.malformed = fmt.Sprintf("unknown unizklint directive %q (only \"allow\" is recognized)", rest)
-			case len(fields) < 2 || !KnownAnalyzer(fields[1]):
-				name := ""
-				if len(fields) >= 2 {
-					name = fields[1]
+			verb := ""
+			if len(fields) > 0 {
+				verb = fields[0]
+				// The paren form glues the analyzer name to the verb's
+				// argument ("allow x(y)"), so split on '(' too.
+				if i := strings.IndexByte(verb, '('); i >= 0 {
+					verb = verb[:i]
 				}
-				d.malformed = fmt.Sprintf("allow directive names no registered analyzer (got %q)", name)
-			case len(fields) < 3:
-				d.malformed = fmt.Sprintf("allow directive for %q has an empty reason; every suppression must say why", fields[1])
+			}
+			switch verb {
+			case "allow":
+				name, reason := parseAllow(rest)
+				switch {
+				case !KnownAnalyzer(name):
+					d.malformed = fmt.Sprintf("allow directive names no registered analyzer (got %q)", name)
+				case reason == "":
+					d.malformed = fmt.Sprintf("allow directive for %q has an empty reason; every suppression must say why", name)
+				default:
+					d.analyzer = name
+				}
+			case "guardedby":
+				if len(fields) != 2 {
+					d.malformed = "guardedby directive needs exactly one sibling mutex field name"
+				}
+			case "hotpath":
+				if len(fields) != 1 {
+					d.malformed = "hotpath directive takes no arguments"
+				}
+			case "holds":
+				if len(fields) < 2 {
+					d.malformed = "holds directive needs at least one lock path (e.g. s.mu)"
+				}
 			default:
-				d.analyzer = fields[1]
+				d.malformed = fmt.Sprintf("unknown unizklint directive %q (recognized: allow, guardedby, hotpath, holds)", rest)
 			}
 			out = append(out, d)
 		}
@@ -123,6 +170,11 @@ func Run(l *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, error)
 						dd.Message = d.malformed
 						diags = append(diags, dd)
 					}
+					continue
+				}
+				if d.analyzer == "" {
+					// A valid annotation verb (guardedby/hotpath/holds);
+					// interpreted by its analyzer, not a suppression.
 					continue
 				}
 				allow[key{d.analyzer, d.file, d.line}] = true

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLife requires every go statement to be tied to a lifecycle
+// the rest of the program can observe: a sync.WaitGroup Done/Wait
+// pairing in the goroutine body, use of a context.Context (a ctx-done
+// select, ctx-aware call, or a ctx argument to a named callee), or a
+// range over a channel (the body runs until the producer closes it).
+// For a go statement calling a named same-package function, the
+// callee's body is inspected one level deep. Everything else is the
+// leak class the chaos soaks catch only dynamically, and must carry an
+// audited //unizklint:allow goroutinelife(reason).
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "every goroutine must be tied to a lifecycle: WaitGroup Done/Wait " +
+		"pairing, context use, or channel-range; audited exceptions use " +
+		"//unizklint:allow goroutinelife(reason)",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goTied(p, gs) {
+				p.Reportf(gs.Pos(), "goroutine is not tied to a lifecycle "+
+					"(no WaitGroup Done/Wait, context use, or channel-range); "+
+					"audited fire-and-forget needs //unizklint:allow goroutinelife(reason)")
+			}
+			return true
+		})
+	}
+}
+
+// goTied reports whether the go statement's function is observably
+// bounded.
+func goTied(p *Pass, gs *ast.GoStmt) bool {
+	info := p.Pkg.Info
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return bodyTied(info, lit.Body)
+	}
+	// A context handed to the callee counts: the callee owns the exit
+	// condition.
+	for _, a := range gs.Call.Args {
+		if isContextExpr(info, a) {
+			return true
+		}
+	}
+	// One level of same-package callee inspection.
+	if fn := calleeFunc(info, gs.Call); fn != nil {
+		if fd := p.Pkg.FuncDecl(fn); fd != nil && fd.Body != nil {
+			return bodyTied(info, fd.Body)
+		}
+	}
+	return false
+}
+
+// bodyTied scans a function body for any of the recognized lifecycle
+// ties.
+func bodyTied(info *types.Info, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				if isMethodOn(fn, "sync", "WaitGroup", "Done") ||
+					isMethodOn(fn, "sync", "WaitGroup", "Wait") {
+					tied = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := exprType(info, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case ast.Expr:
+			if isContextExpr(info, n) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// exprType resolves the static type of an expression, falling back to
+// the Uses map for bare identifiers.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isContextExpr reports whether e has type context.Context.
+func isContextExpr(info *types.Info, e ast.Expr) bool {
+	t := exprType(info, e)
+	return t != nil && isNamed(t, "context", "Context")
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags allocation-inducing constructs inside functions
+// annotated //unizklint:hotpath — the Goldilocks mul/reduce kernels,
+// NTT butterfly layers, batch inversion, Poseidon permutation, Merkle
+// verification, and the FRI fold/combine inner loops. These are the
+// code paths whose throughput the paper's kernel comparison measures;
+// a stray allocation turns a measured kernel into a measured GC.
+//
+// Flagged constructs:
+//
+//   - make/new/append builtins (pre-size a reusable buffer instead)
+//   - calls into package fmt
+//   - non-constant string concatenation
+//   - interface boxing of field.Element / field.Ext at a call boundary
+//   - capturing closures that escape (passed to a call, returned, or
+//     stored); immediately-invoked literals and literals bound to a
+//     local that is only ever called are exempt, as the compiler keeps
+//     those on the stack
+//
+// The static gate cross-checks the dynamic one: the AllocsPerRun
+// regression test in internal/allocgate pins the runtime allocation
+// counts of the same annotated kernels.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //unizklint:hotpath must avoid allocation-" +
+		"inducing constructs: make/append/new, fmt, string concatenation, " +
+		"interface boxing of field elements, escaping closure captures",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcIsHotpath(fd) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	parents := parentMap(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, info, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				p.Reportf(n.OpPos, "string concatenation in hotpath allocates; "+
+					"hot kernels must not build strings")
+			}
+		case *ast.FuncLit:
+			checkHotClosure(p, info, fd, n, parents)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, info *types.Info, call *ast.CallExpr) {
+	for _, b := range [...]string{"make", "new", "append"} {
+		if isBuiltinCall(info, call, b) {
+			p.Reportf(call.Pos(), "call to %s in hotpath allocates; "+
+				"use a pre-sized reusable buffer", b)
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "fmt.%s in hotpath allocates", fn.Name())
+		return
+	}
+	// Interface boxing of field elements: at an interface-typed
+	// parameter (conversions included), a field.Element/Ext argument is
+	// heap-boxed per call.
+	if fn != nil {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && call.Ellipsis == token.NoPos && i >= params.Len()-1:
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt != nil && types.IsInterface(pt) && isFieldScalar(exprType(info, arg)) {
+				p.Reportf(arg.Pos(), "passing a field element to an interface-typed "+
+					"parameter of %s boxes it on the heap", fn.Name())
+			}
+		}
+		return
+	}
+	// Explicit conversion to an interface type: any(x), fmt.Stringer(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && types.IsInterface(tv.Type) &&
+		len(call.Args) == 1 && isFieldScalar(exprType(info, call.Args[0])) {
+		p.Reportf(call.Args[0].Pos(), "converting a field element to an interface type "+
+			"boxes it on the heap")
+	}
+}
+
+func isFieldScalar(t types.Type) bool {
+	return t != nil && (isNamed(t, fieldPkgPath, "Element") || isNamed(t, fieldPkgPath, "Ext"))
+}
+
+func isNonConstString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkHotClosure flags a capturing function literal that escapes the
+// enclosing hot function.
+func checkHotClosure(p *Pass, info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit, parents map[ast.Node]ast.Node) {
+	if !closureCaptures(info, fd, lit) {
+		return // non-capturing literals are static function values
+	}
+	parent := parents[lit]
+	if call, ok := parent.(*ast.CallExpr); ok && call.Fun == lit {
+		return // immediately invoked: runs inline, stays on the stack
+	}
+	if onlyCalledLocally(info, fd, lit, parents) {
+		return
+	}
+	p.Reportf(lit.Pos(), "capturing closure escapes the hotpath function "+
+		"(each call allocates the closure and may force its captures to the heap)")
+}
+
+// closureCaptures reports whether lit references a variable declared in
+// fd outside the literal itself (receiver, parameter, or local).
+func closureCaptures(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+// onlyCalledLocally reports whether lit is bound to a single local
+// variable whose every use in fd is as the function of a call — the
+// compiler keeps such closures on the stack (the mac-style accumulator
+// helper in the Poseidon sparse layer is the canonical instance).
+func onlyCalledLocally(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit, parents map[ast.Node]ast.Node) bool {
+	asn, ok := parents[lit].(*ast.AssignStmt)
+	if !ok || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 || asn.Rhs[0] != ast.Expr(lit) {
+		return false
+	}
+	id, ok := asn.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := types.Object(nil)
+	if d := info.Defs[id]; d != nil {
+		obj = d
+	} else if u := info.Uses[id]; u != nil {
+		obj = u
+	}
+	if obj == nil {
+		return false
+	}
+	escapes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		use, ok := n.(*ast.Ident)
+		if !ok || info.Uses[use] != obj {
+			return true
+		}
+		call, ok := parents[use].(*ast.CallExpr)
+		if !ok || call.Fun != ast.Expr(use) {
+			escapes = true
+		}
+		return !escapes
+	})
+	return !escapes
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -6,7 +6,7 @@
 // "verify structure before arithmetic" discipline the paper's hardware
 // datapaths enforce.
 //
-// The five analyzers:
+// The nine analyzers:
 //
 //   - fieldcanon: Goldilocks elements must be canonical (< p) so equality
 //     is plain ==. Raw field.Element(x) conversions from arbitrary
@@ -24,13 +24,28 @@
 //     (direct importers of internal/poseidon) must not use math/rand or
 //     time.Now, and must never feed map-iteration order into
 //     Challenger observations.
+//   - lockguard: struct fields annotated //unizklint:guardedby <mutex>
+//     may only be accessed while that sibling mutex is provably held
+//     (write access requires write-hold); //unizklint:holds on a
+//     function declares a caller-established lock precondition.
+//   - goroutinelife: every go statement must be tied to a lifecycle —
+//     WaitGroup Done/Wait pairing, context use, or channel-range —
+//     or carry an audited allow directive.
+//   - atomicmix: a field accessed via sync/atomic anywhere must never
+//     be read or written plainly elsewhere.
+//   - hotalloc: functions annotated //unizklint:hotpath must avoid
+//     allocation-inducing constructs (make/append/new, fmt, string
+//     concatenation, field-element boxing, escaping closures); the
+//     internal/allocgate AllocsPerRun test pins the same kernels
+//     dynamically.
 //
 // Findings can be suppressed, one site at a time, with a directive on the
-// flagged line or the line above:
+// flagged line or the line above, in either form:
 //
 //	//unizklint:allow <analyzer> <reason>
+//	//unizklint:allow <analyzer>(<reason>)
 //
-// The analyzer name must be one of the five above and the reason must be
+// The analyzer name must be one of the nine above and the reason must be
 // non-empty; malformed directives are themselves diagnostics. The
 // framework is self-contained (no golang.org/x/tools dependency, which
 // keeps the gate runnable in offline CI) but mirrors the go/analysis
@@ -90,7 +105,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full unizklint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FieldCanon, WireCheck, ProofErrFlow, CtxPoll, NoDeterminism}
+	return []*Analyzer{
+		FieldCanon, WireCheck, ProofErrFlow, CtxPoll, NoDeterminism,
+		LockGuard, GoroutineLife, AtomicMix, HotAlloc,
+	}
 }
 
 // KnownAnalyzer reports whether name identifies a registered analyzer

@@ -28,6 +28,28 @@ func TestNoDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.NoDeterminism, "nodeterminism")
 }
 
+// TestLockGuard covers the guardedby simulation edge cases the issue
+// calls out: deferred Unlock, TryLock consulted as an if condition,
+// the RWMutex read-vs-write distinction, lock state not leaking out of
+// branches, and holds-annotated callees checked at their call sites.
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockGuard, "lockguard")
+}
+
+// TestGoroutineLife includes the goroutine-inside-parallel.Pool-callback
+// case: the pool joins its own workers, not what a callback launches.
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoroutineLife, "goroutinelife")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicMix, "atomicmix")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "hotalloc")
+}
+
 // TestDirectives exercises the //unizklint:allow machinery: a valid
 // directive suppresses a finding, and malformed directives (unknown verb,
 // unregistered analyzer, missing reason) are findings themselves.

@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces //unizklint:guardedby annotations: a struct field
+// annotated as guarded by a sibling mutex may only be read while that
+// mutex is held (Lock or RLock) and only be written while it is
+// write-held (Lock). "Held" is established by a flow-insensitive
+// simulation of the enclosing function body — Lock/Unlock/RLock/RUnlock
+// calls on a canonical path (e.g. s.mu), a deferred Unlock (held to
+// function end), a TryLock consulted as an if condition (held in the
+// then-branch), or a //unizklint:holds annotation declaring the lock a
+// caller-established precondition. Call sites of holds-annotated
+// functions are in turn checked for the precondition.
+//
+// The simulation is deliberately conservative: function literals and
+// goroutine bodies start with an empty held set, and lock state acquired
+// inside a branch does not leak past it. Code that is correct for
+// subtler reasons takes an //unizklint:allow lockguard(reason).
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated //unizklint:guardedby <mutex> must only be accessed " +
+		"with that mutex provably held (write access requires write-hold)",
+	Run: runLockGuard,
+}
+
+// lockGuardSim carries the per-package state of the simulation.
+type lockGuardSim struct {
+	pass *Pass
+	info *types.Info
+	// guards maps an annotated field object to the name of its guarding
+	// sibling mutex field.
+	guards map[*types.Var]string
+}
+
+func runLockGuard(p *Pass) {
+	s := &lockGuardSim{pass: p, info: p.Pkg.Info, guards: map[*types.Var]string{}}
+	for _, f := range p.Pkg.Files {
+		s.collectGuards(f)
+	}
+	if len(s.guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]int{}
+			for _, h := range funcHolds(fd) {
+				held[h] = lockWrite
+			}
+			s.block(fd.Body.List, held)
+		}
+	}
+}
+
+// Held-set values: a path is absent, read-held (RLock), or write-held.
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// collectGuards records every guardedby-annotated struct field and
+// validates that the named mutex is a sibling field of a sync mutex
+// type.
+func (s *lockGuardSim) collectGuards(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			mutexName, ok := fieldGuardedBy(field)
+			if !ok {
+				continue
+			}
+			if !s.validMutexSibling(st, mutexName) {
+				s.pass.Reportf(field.Pos(),
+					"guardedby names %q, which is not a sibling sync.Mutex/sync.RWMutex field", mutexName)
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := s.info.Defs[name].(*types.Var); ok {
+					s.guards[v] = mutexName
+				}
+			}
+		}
+		return true
+	})
+}
+
+// validMutexSibling reports whether the struct has a field named
+// mutexName whose type is sync.Mutex or sync.RWMutex (possibly behind a
+// pointer).
+func (s *lockGuardSim) validMutexSibling(st *ast.StructType, mutexName string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mutexName {
+				continue
+			}
+			v, ok := s.info.Defs[name].(*types.Var)
+			if !ok {
+				return false
+			}
+			t := v.Type()
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+		}
+	}
+	return false
+}
+
+// exprPath canonicalizes a selector chain rooted at an identifier
+// ("s", "c.base.mu") for use as a held-set key, or "" when the
+// expression is not such a chain (indexing, calls, ...).
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// mutexOp classifies call as a mutex method invocation on a canonical
+// receiver path, returning the method name ("Lock", "Unlock", "RLock",
+// "RUnlock", "TryLock", "TryRLock") and the path, or "", "".
+func (s *lockGuardSim) mutexOp(call *ast.CallExpr) (op, path string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(s.info, call)
+	if fn == nil {
+		return "", ""
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock", "TryLock":
+		if !isMethodOn(fn, "sync", "Mutex", name) && !isMethodOn(fn, "sync", "RWMutex", name) {
+			return "", ""
+		}
+	case "RLock", "RUnlock", "TryRLock":
+		if !isMethodOn(fn, "sync", "RWMutex", name) {
+			return "", ""
+		}
+	default:
+		return "", ""
+	}
+	return name, exprPath(sel.X)
+}
+
+func applyMutexOp(held map[string]int, op, path string) {
+	switch op {
+	case "Lock":
+		held[path] = lockWrite
+	case "RLock":
+		if held[path] < lockRead {
+			held[path] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(held, path)
+	}
+}
+
+func cloneHeld(held map[string]int) map[string]int {
+	c := make(map[string]int, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// block simulates a statement list, threading held through sequential
+// statements.
+func (s *lockGuardSim) block(list []ast.Stmt, held map[string]int) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *lockGuardSim) stmt(st ast.Stmt, held map[string]int) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if op, path := s.mutexOp(call); op != "" && path != "" {
+				// A Try* whose result is discarded grants nothing.
+				if op == "TryLock" || op == "TryRLock" {
+					return
+				}
+				applyMutexOp(held, op, path)
+				return
+			}
+		}
+		s.expr(st.X, held, false)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.expr(r, held, false)
+		}
+		for _, l := range st.Lhs {
+			s.expr(l, held, true)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X, held, true)
+	case *ast.DeferStmt:
+		if op, _ := s.mutexOp(st.Call); op == "Unlock" || op == "RUnlock" {
+			// Deferred release: the lock stays held to function end.
+			return
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held, false)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.block(lit.Body.List, map[string]int{})
+		} else {
+			s.expr(st.Call.Fun, held, false)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs with an unknown lock picture: its body is
+		// simulated with an empty held set. Arguments are evaluated now.
+		for _, a := range st.Call.Args {
+			s.expr(a, held, false)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.block(lit.Body.List, map[string]int{})
+		} else {
+			s.expr(st.Call.Fun, held, false)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r, held, false)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if call, ok := ast.Unparen(st.Cond).(*ast.CallExpr); ok {
+			if op, path := s.mutexOp(call); (op == "TryLock" || op == "TryRLock") && path != "" {
+				h2 := cloneHeld(held)
+				if op == "TryLock" {
+					h2[path] = lockWrite
+				} else if h2[path] < lockRead {
+					h2[path] = lockRead
+				}
+				s.block(st.Body.List, h2)
+				if st.Else != nil {
+					s.stmt(st.Else, cloneHeld(held))
+				}
+				return
+			}
+		}
+		s.expr(st.Cond, held, false)
+		s.block(st.Body.List, cloneHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		h2 := cloneHeld(held)
+		if st.Cond != nil {
+			s.expr(st.Cond, h2, false)
+		}
+		s.block(st.Body.List, h2)
+		if st.Post != nil {
+			s.stmt(st.Post, h2)
+		}
+	case *ast.RangeStmt:
+		s.expr(st.X, held, false)
+		h2 := cloneHeld(held)
+		if st.Key != nil {
+			s.expr(st.Key, h2, true)
+		}
+		if st.Value != nil {
+			s.expr(st.Value, h2, true)
+		}
+		s.block(st.Body.List, h2)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held, false)
+		}
+		for _, cc := range st.Body.List {
+			c := cc.(*ast.CaseClause)
+			h2 := cloneHeld(held)
+			for _, e := range c.List {
+				s.expr(e, h2, false)
+			}
+			s.block(c.Body, h2)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.stmt(st.Assign, held)
+		for _, cc := range st.Body.List {
+			c := cc.(*ast.CaseClause)
+			s.block(c.Body, cloneHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			c := cc.(*ast.CommClause)
+			h2 := cloneHeld(held)
+			if c.Comm != nil {
+				s.stmt(c.Comm, h2)
+			}
+			s.block(c.Body, h2)
+		}
+	case *ast.BlockStmt:
+		s.block(st.List, held)
+	case *ast.SendStmt:
+		s.expr(st.Chan, held, false)
+		s.expr(st.Value, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held, false)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	}
+}
+
+func (s *lockGuardSim) expr(e ast.Expr, held map[string]int, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.ParenExpr:
+		s.expr(e.X, held, write)
+	case *ast.SelectorExpr:
+		s.checkSelector(e, held, write)
+		s.expr(e.X, held, false)
+	case *ast.IndexExpr:
+		// Writing an element writes through the container field.
+		s.expr(e.X, held, write)
+		s.expr(e.Index, held, false)
+	case *ast.IndexListExpr:
+		s.expr(e.X, held, write)
+		for _, i := range e.Indices {
+			s.expr(i, held, false)
+		}
+	case *ast.SliceExpr:
+		s.expr(e.X, held, write)
+		s.expr(e.Low, held, false)
+		s.expr(e.High, held, false)
+		s.expr(e.Max, held, false)
+	case *ast.StarExpr:
+		s.expr(e.X, held, write)
+	case *ast.UnaryExpr:
+		// Taking the address of a guarded field hands out write access.
+		s.expr(e.X, held, write || e.Op == token.AND)
+	case *ast.BinaryExpr:
+		s.expr(e.X, held, false)
+		s.expr(e.Y, held, false)
+	case *ast.CallExpr:
+		s.call(e, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				// Struct-literal keys are field names, not accesses.
+				if _, isIdent := kv.Key.(*ast.Ident); !isIdent {
+					s.expr(kv.Key, held, false)
+				}
+				s.expr(kv.Value, held, false)
+			} else {
+				s.expr(el, held, false)
+			}
+		}
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, held, false)
+	case *ast.FuncLit:
+		// A literal may run on any goroutine at any time; assume no
+		// locks held.
+		s.block(e.Body.List, map[string]int{})
+	}
+}
+
+func (s *lockGuardSim) call(call *ast.CallExpr, held map[string]int) {
+	// delete(s.m, k) writes the map.
+	if isBuiltinCall(s.info, call, "delete") && len(call.Args) == 2 {
+		s.expr(call.Args[0], held, true)
+		s.expr(call.Args[1], held, false)
+		return
+	}
+	if fn := calleeFunc(s.info, call); fn != nil {
+		if fd := s.pass.Pkg.FuncDecl(fn); fd != nil {
+			if holds := funcHolds(fd); len(holds) > 0 {
+				s.checkHolds(call, fn, holds, held)
+			}
+		}
+	}
+	s.expr(call.Fun, held, false)
+	for _, a := range call.Args {
+		s.expr(a, held, false)
+	}
+}
+
+// checkHolds verifies a call site against the callee's holds
+// annotation, translating the callee's receiver-relative lock paths
+// ("s.mu") into the caller's naming via the call's receiver expression.
+func (s *lockGuardSim) checkHolds(call *ast.CallExpr, fn *types.Func, holds []string, held map[string]int) {
+	for _, h := range holds {
+		req := h
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			base := exprPath(sel.X)
+			if base == "" {
+				continue // receiver not a canonical path; cannot map
+			}
+			if i := strings.IndexByte(h, '.'); i >= 0 {
+				req = base + h[i:]
+			} else {
+				req = base + "." + h
+			}
+		}
+		if held[req] < lockWrite {
+			s.pass.Reportf(call.Pos(), "call to %s requires %s held (//unizklint:holds)", fn.Name(), req)
+		}
+	}
+}
+
+func (s *lockGuardSim) checkSelector(sel *ast.SelectorExpr, held map[string]int, write bool) {
+	v, ok := s.info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	mutexName, guarded := s.guards[v]
+	if !guarded {
+		return
+	}
+	base := exprPath(sel.X)
+	key := mutexName
+	if base != "" {
+		key = base + "." + mutexName
+	}
+	h := held[key]
+	switch {
+	case write && h < lockWrite:
+		if h == lockRead {
+			s.pass.Reportf(sel.Sel.Pos(),
+				"write to %s requires %s write-held, but only RLock is held", v.Name(), key)
+		} else {
+			s.pass.Reportf(sel.Sel.Pos(),
+				"write to %s requires %s held (//unizklint:guardedby)", v.Name(), key)
+		}
+	case !write && h < lockRead:
+		s.pass.Reportf(sel.Sel.Pos(),
+			"read of %s requires %s held (//unizklint:guardedby)", v.Name(), key)
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	skips int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) load() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) badRead() int64 {
+	return s.hits // want `plain access to hits`
+}
+
+func (s *stats) badWrite() {
+	s.hits = 0 // want `plain access to hits`
+}
+
+// skips is never touched atomically, so plain access is fine.
+func (s *stats) plainOnly() int64 {
+	s.skips++
+	return s.skips
+}
+
+// The typed wrappers make mixing unrepresentable; nothing to flag.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) fine() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+func (s *stats) allowedSnapshot() int64 {
+	//unizklint:allow atomicmix(read after all writers joined; no concurrent access remains)
+	return s.hits
+}

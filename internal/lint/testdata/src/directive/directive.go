@@ -16,6 +16,22 @@ func suppressed(x uint64) field.Element {
 
 /*unizklint:allow fieldcanon*/ // want `empty reason`
 
+/*unizklint:allow fieldcanon()*/ // want `empty reason`
+
+/*unizklint:allow nosuchanalyzer(because reasons)*/ // want `names no registered analyzer`
+
+/*unizklint:guardedby*/ // want `guardedby directive needs exactly one sibling mutex field name`
+
+/*unizklint:hotpath extra*/ // want `hotpath directive takes no arguments`
+
+/*unizklint:holds*/ // want `holds directive needs at least one lock path`
+
 func flagged(x uint64) field.Element {
 	return field.Element(x) // want `bypasses canonicalization`
+}
+
+// The paren form carries the reason inside parentheses.
+func suppressedParen(x uint64) field.Element {
+	//unizklint:allow fieldcanon(caller masks the value below 2^16, provably canonical)
+	return field.Element(x & 0xFFFF)
 }

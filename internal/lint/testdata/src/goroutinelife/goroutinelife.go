@@ -1,0 +1,75 @@
+// Fixture for the goroutinelife analyzer.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+
+	"unizk/internal/parallel"
+)
+
+func leak() {
+	go func() { // want `goroutine is not tied to a lifecycle`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func wgTied(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func chanTied(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+func namedCtxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func namedCalleeBody(ch chan int) {
+	go drain(ch)
+}
+
+func spin() {}
+
+func namedLeak() {
+	go spin() // want `goroutine is not tied to a lifecycle`
+}
+
+// A goroutine spawned inside a parallel.Pool callback is still a
+// goroutine: the pool joins its own workers, not what the callback
+// launches.
+func insidePoolCallback(ctx context.Context, pool *parallel.Pool, n int) error {
+	return pool.For(ctx, n, 1, func(lo, hi int) {
+		go func() { // want `goroutine is not tied to a lifecycle`
+			_ = lo
+		}()
+	})
+}
+
+func allowed() {
+	//unizklint:allow goroutinelife(fire-and-forget log flush, bounded by process lifetime)
+	go func() {
+	}()
+}

@@ -1,0 +1,88 @@
+// Fixture for the hotalloc analyzer.
+package hotalloc
+
+import (
+	"fmt"
+
+	"unizk/internal/field"
+)
+
+//unizklint:hotpath
+func badMake(n int) []uint64 {
+	out := make([]uint64, n) // want `call to make in hotpath allocates`
+	return out
+}
+
+//unizklint:hotpath
+func badAppend(dst []uint64, v uint64) []uint64 {
+	return append(dst, v) // want `call to append in hotpath allocates`
+}
+
+//unizklint:hotpath
+func badNew() *uint64 {
+	return new(uint64) // want `call to new in hotpath allocates`
+}
+
+//unizklint:hotpath
+func badFmt(x uint64) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf in hotpath allocates`
+}
+
+//unizklint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation in hotpath allocates`
+}
+
+func sink(v any) { _ = v }
+
+//unizklint:hotpath
+func badBox(x field.Element) {
+	sink(x) // want `boxes it on the heap`
+}
+
+//unizklint:hotpath
+func badConvert(x field.Element) any {
+	return any(x) // want `boxes it on the heap`
+}
+
+//unizklint:hotpath
+func badClosure(xs []field.Element, apply func(func())) {
+	apply(func() { // want `capturing closure escapes`
+		xs[0] = xs[1]
+	})
+}
+
+// A closure bound to a local and only ever called stays on the stack
+// (the mac-style accumulator in the Poseidon sparse layer).
+//
+//unizklint:hotpath
+func goodLocalClosure(xs []field.Element) field.Element {
+	var acc field.Element
+	mac := func(i int) { acc = field.Add(acc, xs[i]) }
+	mac(0)
+	mac(1)
+	return acc
+}
+
+//unizklint:hotpath
+func goodImmediate(xs []field.Element) field.Element {
+	return func() field.Element { return xs[0] }()
+}
+
+// Non-capturing literals are static function values; no allocation.
+//
+//unizklint:hotpath
+func goodNonCapturing(apply func(func(field.Element) field.Element)) {
+	apply(func(x field.Element) field.Element { return x })
+}
+
+// Unannotated functions are out of scope.
+func coldMake(n int) []uint64 {
+	return make([]uint64, n)
+}
+
+//unizklint:hotpath
+func allowedScratch(n int) []uint64 {
+	//unizklint:allow hotalloc(setup-time scratch, amortized across the whole proof)
+	return make([]uint64, n)
+}

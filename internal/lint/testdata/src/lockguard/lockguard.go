@@ -1,0 +1,114 @@
+// Fixture for the lockguard analyzer.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	n int
+}
+
+func (c *counter) goodAdd() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `read of n requires c\.mu held`
+}
+
+func (c *counter) badWrite() {
+	c.n = 7 // want `write to n requires c\.mu held`
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `read of n requires c\.mu held`
+}
+
+func (c *counter) tryLock() {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n = 0 // want `write to n requires c\.mu held`
+}
+
+// bumpLocked documents its precondition; the body may then touch n
+// freely, and call sites are checked instead.
+//
+//unizklint:holds c.mu
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) goodCaller() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func (c *counter) badCaller() {
+	c.bumpLocked() // want `call to bumpLocked requires c\.mu held`
+}
+
+func (c *counter) allowed() int {
+	//unizklint:allow lockguard(single-goroutine during construction, provably unshared)
+	return c.n
+}
+
+func (c *counter) goroutineStartsCold() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to n requires c\.mu held`
+	}()
+}
+
+// rw exercises the RWMutex read-vs-write distinction.
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int //unizklint:guardedby mu
+}
+
+func (r *rw) goodReadLocked(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) badWriteUnderRLock(k string) {
+	r.mu.RLock()
+	r.m[k] = 1 // want `write to m requires r\.mu write-held, but only RLock is held`
+	r.mu.RUnlock()
+}
+
+func (r *rw) goodWriteLocked(k string) {
+	r.mu.Lock()
+	r.m[k] = 1
+	r.mu.Unlock()
+}
+
+func (r *rw) branchLockDoesNotLeak(k string) int {
+	if k != "" {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	}
+	return r.m[k] // want `read of m requires r\.mu held`
+}
+
+type unmoored struct {
+	//unizklint:guardedby lock
+	x int // want `guardedby names "lock", which is not a sibling sync\.Mutex/sync\.RWMutex field`
+}
+
+func use(u *unmoored) int { return u.x }

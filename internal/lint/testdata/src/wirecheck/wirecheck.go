@@ -71,3 +71,74 @@ func sizedValidated(data []byte, max int) []uint64 {
 	}
 	return out
 }
+
+// Uvarint decodes an attacker-controlled count with no remaining-bytes
+// cap of its own, so it is a length source exactly like Len.
+
+func uvarintSizedDirectly(data []byte) []uint64 {
+	r := wire.NewReader(data)
+	out := make([]uint64, r.Uvarint()) // want `sized directly by \(\*wire\.Reader\)\.Uvarint`
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+func uvarintSizedThroughConversion(data []byte) []uint64 {
+	r := wire.NewReader(data)
+	n := int(r.Uvarint())
+	out := make([]uint64, n) // want `unvalidated`
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+func uvarintSizedValidated(data []byte, max int) []uint64 {
+	r := wire.NewReader(data)
+	n := int(r.Uvarint())
+	if n > max {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+// Str and Blob cap their own lengths inside the reader, but they are
+// still decodes: dropping the sticky error afterwards is rule 1/2
+// territory.
+
+func strDropped(data []byte) string {
+	r := wire.NewReader(data)
+	s := r.Str()
+	r.Done() // want `is discarded`
+	return s
+}
+
+func blobUnchecked(data []byte) []byte {
+	r := wire.NewReader(data) // want `never consulted`
+	b := r.Blob()
+	return b
+}
+
+func strBlobChecked(data []byte) (string, []byte, error) {
+	r := wire.NewReader(data)
+	s := r.Str()
+	b := r.Blob()
+	if err := r.Done(); err != nil {
+		return "", nil, err
+	}
+	return s, b, nil
+}

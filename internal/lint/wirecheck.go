@@ -19,8 +19,11 @@ import (
 //     from it must consult Done or Err before returning (unless the
 //     reader itself escapes via return, handing the obligation to the
 //     caller).
-//  3. A length obtained from (*wire.Reader).Len must not flow into a
-//     make() size without an intervening comparison validating it.
+//  3. A length obtained from (*wire.Reader).Len or decoded by
+//     (*wire.Reader).Uvarint — directly or through integer conversions —
+//     must not flow into a make() size without an intervening comparison
+//     validating it. (Str and Blob cap their own lengths against the
+//     remaining input inside the reader; Uvarint has no such cap.)
 var WireCheck = &Analyzer{
 	Name: "wirecheck",
 	Doc: "flag dropped wire.Reader errors and decoded lengths used to " +
@@ -139,20 +142,56 @@ func checkUncheckedReaders(p *Pass, info *types.Info, fd *ast.FuncDecl) {
 }
 
 // checkUnvalidatedLengths implements rule 3: any make() whose size comes
-// from (*wire.Reader).Len — directly or through a variable that is never
-// compared against anything — allocates attacker-controlled amounts of
-// memory before validation.
+// from (*wire.Reader).Len or (*wire.Reader).Uvarint — directly, through
+// integer conversions, or through a variable that is never compared
+// against anything — allocates attacker-controlled amounts of memory
+// before validation.
 func checkUnvalidatedLengths(p *Pass, info *types.Info, fd *ast.FuncDecl) {
-	isReaderLen := func(e ast.Expr) bool {
+	// lenSource resolves an expression (unwrapping parens and integer
+	// conversions like int(r.Uvarint())) to the Reader method that
+	// produced the attacker-controlled length, or "".
+	var lenSource func(e ast.Expr) string
+	lenSource = func(e ast.Expr) string {
 		call, ok := ast.Unparen(e).(*ast.CallExpr)
-		return ok && isMethodOn(calleeFunc(info, call), wirePkgPath, "Reader", "Len")
+		if !ok {
+			return ""
+		}
+		if fn := calleeFunc(info, call); fn != nil {
+			switch {
+			case isMethodOn(fn, wirePkgPath, "Reader", "Len"):
+				return "Len"
+			case isMethodOn(fn, wirePkgPath, "Reader", "Uvarint"):
+				return "Uvarint"
+			}
+			return ""
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return lenSource(call.Args[0])
+		}
+		return ""
+	}
+	// unwrapConversions peels int(n)-style conversions off a make size
+	// so the variable underneath is still recognized.
+	unwrapConversions := func(e ast.Expr) ast.Expr {
+		for {
+			e = ast.Unparen(e)
+			call, ok := e.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return e
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return e
+			}
+			e = call.Args[0]
+		}
 	}
 
-	// Variables assigned from r.Len().
+	// Variables assigned from a length source.
 	lenVars := map[types.Object]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != 1 || !isReaderLen(as.Rhs[0]) {
+		if !ok || len(as.Rhs) != 1 || lenSource(as.Rhs[0]) == "" {
 			return true
 		}
 		for _, lhs := range as.Lhs {
@@ -194,13 +233,13 @@ func checkUnvalidatedLengths(p *Pass, info *types.Info, fd *ast.FuncDecl) {
 			return true
 		}
 		size := ast.Unparen(call.Args[1])
-		if isReaderLen(size) {
-			p.Reportf(call.Pos(), "make() sized directly by (*wire.Reader).Len; validate the decoded length against the remaining input first")
+		if src := lenSource(size); src != "" {
+			p.Reportf(call.Pos(), "make() sized directly by (*wire.Reader).%s; validate the decoded length against the remaining input first", src)
 			return true
 		}
-		if id, ok := size.(*ast.Ident); ok {
+		if id, ok := unwrapConversions(size).(*ast.Ident); ok {
 			if obj := info.Uses[id]; obj != nil && lenVars[obj] && !validated[obj] {
-				p.Reportf(call.Pos(), "make() sized by an unvalidated (*wire.Reader).Len result %q; compare it against the remaining input first", id.Name)
+				p.Reportf(call.Pos(), "make() sized by an unvalidated wire-decoded length %q; compare it against the remaining input first", id.Name)
 			}
 		}
 		return true

@@ -130,6 +130,8 @@ func (t *Tree) Open(index int) ([]field.Element, Proof) {
 var ErrInvalidProof = fmt.Errorf("merkle: invalid proof: %w", prooferr.ErrProofRejected)
 
 // Verify checks that leafData at index authenticates against the cap.
+//
+//unizklint:hotpath
 func Verify(leafData []field.Element, index int, proof Proof, c Cap) error {
 	h := poseidon.HashOrNoop(leafData)
 	i := index

@@ -128,6 +128,8 @@ func multiDimNN(data []field.Element, dims []int, roots []field.Element, inverse
 
 // smallNN applies the direct size-n transform in natural order, without the
 // 1/n scaling for the inverse direction (applied once at the top level).
+//
+//unizklint:hotpath
 func smallNN(data []field.Element, inverse bool) {
 	logN := Log2(len(data))
 	if inverse {
@@ -150,6 +152,8 @@ func strideTable(parent []field.Element, stride, size int) []field.Element {
 
 // rootPower looks up w^e where parent holds w^0..w^(n/2-1) for order n.
 // Exponents are reduced mod n; the upper half uses w^(e) = -w^(e-n/2).
+//
+//unizklint:hotpath
 func rootPower(parent []field.Element, n, e int) field.Element {
 	e %= n
 	if e < n/2 {

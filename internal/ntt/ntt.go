@@ -75,6 +75,8 @@ func Log2(n int) int {
 }
 
 // BitReverse returns x with its low `bits` bits reversed.
+//
+//unizklint:hotpath
 func BitReverse(x, bits int) int {
 	r := 0
 	for i := 0; i < bits; i++ {
@@ -86,6 +88,8 @@ func BitReverse(x, bits int) int {
 
 // BitReversePermute reorders data in place into bit-reversed index order.
 // Applying it twice is the identity.
+//
+//unizklint:hotpath
 func BitReversePermute(data []field.Element) {
 	n := len(data)
 	bits := Log2(n)
@@ -113,6 +117,8 @@ const butterflyGrain = 1 << 9
 // input, bit-reversed-order output. This is the dataflow UniZK maps onto
 // the MDC pipeline (paper Fig. 4a). roots must be the (inverse) root table
 // of size len(data)/2.
+//
+//unizklint:hotpath
 func difCore(data []field.Element, roots []field.Element) {
 	n := len(data)
 	for half := n / 2; half >= 1; half >>= 1 {
@@ -154,6 +160,8 @@ func difCoreCtx(ctx context.Context, data []field.Element, roots []field.Element
 
 // difButterflies applies DIF butterflies j in [j0, j1) of the block at
 // base: the pair (base+j, base+j+half) with twiddle roots[j*step].
+//
+//unizklint:hotpath
 func difButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
 	for j := j0; j < j1; j++ {
 		a := data[base+j]
@@ -165,6 +173,8 @@ func difButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
 
 // ditCore runs decimation-in-time butterflies in place: bit-reversed-order
 // input, natural-order output.
+//
+//unizklint:hotpath
 func ditCore(data []field.Element, roots []field.Element) {
 	n := len(data)
 	for half := 1; half < n; half <<= 1 {
@@ -202,6 +212,8 @@ func ditCoreCtx(ctx context.Context, data []field.Element, roots []field.Element
 
 // ditButterflies applies DIT butterflies j in [j0, j1) of the block at
 // base.
+//
+//unizklint:hotpath
 func ditButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
 	for j := j0; j < j1; j++ {
 		a := data[base+j]
@@ -214,6 +226,8 @@ func ditButterflies(data, roots []field.Element, base, j0, j1, half, step int) {
 // forButterflySpans maps a flat butterfly index range [lo, hi) — b
 // encodes (block, j) = (b/half, b%half) — onto maximal per-block spans,
 // so the inner loops pay one div/mod per block rather than per butterfly.
+//
+//unizklint:hotpath
 func forButterflySpans(lo, hi, half int, span func(block, j0, j1 int)) {
 	for b := lo; b < hi; {
 		block := b / half
@@ -298,6 +312,7 @@ func InverseRN(data []field.Element) {
 	scale(data, field.Inverse(field.New(uint64(n))))
 }
 
+//unizklint:hotpath
 func scale(data []field.Element, c field.Element) {
 	for i := range data {
 		data[i] = field.Mul(data[i], c)
@@ -365,6 +380,7 @@ func CosetInverseNNCtx(ctx context.Context, data []field.Element, shift field.El
 	return scaleByPowersCtx(ctx, data, field.Inverse(shift))
 }
 
+//unizklint:hotpath
 func scaleByPowers(data []field.Element, c field.Element) {
 	acc := field.One
 	for i := range data {

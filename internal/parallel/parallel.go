@@ -282,7 +282,8 @@ func For(ctx context.Context, n, grain int, fn func(lo, hi int)) error {
 // deterministic, but errors only arise on cancellation or panic, where
 // the output is discarded anyway.
 type FirstError struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//unizklint:guardedby mu
 	err error
 }
 

@@ -25,6 +25,8 @@ func FastScalarConstant(p int) field.Element { return fastScalarConstants[p] }
 func FastFirstConstant() [Width]field.Element { return fastFirstConstant }
 
 // sbox is the x^7 S-box (4 multiplications).
+//
+//unizklint:hotpath
 func sbox(x field.Element) field.Element {
 	x2 := field.Square(x)
 	x3 := field.Mul(x2, x)
@@ -37,6 +39,8 @@ func sbox(x field.Element) field.Element {
 // output lane fit a 128-bit accumulator with a single modular reduction at
 // the end — the same small-constant property that keeps the hardware's
 // modular multipliers cheap (§4).
+//
+//unizklint:hotpath
 func mdsLayer(s *State) {
 	var out State
 	for r := 0; r < Width; r++ {
@@ -60,6 +64,8 @@ func mdsLayer(s *State) {
 
 // fullRound applies one full round with constants for round index r:
 // constant layer, S-box on every element, MDS layer.
+//
+//unizklint:hotpath
 func fullRound(s *State, r int) {
 	for i := 0; i < Width; i++ {
 		s[i] = sbox(field.Add(s[i], roundConstants[r][i]))
@@ -71,6 +77,8 @@ func fullRound(s *State, r int) {
 // partial rounds in the textbook form (full constant vector, S-box on
 // element 0, dense MDS), 4 full rounds. It exists as the correctness oracle
 // for the optimized Permute below.
+//
+//unizklint:hotpath
 func PermuteNaive(s State) State {
 	r := 0
 	for ; r < HalfFullRounds; r++ {
@@ -96,6 +104,8 @@ func PermuteNaive(s State) State {
 // element 0, add a scalar constant, and multiply by a sparse matrix with
 // non-zeros only in the first row, first column, and diagonal — the form
 // UniZK maps onto 12×3 PE regions using the reverse links (paper Fig. 5b).
+//
+//unizklint:hotpath
 func Permute(s State) State {
 	r := 0
 	for ; r < HalfFullRounds; r++ {
@@ -124,6 +134,8 @@ func Permute(s State) State {
 // prePartialMatrix multiplies by the initial dense matrix, which has an
 // identity first row and column, so element 0 passes through unchanged.
 // Rows accumulate lazily with one reduction each (see field.Dot).
+//
+//unizklint:hotpath
 func prePartialMatrix(s *State) {
 	var out State
 	out[0] = s[0]
@@ -143,6 +155,7 @@ type Sparse struct {
 	Col [Width - 1]field.Element // column 0, rows 1..11 (v in Fig. 5b)
 }
 
+//unizklint:hotpath
 func (m *Sparse) apply(s *State) {
 	// Row dot product with a single reduction (see field.Dot); the first
 	// term folds in M00·s[0].

@@ -57,6 +57,8 @@ func requestFingerprint(raw []byte) [sha256.Size]byte { return sha256.Sum256(raw
 // replay, nil when the caller should admit fresh, or
 // ErrIdempotencyConflict. Expired entries, entries whose job record was
 // evicted, and entries whose job ended canceled/failed are dropped.
+//
+//unizklint:holds s.mu
 func (s *Server) idemLookupLocked(key string, fp [sha256.Size]byte) (*job, error) {
 	e, ok := s.idemIndex[key]
 	if !ok {
@@ -91,6 +93,8 @@ func (s *Server) idemLookupLocked(key string, fp [sha256.Size]byte) (*job, error
 
 // idemInsertLocked records a key → job binding under s.mu, evicting
 // expired then oldest entries beyond the configured bound.
+//
+//unizklint:holds s.mu
 func (s *Server) idemInsertLocked(key string, fp [sha256.Size]byte, jobID string) {
 	seq := s.idemSeq
 	s.idemSeq++
@@ -113,6 +117,8 @@ func (s *Server) idemInsertLocked(key string, fp [sha256.Size]byte, jobID string
 // idemDeleteLocked removes a key if it still points at jobID — the
 // rollback path when a Push fails after registration, and the retire
 // path when a finished job record is evicted.
+//
+//unizklint:holds s.mu
 func (s *Server) idemDeleteLocked(key, jobID string) {
 	if key == "" {
 		return

@@ -19,9 +19,11 @@ const latWindow = 512
 // latencySampler keeps the last latWindow observations and answers
 // quantile queries over them.
 type latencySampler struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//unizklint:guardedby mu
 	ring [latWindow]time.Duration
-	n    int // total observations
+	//unizklint:guardedby mu
+	n int // total observations
 }
 
 func (l *latencySampler) add(d time.Duration) {

@@ -157,13 +157,19 @@ type job struct {
 	// done closes exactly once, when the job reaches a terminal state.
 	done chan struct{}
 
-	mu        sync.Mutex
-	state     jobState
-	res       *jobs.Result
-	err       error
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	state jobState
+	//unizklint:guardedby mu
+	res *jobs.Result
+	//unizklint:guardedby mu
+	err error
+	//unizklint:guardedby mu
 	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	//unizklint:guardedby mu
+	started time.Time
+	//unizklint:guardedby mu
+	finished time.Time
 }
 
 // snapshot returns the fields the status endpoint reports, consistently.
@@ -217,12 +223,17 @@ type Server struct {
 	draining  atomic.Bool
 	nextID    atomic.Int64
 
-	mu           sync.Mutex
-	jobsByID     map[string]*job
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	jobsByID map[string]*job
+	//unizklint:guardedby mu
 	finishedList []string
-	idemIndex    map[string]*idemEntry
-	idemOrder    []idemOrderEntry
-	idemSeq      uint64
+	//unizklint:guardedby mu
+	idemIndex map[string]*idemEntry
+	//unizklint:guardedby mu
+	idemOrder []idemOrderEntry
+	//unizklint:guardedby mu
+	idemSeq uint64
 }
 
 // New builds the service and starts its scheduler runners.

@@ -56,19 +56,27 @@ type Breaker struct {
 	// probe; 0 means DefaultOpenTimeout.
 	OpenTimeout time.Duration
 
-	mu       sync.Mutex
-	state    breakerState
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	state breakerState
+	//unizklint:guardedby mu
 	failures int
+	//unizklint:guardedby mu
 	openedAt time.Time
-	now      func() time.Time // test hook; nil means time.Now
+	//unizklint:guardedby mu
+	now func() time.Time // test hook; nil means time.Now
 
 	// Lifetime counters behind Stats. opens counts closed/half-open →
 	// open transitions; probes counts half-open admissions; the last two
 	// total every recorded outcome.
-	opens             int64
-	probes            int64
+	//unizklint:guardedby mu
+	opens int64
+	//unizklint:guardedby mu
+	probes int64
+	//unizklint:guardedby mu
 	transportFailures int64
-	successes         int64
+	//unizklint:guardedby mu
+	successes int64
 }
 
 // BreakerStats is a snapshot of a Breaker's state and lifetime
@@ -111,6 +119,10 @@ func (b *Breaker) openTimeout() time.Duration {
 	return b.OpenTimeout
 }
 
+// clock is only called from paths that already hold b.mu (Allow,
+// Record); the test hook is installed before the breaker is shared.
+//
+//unizklint:holds b.mu
 func (b *Breaker) clock() time.Time {
 	if b.now != nil {
 		return b.now()

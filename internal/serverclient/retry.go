@@ -36,7 +36,8 @@ type RetryPolicy struct {
 
 	once sync.Once
 	mu   sync.Mutex
-	rng  *rand.Rand
+	//unizklint:guardedby mu
+	rng *rand.Rand
 
 	// Lifetime counters behind Stats.
 	retries    atomic.Int64
@@ -138,6 +139,7 @@ func (p *RetryPolicy) delay(attempt int) time.Duration {
 		if seed == 0 {
 			seed = time.Now().UnixNano()
 		}
+		//unizklint:allow lockguard(sync.Once publishes the write; every reader goes through the same Do before touching rng)
 		p.rng = rand.New(rand.NewSource(seed))
 	})
 	p.mu.Lock()
