@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"unizk/internal/bench"
+	"unizk/internal/bench/trajectory"
 	"unizk/internal/field"
 	"unizk/internal/merkle"
 	"unizk/internal/ntt"
@@ -155,4 +156,16 @@ func BenchmarkMerkle2e16(b *testing.B) {
 		}
 	}
 	benchSerialParallel(b, func() { merkle.Build(leaves, 4) })
+}
+
+// BenchmarkKernels runs the tracked per-kernel registry from
+// internal/bench/trajectory under the standard -bench interface, so the
+// exact workloads recorded in BENCH_kernels.json can be profiled and
+// benchstat-ed interactively:
+//
+//	go test -bench 'Kernels/ntt' -benchmem
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range trajectory.Kernels() {
+		b.Run(k.Name, k.Bench)
+	}
 }

@@ -66,6 +66,23 @@ go test -race -timeout 10m -run '^TestChaosSoak$' ./internal/faultinject/netchao
 # own name.
 go test -race -timeout 10m -run '^TestClusterChaosSoak$' ./internal/cluster
 
+# Kernel differential suite: the optimized field and NTT kernels against
+# their retained naive reference oracles (internal/field/goldilocks_ref.go's big.Int
+# arithmetic, internal/ntt/ntt_ref.go's O(n^2) DFT) over fuzzed inputs
+# and edge vectors, serial and parallel, under the race detector. The
+# full -race run below repeats it; this step makes an arithmetic
+# divergence fail under its own name.
+go test -race -run 'TestRef|TestCache' ./internal/field ./internal/ntt
+
+# Kernel trajectory regression check: with UNIZK_BENCH_ENFORCE=1 this
+# re-measures the tracked kernel registry (internal/bench/trajectory)
+# and fails on a >10% regression against the last committed
+# BENCH_kernels.json entry for this host class; without it (or on a host
+# class with no committed baseline) the test self-skips, because
+# wall-clock numbers from unknown machines are noise, not a gate.
+# Record a new trajectory entry with `go run ./cmd/unizk-bench -kernels`.
+go test -timeout 20m -run '^TestTrajectoryRegression$' ./internal/bench/trajectory
+
 # The race detector is a hard gate: every parallel kernel (NTT butterfly
 # layers, Merkle levels, FRI fold/queries, quotient evaluation) runs under
 # it via the differential serial-vs-parallel tests, which sweep worker

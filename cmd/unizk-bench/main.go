@@ -7,6 +7,12 @@
 // Usage:
 //
 //	unizk-bench [-rows 11] [-stark 12] [-only "Table 3"] [-out EXPERIMENTS.md]
+//	unizk-bench -kernels [-note "what changed"] [-trajectory BENCH_kernels.json]
+//
+// The -kernels mode runs the tracked per-kernel benchmark registry
+// (internal/bench/trajectory), prints a benchstat-style delta against
+// the last committed entry for this host class, and appends the new
+// sweep to the trajectory file.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"unizk/internal/bench"
+	"unizk/internal/bench/trajectory"
 )
 
 func main() {
@@ -24,7 +31,18 @@ func main() {
 	starkN := flag.Int("stark", 12, "log2 of Starky trace rows")
 	only := flag.String("only", "", "generate only the named report (e.g. 'Table 3')")
 	out := flag.String("out", "", "also append the reports to this file")
+	kernels := flag.Bool("kernels", false, "record a per-kernel trajectory entry instead of the paper tables")
+	note := flag.String("note", "", "free-form label stored with the -kernels entry")
+	trajPath := flag.String("trajectory", "BENCH_kernels.json", "trajectory file for -kernels (repo-root relative)")
 	flag.Parse()
+
+	if *kernels {
+		if err := recordKernels(*trajPath, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "unizk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := bench.DefaultOptions()
 	opts.LogRows = *rows
@@ -61,4 +79,42 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// recordKernels measures every tracked kernel, prints the delta against
+// the last committed entry for this host class, and appends the sweep
+// to the trajectory file. Regressions are printed (marked REGRESSION)
+// but do not fail the command — the append-only history is the point;
+// enforcement lives in the env-gated trajectory test.
+func recordKernels(path, note string) error {
+	f, err := trajectory.Load(path)
+	if err != nil {
+		return err
+	}
+	class := trajectory.CurrentHostClass()
+	fmt.Printf("measuring %d kernels on %s (this takes a minute)...\n",
+		len(trajectory.Kernels()), class)
+
+	start := time.Now()
+	results := trajectory.MeasureAll()
+	fmt.Printf("measured in %.1fs\n\n", time.Since(start).Seconds())
+
+	if base := f.LastForHost(class); base != nil {
+		deltas := trajectory.Compare(base.Results, results)
+		fmt.Printf("vs %s (%s):\n%s\n", base.Timestamp, base.Note, trajectory.FormatDeltas(deltas))
+	} else {
+		fmt.Printf("no prior entry for host class %s — recording baseline\n\n", class)
+		for _, r := range results {
+			fmt.Printf("%-28s %14.0f ns/op %10.0f allocs/op\n", r.Kernel, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+
+	entry := trajectory.NewEntry(time.Now().UTC().Format(time.RFC3339), note, results)
+	f.Entries = append(f.Entries, entry)
+	if err := f.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("appended entry %d to %s\n", len(f.Entries), path)
+	return nil
 }

@@ -34,7 +34,26 @@ type goldenVectors struct {
 	// produces — if any earlier cap, challenge, or fold differed, the
 	// grind would land elsewhere.
 	PlonkPowWitness uint64 `json:"plonk_pow_witness"`
+	// NTTSweep pins ForwardNN and InverseNN digests across the size range
+	// where the transform changes strategy: serial radix-2 at the bottom,
+	// cache-blocked parallel layers at the top. A schedule change that is
+	// not bit-identical at any size fails here.
+	NTTSweep []nttSweepEntry `json:"ntt_sweep"`
 }
+
+// nttSweepEntry pins one size of the forward/inverse NTT sweep.
+type nttSweepEntry struct {
+	LogN    int      `json:"log_n"`
+	Forward []uint64 `json:"forward"` // Poseidon digest of ForwardNN output
+	Inverse []uint64 `json:"inverse"` // Poseidon digest of InverseNN output
+}
+
+// nttSweepRange is the pinned size range, 2^4 through 2^12: below the
+// parallel threshold, at it, and above it.
+const (
+	nttSweepMinLog = 4
+	nttSweepMaxLog = 12
+)
 
 const goldenPath = "testdata/golden.json"
 
@@ -68,12 +87,47 @@ func computeGolden(t *testing.T) goldenVectors {
 		}
 	}
 
+	// NTT sweep: an independent seeded vector per size, forward and
+	// inverse digested separately. The seed stream is separate from the
+	// blocks above so adding sizes never perturbs the existing pins.
+	sweepRng := rand.New(rand.NewSource(0x5eed_717))
+	var sweep []nttSweepEntry
+	for logN := nttSweepMinLog; logN <= nttSweepMaxLog; logN++ {
+		v := make([]field.Element, 1<<logN)
+		for i := range v {
+			v[i] = field.New(sweepRng.Uint64())
+		}
+		fwd := append([]field.Element(nil), v...)
+		ntt.ForwardNN(fwd)
+		inv := append([]field.Element(nil), v...)
+		ntt.InverseNN(inv)
+
+		// Round-trip sanity independent of the pinned digests.
+		back := append([]field.Element(nil), fwd...)
+		ntt.InverseNN(back)
+		for i := range v {
+			if back[i] != v[i] {
+				t.Fatalf("NTT round-trip broke at 2^%d index %d", logN, i)
+			}
+		}
+
+		entry := nttSweepEntry{LogN: logN}
+		for _, e := range poseidon.HashNoPad(fwd) {
+			entry.Forward = append(entry.Forward, uint64(e))
+		}
+		for _, e := range poseidon.HashNoPad(inv) {
+			entry.Inverse = append(entry.Inverse, uint64(e))
+		}
+		sweep = append(sweep, entry)
+	}
+
 	// Plonk: the fixed seed circuit (x0+x1)·(x2·x3) = 99 end to end.
 	proof := proveSeedCircuit(t)
 
 	out := goldenVectors{
 		MerkleCap:       capFlat,
 		PlonkPowWitness: uint64(proof.FRI.PowWitness),
+		NTTSweep:        sweep,
 	}
 	for _, e := range digest {
 		out.NTTDigest = append(out.NTTDigest, uint64(e))
@@ -126,6 +180,29 @@ func (g goldenVectors) diff(ref goldenVectors) error {
 	}
 	if g.PlonkPowWitness != ref.PlonkPowWitness {
 		return fmt.Errorf("Plonk PoW witness = %#x, want %#x", g.PlonkPowWitness, ref.PlonkPowWitness)
+	}
+	if len(g.NTTSweep) != len(ref.NTTSweep) {
+		return fmt.Errorf("NTT sweep has %d sizes, want %d", len(g.NTTSweep), len(ref.NTTSweep))
+	}
+	for i, re := range ref.NTTSweep {
+		ge := g.NTTSweep[i]
+		if ge.LogN != re.LogN {
+			return fmt.Errorf("NTT sweep entry %d is 2^%d, want 2^%d", i, ge.LogN, re.LogN)
+		}
+		for _, pair := range []struct {
+			name     string
+			got, ref []uint64
+		}{{"forward", ge.Forward, re.Forward}, {"inverse", ge.Inverse, re.Inverse}} {
+			if len(pair.got) != len(pair.ref) {
+				return fmt.Errorf("NTT 2^%d %s digest length %d, want %d", re.LogN, pair.name, len(pair.got), len(pair.ref))
+			}
+			for w := range pair.ref {
+				if pair.got[w] != pair.ref[w] {
+					return fmt.Errorf("NTT 2^%d %s digest word %d = %#x, want %#x",
+						re.LogN, pair.name, w, pair.got[w], pair.ref[w])
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -194,10 +194,18 @@ func Inverse(a Element) Element {
 func Div(a, b Element) Element { return Mul(a, Inverse(b)) }
 
 // MulAdd returns a*b + c mod p, the fused operation one UniZK PE performs
-// per cycle (one modular multiplier + one modular adder, §4).
+// per cycle (one modular multiplier + one modular adder, §4). The addend
+// is folded into the 128-bit product before the single reduction, so the
+// fused form pays one reduce128 where Add(Mul(a,b), c) pays a reduction
+// and a separate carry-checked add. The carry into hi cannot overflow:
+// a, b < p gives hi ≤ ⌊(p-1)²/2^64⌋ = 2^64 - 2^33 + 1 < 2^64 - 1.
 //
 //unizklint:hotpath
-func MulAdd(a, b, c Element) Element { return Add(Mul(a, b), c) }
+func MulAdd(a, b, c Element) Element {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	lo, carry := bits.Add64(lo, uint64(c), 0)
+	return reduce128(hi+carry, lo)
+}
 
 // PrimitiveRootOfUnity returns a generator of the order-2^logN subgroup.
 // It panics if logN > TwoAdicity, which would be a programming error.

@@ -1,0 +1,142 @@
+package field
+
+import "math/big"
+
+// Reference oracle for the Goldilocks kernels. Every optimized operation
+// in goldilocks.go has a naive counterpart here built on math/big, with
+// no shared code beyond the prime itself. The differential tests in
+// ref_test.go pin the optimized kernels bit-identical to these oracles
+// over edge values and fuzzed inputs, so a broken carry chain or a wrong
+// single-branch reduction cannot ship silently. The oracle is retained
+// as a permanent non-test file: future raw-speed passes (assembly, SIMD,
+// new reduction identities) re-verify against the same source of truth.
+//
+// The oracles are deliberately slow — they exist for correctness, not
+// performance, and must never be called from a proving path.
+
+// refOrder is the prime as a big.Int, constructed independently of the
+// Order constant's reduction identities.
+var refOrder = new(big.Int).SetUint64(Order)
+
+// refCanon reduces an arbitrary big.Int into a canonical Element.
+func refCanon(x *big.Int) Element {
+	var m big.Int
+	m.Mod(x, refOrder)
+	return Element(m.Uint64())
+}
+
+// RefNew is the oracle for New: canonicalize an arbitrary uint64.
+func RefNew(v uint64) Element {
+	return refCanon(new(big.Int).SetUint64(v))
+}
+
+// RefAdd is the oracle for Add.
+func RefAdd(a, b Element) Element {
+	var x, y big.Int
+	x.SetUint64(uint64(a))
+	y.SetUint64(uint64(b))
+	return refCanon(x.Add(&x, &y))
+}
+
+// RefSub is the oracle for Sub.
+func RefSub(a, b Element) Element {
+	var x, y big.Int
+	x.SetUint64(uint64(a))
+	y.SetUint64(uint64(b))
+	return refCanon(x.Sub(&x, &y))
+}
+
+// RefNeg is the oracle for Neg.
+func RefNeg(a Element) Element {
+	var x big.Int
+	x.SetUint64(uint64(a))
+	return refCanon(x.Neg(&x))
+}
+
+// RefMul is the oracle for Mul.
+func RefMul(a, b Element) Element {
+	var x, y big.Int
+	x.SetUint64(uint64(a))
+	y.SetUint64(uint64(b))
+	return refCanon(x.Mul(&x, &y))
+}
+
+// RefMulAdd is the oracle for the fused MulAdd: a*b + c in unbounded
+// integers, reduced once.
+func RefMulAdd(a, b, c Element) Element {
+	var x, y, z big.Int
+	x.SetUint64(uint64(a))
+	y.SetUint64(uint64(b))
+	z.SetUint64(uint64(c))
+	return refCanon(x.Add(x.Mul(&x, &y), &z))
+}
+
+// RefReduce128 is the oracle for Reduce128: hi·2^64 + lo mod p.
+func RefReduce128(hi, lo uint64) Element {
+	var x, l big.Int
+	x.SetUint64(hi)
+	x.Lsh(&x, 64)
+	l.SetUint64(lo)
+	return refCanon(x.Add(&x, &l))
+}
+
+// RefDot is the oracle for Dot: the full Σ a[i]·b[i] accumulated in an
+// unbounded integer and reduced once at the end.
+func RefDot(a, b []Element) Element {
+	var sum, x, y big.Int
+	for i := range a {
+		x.SetUint64(uint64(a[i]))
+		y.SetUint64(uint64(b[i]))
+		sum.Add(&sum, x.Mul(&x, &y))
+	}
+	return refCanon(&sum)
+}
+
+// RefExp is the oracle for Exp, via big.Int modular exponentiation.
+func RefExp(base Element, exp uint64) Element {
+	var x, e big.Int
+	x.SetUint64(uint64(base))
+	e.SetUint64(exp)
+	return refCanon(x.Exp(&x, &e, refOrder))
+}
+
+// RefInverse is the oracle for Inverse (0 for 0, matching the optimized
+// kernel's convention), via the extended Euclidean algorithm.
+func RefInverse(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	var x big.Int
+	x.SetUint64(uint64(a))
+	return refCanon(x.ModInverse(&x, refOrder))
+}
+
+// RefBatchInverse is the oracle for BatchInverse: element-wise RefInverse,
+// zeros staying zero, into a fresh slice.
+func RefBatchInverse(xs []Element) []Element {
+	out := make([]Element, len(xs))
+	for i, x := range xs {
+		out[i] = RefInverse(x)
+	}
+	return out
+}
+
+// RefExtMul is the oracle for ExtMul: schoolbook (a+bX)(c+dX) over the
+// oracle base operations with X² = W.
+func RefExtMul(x, y Ext) Ext {
+	return Ext{
+		A: RefAdd(RefMul(x.A, y.A), RefMul(W, RefMul(x.B, y.B))),
+		B: RefAdd(RefMul(x.A, y.B), RefMul(x.B, y.A)),
+	}
+}
+
+// RefExtInverse is the oracle for ExtInverse, via the conjugate formula
+// with every base operation routed through the oracle.
+func RefExtInverse(x Ext) Ext {
+	if x.IsZero() {
+		return ExtZero
+	}
+	norm := RefSub(RefMul(x.A, x.A), RefMul(W, RefMul(x.B, x.B)))
+	ninv := RefInverse(norm)
+	return Ext{A: RefMul(x.A, ninv), B: RefMul(RefNeg(x.B), ninv)}
+}

@@ -27,6 +27,31 @@ type PolynomialBatch struct {
 
 	N        int
 	RateBits int
+
+	// owned are the pooled buffers backing LDE, the leaf arena, and (for
+	// CommitValues-built batches) Coeffs; Release returns them.
+	owned []*[]field.Element
+}
+
+// Release returns the batch's pooled buffers — LDE columns, the
+// index-major leaf arena, owned coefficient vectors, and the Merkle
+// digest levels — to their pools. The caller asserts the batch is dead:
+// nothing that escaped into a Proof references them (opened rows are
+// copied out of the tree by the query phase), and coefficient vectors
+// supplied by the caller (CommitCoeffs) are never pooled, only dropped.
+// Safe to call more than once; never releasing keeps the old
+// garbage-collected behavior.
+func (b *PolynomialBatch) Release() {
+	for _, p := range b.owned {
+		putBase(p)
+	}
+	b.owned = nil
+	b.Coeffs = nil
+	b.LDE = nil
+	if b.Tree != nil {
+		b.Tree.Release()
+		b.Tree = nil
+	}
 }
 
 // CommitValues commits polynomials given by their evaluations over the
@@ -47,21 +72,26 @@ func CommitValuesContext(ctx context.Context, values [][]field.Element,
 
 	n := len(values[0])
 	coeffs := make([][]field.Element, len(values))
+	coeffBufs := make([]*[]field.Element, len(values))
 	var err error
 	var inner parallel.FirstError
 	rec.NTT(n, len(values), true, false, false, func() {
 		// Per-column transforms are independent; each claims whole
 		// columns (grain 1) and the butterfly layers inside each column
-		// fan out further on the same pool.
+		// fan out further on the same pool. Columns come from the buffer
+		// pool and are owned by the batch (released with it).
 		err = parallel.For(ctx, len(values), 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				c := make([]field.Element, n)
+				p := getBase(n)
+				c := *p
 				copy(c, values[i])
 				if e := ntt.InverseNNCtx(ctx, c); e != nil {
+					putBase(p)
 					inner.Set(e)
 					return
 				}
 				coeffs[i] = c
+				coeffBufs[i] = p
 			}
 		})
 	})
@@ -69,9 +99,22 @@ func CommitValuesContext(ctx context.Context, values [][]field.Element,
 		err = inner.Err()
 	}
 	if err != nil {
+		for _, p := range coeffBufs {
+			if p != nil {
+				putBase(p)
+			}
+		}
 		return nil, err
 	}
-	return CommitCoeffsContext(ctx, coeffs, rateBits, capHeight, rec)
+	b, err := CommitCoeffsContext(ctx, coeffs, rateBits, capHeight, rec)
+	if err != nil {
+		for _, p := range coeffBufs {
+			putBase(p)
+		}
+		return nil, err
+	}
+	b.owned = append(b.owned, coeffBufs...)
+	return b, nil
 }
 
 // CommitCoeffs commits polynomials given by coefficient vectors of equal
@@ -96,17 +139,31 @@ func CommitCoeffsContext(ctx context.Context, coeffs [][]field.Element,
 	m := n << rateBits
 
 	lde := make([][]field.Element, len(coeffs))
+	owned := make([]*[]field.Element, 0, len(coeffs)+1)
+	ldeBufs := make([]*[]field.Element, len(coeffs))
+	release := func() {
+		for _, p := range ldeBufs {
+			if p != nil {
+				putBase(p)
+			}
+		}
+		for _, p := range owned {
+			putBase(p)
+		}
+	}
 	var err error
 	var inner parallel.FirstError
 	rec.NTT(m, len(coeffs), false, true, true, func() {
 		err = parallel.For(ctx, len(coeffs), 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				out, lerr := ntt.LDECtx(ctx, coeffs[i], rateBits, field.MultiplicativeGenerator)
-				if lerr != nil {
+				p := getBase(m)
+				if lerr := ntt.LDEIntoCtx(ctx, *p, coeffs[i], field.MultiplicativeGenerator); lerr != nil {
+					putBase(p)
 					inner.Set(lerr)
 					return
 				}
-				lde[i] = out
+				lde[i] = *p
+				ldeBufs[i] = p
 			}
 		})
 	})
@@ -114,15 +171,18 @@ func CommitCoeffsContext(ctx context.Context, coeffs [][]field.Element,
 		err = inner.Err()
 	}
 	if err != nil {
+		release()
 		return nil, err
 	}
 
 	// Transpose to index-major rows — on UniZK this layout change is
 	// handled implicitly by the global transpose buffer (§4, §5.1). Rows
-	// are disjoint slices of one flat backing array, written per-chunk.
+	// are disjoint slices of one flat pooled arena, written per-chunk.
 	leaves := make([][]field.Element, m)
+	flatp := getBase(m * len(coeffs))
+	owned = append(owned, flatp)
 	rec.TransposeOp(m*len(coeffs), func() {
-		flat := make([]field.Element, m*len(coeffs))
+		flat := *flatp
 		err = parallel.For(ctx, m, 1<<9, func(lo, hi int) {
 			for j := lo; j < hi; j++ {
 				row := flat[j*len(coeffs) : (j+1)*len(coeffs)]
@@ -134,6 +194,7 @@ func CommitCoeffsContext(ctx context.Context, coeffs [][]field.Element,
 		})
 	})
 	if err != nil {
+		release()
 		return nil, err
 	}
 
@@ -142,15 +203,20 @@ func CommitCoeffsContext(ctx context.Context, coeffs [][]field.Element,
 		tree, err = merkle.BuildContext(ctx, leaves, capHeight)
 	})
 	if err != nil {
+		release()
 		return nil, err
 	}
 
+	for _, p := range ldeBufs {
+		owned = append(owned, p)
+	}
 	return &PolynomialBatch{
 		Coeffs:   coeffs,
 		LDE:      lde,
 		Tree:     tree,
 		N:        n,
 		RateBits: rateBits,
+		owned:    owned,
 	}, nil
 }
 

@@ -128,7 +128,8 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	// domain point: every chunk owns a disjoint range of j, and the α
 	// powers are precomputed serially so each b[j] accumulates its polys
 	// in exactly the serial order.
-	f := make([]field.Ext, m)
+	fp := getExtZero(m) // f accumulates, so it must start zeroed
+	f := *fp
 	totalPolys := 0
 	for _, g := range groups {
 		for _, oi := range g.Oracles {
@@ -136,20 +137,19 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 		}
 	}
 	var err error
+	bp, diffp := getExt(m), getExt(m)
 	rec.VecOp(m, totalPolys, 4, func() {
-		var xs []field.Element
-		xs, err = domainPointsCtx(ctx, logM) // xs[j] = g·w^rev(j), matching LDE order
-		if err != nil {
-			return
-		}
+		// xs[j] = g·w^rev(j), matching LDE order — the shared read-only
+		// domain vector cached across jobs.
+		xs := ntt.CosetDomainBR(logM)
 		pows := make([]field.Ext, totalPolys)
 		acc := field.ExtOne
 		for i := range pows {
 			pows[i] = acc
 			acc = field.ExtMul(acc, alpha)
 		}
-		b := make([]field.Ext, m)
-		diff := make([]field.Ext, m)
+		b := *bp
+		diff := *diffp
 		off := 0
 		for gi, g := range groups {
 			// Flatten the group's polynomials and α powers, and fold the
@@ -184,30 +184,46 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 			}
 		}
 	})
+	putExt(bp)
+	putExt(diffp)
 	if err != nil {
+		putExt(fp)
 		return nil, err
 	}
 
 	// Commit-phase folding: arity 2, with the bit-reversed layout keeping
 	// fold pairs adjacent in memory. Fold pair k writes only next[k], so
-	// the per-query folding fans across the pool chunk by chunk.
+	// the per-query folding fans across the pool chunk by chunk. Layer
+	// buffers are pooled and released once the final polynomial is
+	// recovered; leaf arenas and trees live until the query phase has
+	// copied everything it opens.
 	layer := f
+	layerBufs := []*[]field.Ext{fp}
 	shift := field.MultiplicativeGenerator
 	finalSize := 1 << (cfg.FinalPolyBits + cfg.RateBits)
 	var caps []merkle.Cap
 	var trees []*merkle.Tree
+	var foldArenas []*[]field.Element
 	for len(layer) > finalSize {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		half := len(layer) / 2
+		// One flat arena per layer: leaf k is the 4-element row
+		// flat[4k:4k+4], so the whole layer's leaves are two allocations
+		// (header + pooled arena) instead of one per pair.
 		leaves := make([][]field.Element, half)
+		flatp := getBase(4 * half)
+		foldArenas = append(foldArenas, flatp)
 		var tree *merkle.Tree
 		rec.Merkle(half, 4, func() {
+			flat := *flatp
 			err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					a, bv := layer[2*k], layer[2*k+1]
-					leaves[k] = []field.Element{a.A, a.B, bv.A, bv.B}
+					row := flat[4*k : 4*k+4]
+					row[0], row[1], row[2], row[3] = a.A, a.B, bv.A, bv.B
+					leaves[k] = row
 				}
 			})
 			if err != nil {
@@ -223,38 +239,11 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 		observeCap(ch, tree.Cap())
 		beta := ch.SampleExt()
 
-		next := make([]field.Ext, half)
+		nextp := getExt(half)
+		next := *nextp
+		layerBufs = append(layerBufs, nextp)
 		rec.VecOp(half, 2, 6, func() {
-			logLayer := ntt.Log2(len(layer))
-			w := field.PrimitiveRootOfUnity(logLayer)
-			// x_k = shift·w^{rev(k)}; fold:
-			//   next[k] = [ x·(a+b) + β·(a−b) ] / (2x).
-			// Each chunk seeds its power walk with shift·w^lo (exact, so
-			// bit-identical to the serial accumulation).
-			xPow := make([]field.Element, half)
-			if err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
-				acc := field.Mul(shift, field.Exp(w, uint64(lo)))
-				for t := lo; t < hi; t++ {
-					xPow[t] = acc
-					acc = field.Mul(acc, w)
-				}
-			}); err != nil {
-				return
-			}
-			inv2x := make([]field.Element, half)
-			if err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					inv2x[k] = field.Double(xPow[ntt.BitReverse(k, logLayer-1)])
-				}
-			}); err != nil {
-				return
-			}
-			if err = field.BatchInverseCtx(ctx, inv2x); err != nil {
-				return
-			}
-			err = parallel.For(ctx, half, vecGrain, func(lo, hi int) {
-				foldRange(lo, hi, layer, next, inv2x, xPow, beta, logLayer)
-			})
+			err = foldLayerCtx(ctx, layer, next, beta, shift)
 		})
 		if err != nil {
 			return nil, err
@@ -267,6 +256,9 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 	// un-bit-reverse + coset iNTT (NTT is base-linear, so the quadratic
 	// extension splits into two base transforms).
 	finalCoeffs, err := extCosetInverseNN(ctx, layer, shift, rec)
+	for _, p := range layerBufs {
+		putExt(p)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -327,8 +319,10 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 			var round QueryRound
 			for _, o := range oracles {
 				values, mp := o.Tree.Open(idx)
+				// Copy the opened row: the tree's leaf arena is pooled
+				// and must not escape into the proof.
 				round.OracleRows = append(round.OracleRows,
-					OracleRow{Values: values, Proof: mp})
+					OracleRow{Values: append([]field.Element(nil), values...), Proof: mp})
 			}
 			i := idx
 			for _, tree := range trees {
@@ -347,6 +341,17 @@ func ProveContext(ctx context.Context, oracles []*PolynomialBatch, groups []Poin
 		}
 	}); err != nil {
 		return nil, err
+	}
+
+	// Everything the proof needs from the fold trees has been copied
+	// (caps, query pairs, sibling paths), so their digest levels and leaf
+	// arenas go back to the pools. The oracle trees belong to the caller
+	// (PolynomialBatch.Release).
+	for _, tree := range trees {
+		tree.Release()
+	}
+	for _, p := range foldArenas {
+		putBase(p)
 	}
 
 	return &Proof{
@@ -401,8 +406,10 @@ func extCosetInverseNN(ctx context.Context, values []field.Ext, shift field.Elem
 	out := make([]field.Ext, n)
 	var err error
 	rec.NTT(n, 2, true, true, true, func() {
-		as := make([]field.Element, n)
-		bs := make([]field.Element, n)
+		asp, bsp := getBase(n), getBase(n)
+		defer putBase(asp)
+		defer putBase(bsp)
+		as, bs := *asp, *bsp
 		for i, v := range values {
 			as[i] = v.A
 			bs[i] = v.B
@@ -453,6 +460,61 @@ func accumulateQuotientRange(lo, hi int, f, b, diff []field.Ext, y field.Ext) {
 		f[j] = field.ExtAdd(f[j],
 			field.ExtMul(field.ExtSub(b[j], y), diff[j]))
 	}
+}
+
+// foldLayerCtx is one arity-2 commit-phase fold: layer (length 2h, the
+// coset shift·H in bit-reversed order) folds into next (length h, the
+// coset shift²·H') under the verifier challenge beta. x_k = shift·w^{rev(k)};
+//
+//	next[k] = [ x·(a+b) + β·(a−b) ] / (2x).
+//
+// Each chunk seeds its power walk with shift·w^lo (exact, so
+// bit-identical to the serial accumulation); xPow/inv2x scratch is
+// pooled.
+func foldLayerCtx(ctx context.Context, layer, next []field.Ext, beta field.Ext, shift field.Element) error {
+	half := len(next)
+	if len(layer) != 2*half {
+		panic("fri: fold output must be half the layer")
+	}
+	logLayer := ntt.Log2(len(layer))
+	w := field.PrimitiveRootOfUnity(logLayer)
+	xPowp, inv2xp := getBase(half), getBase(half)
+	defer putBase(xPowp)
+	defer putBase(inv2xp)
+	xPow := *xPowp
+	if err := parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+		acc := field.Mul(shift, field.Exp(w, uint64(lo)))
+		for t := lo; t < hi; t++ {
+			xPow[t] = acc
+			acc = field.Mul(acc, w)
+		}
+	}); err != nil {
+		return err
+	}
+	inv2x := *inv2xp
+	if err := parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			inv2x[k] = field.Double(xPow[ntt.BitReverse(k, logLayer-1)])
+		}
+	}); err != nil {
+		return err
+	}
+	if err := field.BatchInverseCtx(ctx, inv2x); err != nil {
+		return err
+	}
+	return parallel.For(ctx, half, vecGrain, func(lo, hi int) {
+		foldRange(lo, hi, layer, next, inv2x, xPow, beta, logLayer)
+	})
+}
+
+// FoldLayer runs one commit-phase fold as a standalone kernel, for
+// benchmarks and differential tests: it returns the folded layer for the
+// given challenge without touching a transcript. Prove's commit phase
+// uses the identical code path (foldLayerCtx).
+func FoldLayer(layer []field.Ext, beta field.Ext, shift field.Element) []field.Ext {
+	next := make([]field.Ext, len(layer)/2)
+	parallel.Must(foldLayerCtx(context.Background(), layer, next, beta, shift))
+	return next
 }
 
 // foldRange is the arity-2 FRI fold inner loop: each output point k

@@ -11,6 +11,7 @@ package merkle
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"unizk/internal/field"
 	"unizk/internal/ntt"
@@ -18,6 +19,24 @@ import (
 	"unizk/internal/poseidon"
 	"unizk/internal/prooferr"
 )
+
+// levelPool recycles per-level digest buffers across trees: a proving
+// server builds and discards trees of the same few shapes for every
+// proof, so steady-state tree construction allocates nothing. Buffers
+// re-enter the pool only through Tree.Release, whose caller asserts no
+// outstanding references to the tree's digests.
+var levelPool = sync.Pool{New: func() any { s := make([]poseidon.HashOut, 0, 1<<10); return &s }}
+
+// getLevel returns a pooled digest buffer of exactly n entries, contents
+// unspecified (every builder fully overwrites it).
+func getLevel(n int) *[]poseidon.HashOut {
+	p := levelPool.Get().(*[]poseidon.HashOut)
+	if cap(*p) < n {
+		*p = make([]poseidon.HashOut, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
 
 // Tree is a Poseidon Merkle tree over a fixed set of leaves.
 type Tree struct {
@@ -27,6 +46,7 @@ type Tree struct {
 	// levels[0] is the leaf digests; levels[k] has len(levels[k-1])/2
 	// digests; the last level is the cap.
 	levels    [][]poseidon.HashOut
+	levelBufs []*[]poseidon.HashOut
 	capHeight int
 }
 
@@ -65,19 +85,24 @@ func BuildContext(ctx context.Context, leaves [][]field.Element, capHeight int) 
 	}
 	t := &Tree{Leaves: leaves, capHeight: capHeight}
 
-	digests := make([]poseidon.HashOut, n)
+	dp := getLevel(n)
+	digests := *dp
 	err := parallel.For(ctx, n, hashGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			digests[i] = poseidon.HashOrNoop(leaves[i])
 		}
 	})
 	if err != nil {
+		t.Release()
+		levelPool.Put(dp)
 		return nil, err
 	}
 	t.levels = append(t.levels, digests)
+	t.levelBufs = append(t.levelBufs, dp)
 
 	for len(digests) > 1<<capHeight {
-		next := make([]poseidon.HashOut, len(digests)/2)
+		np := getLevel(len(digests) / 2)
+		next := *np
 		prev := digests
 		err := parallel.For(ctx, len(next), hashGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -85,12 +110,30 @@ func BuildContext(ctx context.Context, leaves [][]field.Element, capHeight int) 
 			}
 		})
 		if err != nil {
+			levelPool.Put(np)
+			t.Release()
 			return nil, err
 		}
 		t.levels = append(t.levels, next)
+		t.levelBufs = append(t.levelBufs, np)
 		digests = next
 	}
 	return t, nil
+}
+
+// Release returns the tree's digest levels to the shared pool. The
+// caller asserts the tree is dead: no slice previously obtained from it
+// may be read afterwards, except data copied out (Cap copies; Open's
+// sibling paths are copies, but its leaf slice is t.Leaves[i] itself and
+// must be copied by the caller before Release). Safe to call more than
+// once; the zero use after Build is simply garbage collection as before.
+func (t *Tree) Release() {
+	for _, p := range t.levelBufs {
+		levelPool.Put(p)
+	}
+	t.levelBufs = nil
+	t.levels = nil
+	t.Leaves = nil
 }
 
 // Cap returns the tree's commitment.

@@ -13,6 +13,20 @@ import (
 // multiplications between dimensions. UniZK instantiates n = 2^5 per
 // pipeline; this package implements the math generically so the hardware
 // mapping can be validated against the direct transform.
+//
+// The software schedule is the cache-blocked six-step form: transpose the
+// n2×n1 input so each inner transform is a contiguous row, run the inner
+// transforms, transpose back with the inter-dimension twiddles fused into
+// the gather (one pass instead of a twiddle sweep plus a transpose), run
+// the outer transforms on contiguous rows, and transpose into the output
+// index order. Transposes move 32×32 tiles — 8 KiB read plus 8 KiB
+// written, both L1-resident — so every step streams contiguous memory.
+// Field arithmetic is exact, so the result is the canonical transform,
+// bit-identical to ForwardNN/InverseNN.
+
+// tileDim is the transpose tile edge: a 32×32 tile of 8-byte elements is
+// 8 KiB, so source and destination tiles fit L1 together.
+const tileDim = 32
 
 // HardwareDims splits a size-2^logN transform into dimensions of at most
 // 2^logn each, the way the accelerator's fixed pipelines require. The
@@ -37,14 +51,7 @@ func HardwareDims(logN, logn int) []int {
 	return dims
 }
 
-// MultiDimForwardNN computes the natural-order NTT of data via the
-// decomposition dims (whose product must equal len(data)), returning a new
-// slice. Index convention: input index j = j1 + N1·j2 with j1 the first
-// dimension's digit; output index k = k2 + N2·k1. The recursion mirrors the
-// hardware: inner-dimension NTTs, inter-dimension twiddles (generated
-// on-the-fly by the twiddle factor generator in hardware), outer NTT, with
-// the data transpose between pipelines handled by the transpose buffer.
-func MultiDimForwardNN(data []field.Element, dims []int) []field.Element {
+func checkDims(data []field.Element, dims []int) {
 	n := 1
 	for _, d := range dims {
 		n *= d
@@ -52,78 +59,147 @@ func MultiDimForwardNN(data []field.Element, dims []int) []field.Element {
 	if n != len(data) {
 		panic("ntt: dims product must equal data length")
 	}
-	return multiDimNN(data, dims, rootTable(Log2(len(data))), false)
+}
+
+// MultiDimForwardNN computes the natural-order NTT of data via the
+// decomposition dims (whose product must equal len(data)), returning a new
+// slice. Index convention: input index j = j1 + N1·j2 with j1 the first
+// dimension's digit; output index k = k2 + N2·k1. The schedule mirrors the
+// hardware: inner-dimension NTTs, inter-dimension twiddles (generated
+// on-the-fly by the twiddle factor generator in hardware), outer NTT, with
+// the data transposes between pipelines handled by the transpose buffer.
+func MultiDimForwardNN(data []field.Element, dims []int) []field.Element {
+	checkDims(data, dims)
+	out := make([]field.Element, len(data))
+	copy(out, data)
+	multiDimInPlace(out, dims, false)
+	return out
 }
 
 // MultiDimInverseNN computes the natural-order inverse NTT via the same
 // decomposition.
 func MultiDimInverseNN(data []field.Element, dims []int) []field.Element {
-	n := 1
-	for _, d := range dims {
-		n *= d
-	}
-	if n != len(data) {
-		panic("ntt: dims product must equal data length")
-	}
-	out := multiDimNN(data, dims, invRootTable(Log2(len(data))), true)
+	checkDims(data, dims)
+	out := make([]field.Element, len(data))
+	copy(out, data)
+	multiDimInPlace(out, dims, true)
 	scale(out, field.Inverse(field.New(uint64(len(data)))))
 	return out
 }
 
-// multiDimNN is the recursive core. roots is the twiddle table for the
-// *total* size (w or w^-1 powers); inverse selects the small-NTT direction.
-func multiDimNN(data []field.Element, dims []int, roots []field.Element, inverse bool) []field.Element {
+// multiDimInPlace is the six-step core: it transforms data in place via
+// the first dimension split n1 × n2, recursing on the inner n2-sized
+// transforms with the remaining dimensions. The 1/n scaling of the
+// inverse direction is applied once at the top level, not here.
+func multiDimInPlace(data []field.Element, dims []int, inverse bool) {
 	total := len(data)
 	if len(dims) == 1 {
-		out := make([]field.Element, total)
-		copy(out, data)
-		smallNN(out, inverse)
-		return out
+		smallNN(data, inverse)
+		return
 	}
 	n1 := dims[0]
 	n2 := total / n1
+	roots := tableFor(Log2(total), inverse)
 
-	// Inner dimension: size-n2 transforms of the stride-n1 subsequences,
-	// followed by inter-dimension twiddles w_total^(j1*k2). The n1
-	// transforms are independent — in hardware they stream through the
-	// first half-array back to back; here they fan across the worker pool
-	// with per-chunk scratch and disjoint writes to inner[j1].
-	// The inner transform recursively uses the same decomposition; its
-	// own twiddles are powers of w_total^n1, i.e. a stride-n1 walk of
-	// the full table — exactly what the on-chip generator produces.
-	innerRoots := strideTable(roots, n1, n2)
-	inner := make([][]field.Element, n1)
+	// Step 1: transpose the n2×n1 input (data[j2*n1+j1]) so each inner
+	// transform is the contiguous row cols[j1*n2 : (j1+1)*n2].
+	colp := getBuf(total)
+	cols := *colp
+	transposeTiled(cols, data, n2, n1)
+
+	// Step 2: inner transforms — in hardware the first half-array,
+	// streaming columns back to back; here rows fan across the pool.
 	parallel.Must(parallel.For(context.Background(), n1, 1, func(lo, hi int) {
-		col := make([]field.Element, n2)
 		for j1 := lo; j1 < hi; j1++ {
-			for j2 := 0; j2 < n2; j2++ {
-				col[j2] = data[j1+n1*j2]
-			}
-			res := multiDimNN(col, dims[1:], innerRoots, inverse)
-			for k2 := 0; k2 < n2; k2++ {
-				res[k2] = field.Mul(res[k2], rootPower(roots, total, j1*k2))
-			}
-			inner[j1] = res
+			multiDimInPlace(cols[j1*n2:(j1+1)*n2], dims[1:], inverse)
 		}
 	}))
 
-	// Outer dimension: size-n1 transforms across j1 for each k2. In
-	// hardware this is the second half-array, after the transpose buffer.
-	// Each k2 writes the disjoint output stride {k2 + n2·k1 : k1}.
-	out := make([]field.Element, total)
+	// Steps 3+4: inter-dimension twiddles w_total^(j1·k2) fused into the
+	// transpose back, so the twiddled matrix lands row-major in k2.
+	rowp := getBuf(total)
+	rows := *rowp
+	transposeTwiddleTiled(rows, cols, n1, n2, roots, total)
+	putBuf(colp)
+
+	// Step 5: outer transforms — the second half-array after the
+	// transpose buffer — again on contiguous rows.
 	parallel.Must(parallel.For(context.Background(), n2, 16, func(lo, hi int) {
-		row := make([]field.Element, n1)
 		for k2 := lo; k2 < hi; k2++ {
-			for j1 := 0; j1 < n1; j1++ {
-				row[j1] = inner[j1][k2]
-			}
-			smallNN(row, inverse)
-			for k1 := 0; k1 < n1; k1++ {
-				out[k2+n2*k1] = row[k1]
-			}
+			smallNN(rows[k2*n1:(k2+1)*n1], inverse)
 		}
 	}))
-	return out
+
+	// Step 6: transpose into the output convention k = k2 + n2·k1.
+	transposeTiled(data, rows, n2, n1)
+	putBuf(rowp)
+}
+
+// transposeTiled writes dst[c*rows+r] = src[r*cols+c] for an src matrix
+// of rows×cols, walking 32×32 tiles so both matrices stay cache-resident
+// within a tile. Large matrices fan tile row-bands across the pool; each
+// band writes a disjoint set of destination tiles.
+func transposeTiled(dst, src []field.Element, rows, cols int) {
+	if rows*cols < parallelMin {
+		transposeBand(dst, src, rows, cols, 0, rows)
+		return
+	}
+	nBands := (rows + tileDim - 1) / tileDim
+	parallel.Must(parallel.For(context.Background(), nBands, 1, func(lo, hi int) {
+		for band := lo; band < hi; band++ {
+			r0 := band * tileDim
+			r1 := min(r0+tileDim, rows)
+			transposeBand(dst, src, rows, cols, r0, r1)
+		}
+	}))
+}
+
+//unizklint:hotpath
+func transposeBand(dst, src []field.Element, rows, cols, r0, r1 int) {
+	for c0 := 0; c0 < cols; c0 += tileDim {
+		c1 := min(c0+tileDim, cols)
+		for r := r0; r < r1; r++ {
+			for c := c0; c < c1; c++ {
+				dst[c*rows+r] = src[r*cols+c]
+			}
+		}
+	}
+}
+
+// transposeTwiddleTiled writes dst[k2*n1+j1] = src[j1*n2+k2]·w^(j1·k2)
+// for the n1×n2 matrix src, with w the order-n root whose half-table is
+// roots. Within a tile row the twiddle walks by a single multiply per
+// element (acc·w^j1 steps k2 by one); the per-row seed w^(j1·c0) comes
+// from the table, so each element costs one extra multiply over a plain
+// transpose.
+func transposeTwiddleTiled(dst, src []field.Element, n1, n2 int, roots []field.Element, n int) {
+	if n < parallelMin {
+		twiddleBand(dst, src, n1, n2, roots, n, 0, n1)
+		return
+	}
+	nBands := (n1 + tileDim - 1) / tileDim
+	parallel.Must(parallel.For(context.Background(), nBands, 1, func(lo, hi int) {
+		for band := lo; band < hi; band++ {
+			r0 := band * tileDim
+			r1 := min(r0+tileDim, n1)
+			twiddleBand(dst, src, n1, n2, roots, n, r0, r1)
+		}
+	}))
+}
+
+//unizklint:hotpath
+func twiddleBand(dst, src []field.Element, n1, n2 int, roots []field.Element, n, r0, r1 int) {
+	for c0 := 0; c0 < n2; c0 += tileDim {
+		c1 := min(c0+tileDim, n2)
+		for j1 := r0; j1 < r1; j1++ {
+			wj := rootPower(roots, n, j1)
+			acc := rootPower(roots, n, j1*c0%n)
+			for k2 := c0; k2 < c1; k2++ {
+				dst[k2*n1+j1] = field.Mul(src[j1*n2+k2], acc)
+				acc = field.Mul(acc, wj)
+			}
+		}
+	}
 }
 
 // smallNN applies the direct size-n transform in natural order, without the
@@ -131,23 +207,8 @@ func multiDimNN(data []field.Element, dims []int, roots []field.Element, inverse
 //
 //unizklint:hotpath
 func smallNN(data []field.Element, inverse bool) {
-	logN := Log2(len(data))
-	if inverse {
-		difCore(data, invRootTable(logN))
-	} else {
-		difCore(data, rootTable(logN))
-	}
+	difCore(data, tableFor(Log2(len(data)), inverse))
 	BitReversePermute(data)
-}
-
-// strideTable returns the half-table of (w^stride)^j for j < size/2, taken
-// from the parent table of w powers.
-func strideTable(parent []field.Element, stride, size int) []field.Element {
-	out := make([]field.Element, size/2)
-	for j := range out {
-		out[j] = rootPower(parent, 2*len(parent), j*stride)
-	}
-	return out
 }
 
 // rootPower looks up w^e where parent holds w^0..w^(n/2-1) for order n.

@@ -13,50 +13,18 @@ package ntt
 
 import (
 	"context"
-	"sync"
 
 	"unizk/internal/field"
 	"unizk/internal/parallel"
 )
 
-// rootsCache memoizes twiddle tables per transform size. roots[logN] holds
-// w^0..w^(N/2-1) for the primitive 2^logN-th root of unity w.
-var rootsCache sync.Map // logN int -> []field.Element
-
-func rootTable(logN int) []field.Element {
-	if t, ok := rootsCache.Load(logN); ok {
-		return t.([]field.Element)
+// tableFor returns the cached twiddle half-table for the requested
+// direction; see cache.go for the bounded cache the tables live in.
+func tableFor(logN int, inverse bool) []field.Element {
+	if inverse {
+		return invRootTable(logN)
 	}
-	n := 1 << logN
-	w := field.PrimitiveRootOfUnity(logN)
-	table := make([]field.Element, n/2)
-	if n/2 > 0 {
-		table[0] = field.One
-		for i := 1; i < n/2; i++ {
-			table[i] = field.Mul(table[i-1], w)
-		}
-	}
-	actual, _ := rootsCache.LoadOrStore(logN, table)
-	return actual.([]field.Element)
-}
-
-var invRootsCache sync.Map
-
-func invRootTable(logN int) []field.Element {
-	if t, ok := invRootsCache.Load(logN); ok {
-		return t.([]field.Element)
-	}
-	n := 1 << logN
-	w := field.Inverse(field.PrimitiveRootOfUnity(logN))
-	table := make([]field.Element, n/2)
-	if n/2 > 0 {
-		table[0] = field.One
-		for i := 1; i < n/2; i++ {
-			table[i] = field.Mul(table[i-1], w)
-		}
-	}
-	actual, _ := invRootsCache.LoadOrStore(logN, table)
-	return actual.([]field.Element)
+	return rootTable(logN)
 }
 
 // Log2 returns log2(n) for a power of two n, panicking otherwise. Transform
@@ -113,6 +81,39 @@ const parallelMin = 1 << 11
 // layer.
 const butterflyGrain = 1 << 9
 
+// Cache blocking: once the butterfly span (2·half) fits a cache block,
+// the remaining layers of a block are independent smaller transforms, so
+// each block runs to completion serially while the block resides in
+// cache — one load/store sweep for all trailing layers instead of one
+// per layer. The canonical root tables compose exactly (w_n^(n/m) is the
+// canonical 2^log m root used to build the size-m table, and field
+// arithmetic is exact), so the blocked schedule is bit-identical to the
+// flat layer-by-layer one.
+//
+// cacheBlockMax (2^15 elements = 256 KiB) keeps a block inside a typical
+// L2 slice; cacheBlockMin (2^10 = 8 KiB) keeps per-block overhead
+// negligible; n>>3 guarantees at least 8 blocks so mid-size transforms
+// still spread across the pool.
+const (
+	cacheBlockMax = 1 << 15
+	cacheBlockMin = 1 << 10
+)
+
+// blockElems picks the cache-block size for a size-n transform.
+func blockElems(n int) int {
+	bs := n >> 3
+	if bs < cacheBlockMin {
+		bs = cacheBlockMin
+	}
+	if bs > cacheBlockMax {
+		bs = cacheBlockMax
+	}
+	if bs > n {
+		bs = n
+	}
+	return bs
+}
+
 // difCore runs decimation-in-frequency butterflies in place: natural-order
 // input, bit-reversed-order output. This is the dataflow UniZK maps onto
 // the MDC pipeline (paper Fig. 4a). roots must be the (inverse) root table
@@ -129,21 +130,27 @@ func difCore(data []field.Element, roots []field.Element) {
 	}
 }
 
-// difCoreCtx is difCore with each butterfly layer fanned across the
-// worker pool. Butterflies within a layer touch disjoint index pairs
-// (start+j, start+j+half), so chunks write disjoint ranges and the result
-// is bit-identical to the serial core; layers are separated by the For
-// barrier, preserving the layer-order data dependence.
-func difCoreCtx(ctx context.Context, data []field.Element, roots []field.Element) error {
+// difCoreCtx is difCore with the early (long-span) butterfly layers
+// fanned across the worker pool and the trailing layers cache-blocked:
+// once spans fit a cache block, each block is an independent smaller DIF
+// transform over the canonical table of the block size, run serially
+// while the block stays cache-resident, with blocks fanned across the
+// pool. Butterflies within a layer touch disjoint index pairs and blocks
+// are disjoint slices, so the result is bit-identical to the serial
+// core; layers are separated by the For barrier, preserving the
+// layer-order data dependence.
+func difCoreCtx(ctx context.Context, data []field.Element, inverse bool) error {
 	n := len(data)
 	if n < parallelMin {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		difCore(data, roots)
+		difCore(data, tableFor(Log2(n), inverse))
 		return nil
 	}
-	for half := n / 2; half >= 1; half >>= 1 {
+	roots := tableFor(Log2(n), inverse)
+	bs := blockElems(n)
+	for half := n / 2; 2*half > bs; half >>= 1 {
 		step := n / (2 * half)
 		h := half
 		err := parallel.For(ctx, n/2, butterflyGrain, func(lo, hi int) {
@@ -155,7 +162,12 @@ func difCoreCtx(ctx context.Context, data []field.Element, roots []field.Element
 			return err
 		}
 	}
-	return nil
+	sub := tableFor(Log2(bs), inverse)
+	return parallel.For(ctx, n/bs, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			difCore(data[b*bs:(b+1)*bs], sub)
+		}
+	})
 }
 
 // difButterflies applies DIF butterflies j in [j0, j1) of the block at
@@ -185,17 +197,30 @@ func ditCore(data []field.Element, roots []field.Element) {
 	}
 }
 
-// ditCoreCtx is ditCore with parallel butterfly layers; see difCoreCtx.
-func ditCoreCtx(ctx context.Context, data []field.Element, roots []field.Element) error {
+// ditCoreCtx is ditCore with cache-blocked leading layers (DIT runs its
+// short spans first, so the block pass leads and the pool-parallel long
+// layers follow from half = block size); see difCoreCtx.
+func ditCoreCtx(ctx context.Context, data []field.Element, inverse bool) error {
 	n := len(data)
 	if n < parallelMin {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ditCore(data, roots)
+		ditCore(data, tableFor(Log2(n), inverse))
 		return nil
 	}
-	for half := 1; half < n; half <<= 1 {
+	bs := blockElems(n)
+	sub := tableFor(Log2(bs), inverse)
+	err := parallel.For(ctx, n/bs, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			ditCore(data[b*bs:(b+1)*bs], sub)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	roots := tableFor(Log2(n), inverse)
+	for half := bs; half < n; half <<= 1 {
 		step := n / (2 * half)
 		h := half
 		err := parallel.For(ctx, n/2, butterflyGrain, func(lo, hi int) {
@@ -251,7 +276,7 @@ func ForwardNR(data []field.Element) {
 // cooperative cancellation. On a non-nil error the data is partially
 // transformed and must be discarded.
 func ForwardNRCtx(ctx context.Context, data []field.Element) error {
-	return difCoreCtx(ctx, data, rootTable(Log2(len(data))))
+	return difCoreCtx(ctx, data, false)
 }
 
 // ForwardNN transforms coefficients to evaluations, both in natural order.
@@ -271,7 +296,7 @@ func ForwardNNCtx(ctx context.Context, data []field.Element) error {
 // ForwardRN transforms coefficients given in bit-reversed order to
 // evaluations in natural order.
 func ForwardRN(data []field.Element) {
-	parallel.Must(ditCoreCtx(context.Background(), data, rootTable(Log2(len(data)))))
+	parallel.Must(ditCoreCtx(context.Background(), data, false))
 }
 
 // InverseNN transforms evaluations to coefficients, both in natural order.
@@ -298,7 +323,7 @@ func InverseNR(data []field.Element) {
 // InverseNRCtx is InverseNR with parallel butterflies and cancellation.
 func InverseNRCtx(ctx context.Context, data []field.Element) error {
 	n := len(data)
-	if err := difCoreCtx(ctx, data, invRootTable(Log2(n))); err != nil {
+	if err := difCoreCtx(ctx, data, true); err != nil {
 		return err
 	}
 	return scaleCtx(ctx, data, field.Inverse(field.New(uint64(n))))
@@ -308,7 +333,7 @@ func InverseNRCtx(ctx context.Context, data []field.Element) error {
 // coefficients.
 func InverseRN(data []field.Element) {
 	n := len(data)
-	parallel.Must(ditCoreCtx(context.Background(), data, invRootTable(Log2(n))))
+	parallel.Must(ditCoreCtx(context.Background(), data, true))
 	scale(data, field.Inverse(field.New(uint64(n))))
 }
 
@@ -381,29 +406,28 @@ func CosetInverseNNCtx(ctx context.Context, data []field.Element, shift field.El
 }
 
 //unizklint:hotpath
-func scaleByPowers(data []field.Element, c field.Element) {
-	acc := field.One
+func scaleByTable(data, table []field.Element) {
 	for i := range data {
-		data[i] = field.Mul(data[i], acc)
-		acc = field.Mul(acc, c)
+		data[i] = field.Mul(data[i], table[i])
 	}
 }
 
-// scaleByPowersCtx multiplies data[i] by c^i in parallel. Each chunk
-// seeds its own accumulator with c^lo via square-and-multiply; field
-// exponentiation is exact, so the chunked walk produces bit-identical
-// powers to the serial accumulation.
+// scaleByPowersCtx multiplies data[i] by c^i using the cached power
+// table for c: one multiply per element instead of two, and repeated
+// cosets (every LDE in a proof uses the same shift) reuse the table
+// across jobs for free. The table is built by the same serial power walk
+// the in-line accumulation used, so results are bit-identical.
 func scaleByPowersCtx(ctx context.Context, data []field.Element, c field.Element) error {
+	table := powerTable(c, Log2(len(data)))
 	if len(data) < parallelMin {
-		scaleByPowers(data, c)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		scaleByTable(data, table)
 		return nil
 	}
 	return parallel.For(ctx, len(data), 1<<10, func(lo, hi int) {
-		acc := field.Exp(c, uint64(lo))
-		for i := lo; i < hi; i++ {
-			data[i] = field.Mul(data[i], acc)
-			acc = field.Mul(acc, c)
-		}
+		scaleByTable(data[lo:hi], table[lo:hi])
 	})
 }
 
@@ -426,6 +450,19 @@ func LDECtx(ctx context.Context, coeffs []field.Element, blowupBits int, shift f
 		return nil, err
 	}
 	return out, nil
+}
+
+// LDEIntoCtx is LDECtx writing into a caller-provided buffer whose
+// length (a power of two ≥ len(coeffs)) fixes the blowup. Callers feed
+// pooled buffers, so the padding region is cleared explicitly — pooled
+// memory is dirty where a fresh make is zero.
+func LDEIntoCtx(ctx context.Context, dst, coeffs []field.Element, shift field.Element) error {
+	if len(dst) < len(coeffs) {
+		panic("ntt: LDE destination shorter than coefficients")
+	}
+	n := copy(dst, coeffs)
+	clear(dst[n:])
+	return CosetForwardNRCtx(ctx, dst, shift)
 }
 
 // PolyMulNTT multiplies two coefficient vectors via NTT, returning a

@@ -1,0 +1,27 @@
+package ntt
+
+import (
+	"sync"
+
+	"unizk/internal/field"
+)
+
+// Pooled scratch for the multi-dimensional transforms: the six-step
+// decomposition needs two transpose buffers of the transform size, and
+// pooling them keeps steady-state serving allocation-free for repeated
+// sizes. Contents are unspecified on checkout; every user fully
+// overwrites its buffer before reading.
+
+var bufPool = sync.Pool{New: func() any { s := make([]field.Element, 0, 1<<12); return &s }}
+
+// getBuf returns a pooled buffer sliced to exactly n elements.
+func getBuf(n int) *[]field.Element {
+	p := bufPool.Get().(*[]field.Element)
+	if cap(*p) < n {
+		*p = make([]field.Element, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBuf(p *[]field.Element) { bufPool.Put(p) }

@@ -192,7 +192,7 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 		return nil, err
 	}
 
-	return &Proof{
+	proof := &Proof{
 		WiresCap:      wiresBatch.Cap(),
 		ZCap:          zBatch.Cap(),
 		QuotientCap:   quotBatch.Cap(),
@@ -203,7 +203,15 @@ func (c *Circuit) ProveContext(ctx context.Context, w *Witness, rec *trace.Recor
 		QuotientOpen:  quotOpen,
 		PublicInputs:  pub,
 		FRI:           friProof,
-	}, nil
+	}
+	// The per-proof batches are dead once their caps are copied into the
+	// proof (the FRI query phase copied every opened row): their pooled
+	// LDE columns, leaf arenas, and digest levels go back for the next
+	// proof. The constants batch is circuit-lifetime and stays.
+	wiresBatch.Release()
+	zBatch.Release()
+	quotBatch.Release()
+	return proof, nil
 }
 
 // computeZs builds the grand product Z = π_0 and the chained partial

@@ -204,14 +204,20 @@ func (s *Stark) ProveContext(ctx context.Context, columns [][]field.Element,
 		return nil, err
 	}
 
-	return &Proof{
+	proof := &Proof{
 		TraceCap:      traceBatch.Cap(),
 		QuotientCap:   quotBatch.Cap(),
 		TraceOpen:     traceOpen,
 		TraceNextOpen: traceNextOpen,
 		QuotientOpen:  quotOpen,
 		FRI:           friProof,
-	}, nil
+	}
+	// Both batches are per-proof: with their caps copied and every opened
+	// row copied by the FRI query phase, their pooled buffers go back for
+	// the next proof.
+	traceBatch.Release()
+	quotBatch.Release()
+	return proof, nil
 }
 
 // computeQuotient evaluates the α-combined constraint quotient
