@@ -66,6 +66,19 @@ go test -race -timeout 10m -run '^TestChaosSoak$' ./internal/faultinject/netchao
 # own name.
 go test -race -timeout 10m -run '^TestClusterChaosSoak$' ./internal/cluster
 
+# Cache soak (fixed seed, both topologies): distinct-tenant clients
+# hammer the same request contents — no idempotency keys — through a
+# chaos-wrapped single server and a 3-node cluster with the
+# content-addressed proof cache on. The gate asserts exactly one prove
+# per unique content (cache hits and coalesced flights absorb the
+# rest), bit-identical proofs, 429 + Retry-After for a starved tenant
+# with other tenants unaffected, honest cache/tenant counters, and zero
+# goroutine leaks — all under the race detector. The full -race run
+# below repeats it; this step makes a serving-tier regression fail
+# under its own name.
+go test -race -timeout 10m -run '^TestCacheSoak$' ./internal/faultinject/netchaos
+go test -race -timeout 10m -run '^TestClusterCacheSoak$' ./internal/cluster
+
 # Kernel differential suite: the optimized field and NTT kernels against
 # their retained naive reference oracles (internal/field/goldilocks_ref.go's big.Int
 # arithmetic, internal/ntt/ntt_ref.go's O(n^2) DFT) over fuzzed inputs

@@ -55,6 +55,8 @@ func main() {
 	workers := flag.Int("workers", 0, "prover pool size for local proving (0 = NumCPU; capped by GOMAXPROCS in practice)")
 	retries := flag.Int("retries", 1, "total remote attempts for retryable failures (transport faults, 429/502/503)")
 	idemKey := flag.String("idempotency-key", "", "idempotency key for remote submits; auto-generated when -retries > 1")
+	apiKey := flag.String("api-key", "", "tenant API key for remote submits (sent as Authorization: Bearer)")
+	stream := flag.Bool("stream", false, "submit async and stream job progress (SSE, falling back to long-poll/poll)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -73,7 +75,7 @@ func main() {
 	req := &jobs.Request{Kind: kind, Workload: *app, LogRows: *rows, IdempotencyKey: *idemKey}
 
 	if *remote != "" {
-		runRemote(ctx, *remote, req, *timeout, *retries)
+		runRemote(ctx, *remote, req, *timeout, *retries, *apiKey, *stream)
 		return
 	}
 	runLocal(ctx, req)
@@ -101,8 +103,9 @@ func runLocal(ctx context.Context, req *jobs.Request) {
 // exits 4. With -retries > 1 the client transparently retries retryable
 // failures under an idempotency key, so a retried submit that raced a
 // lost response attaches to the original job instead of proving twice.
-func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout time.Duration, retries int) {
+func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout time.Duration, retries int, apiKey string, stream bool) {
 	c := serverclient.New(baseURL)
+	c.APIKey = apiKey
 	if retries > 1 {
 		if req.IdempotencyKey == "" {
 			key, err := randomIdempotencyKey()
@@ -115,7 +118,21 @@ func runRemote(ctx context.Context, baseURL string, req *jobs.Request, timeout t
 	fmt.Printf("remote prove: %s %q 2^%d rows via %s\n", req.Kind, req.Workload, req.LogRows, baseURL)
 
 	start := time.Now()
-	res, err := c.Prove(ctx, req, serverclient.Options{Timeout: timeout})
+	var res *jobs.Result
+	var err error
+	if stream {
+		// Async submit, then follow the job's progress events; each
+		// status line is one SSE (or long-poll/poll fallback) update.
+		var id string
+		id, err = c.Submit(ctx, req, serverclient.Options{Timeout: timeout})
+		exitOn(err, remoteExitCode(err))
+		fmt.Printf("submitted %s\n", id)
+		res, err = c.WaitStream(ctx, id, func(st *serverclient.JobStatus) {
+			fmt.Println(st.String())
+		})
+	} else {
+		res, err = c.Prove(ctx, req, serverclient.Options{Timeout: timeout})
+	}
 	exitOn(err, remoteExitCode(err))
 	fmt.Printf("proved in %v (%d proof bytes)\n", time.Since(start), len(res.Proof))
 

@@ -34,7 +34,23 @@ import (
 
 	"unizk/internal/cluster"
 	"unizk/internal/server"
+	"unizk/internal/tenant"
 )
+
+// tenantFlags collects repeatable -tenant specs
+// (name:key[:class=N][:rate=R][:burst=B][:inflight=M]).
+type tenantFlags []tenant.Config
+
+func (f *tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(*f)) }
+
+func (f *tenantFlags) Set(spec string) error {
+	cfg, err := tenant.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, cfg)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8500", "coordinator listen address (use :0 for an ephemeral port)")
@@ -45,6 +61,11 @@ func main() {
 	drain := flag.Duration("drain", 60*time.Second, "how long shutdown waits for in-flight cluster jobs")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline, measured from admission")
 	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	cacheEntries := flag.Int("cache", 0, "coordinator proof cache entries (0 = cache off)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cached proof lifetime (0 = proofcache default)")
+	cacheVerify := flag.Bool("cache-verify", false, "verify each proof before caching it (verify-on-insert)")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "tenant spec name:key[:class=N][:rate=R][:burst=B][:inflight=M] (repeatable)")
 	flag.Parse()
 
 	var urls []string
@@ -53,10 +74,32 @@ func main() {
 			urls = append(urls, u)
 		}
 	}
-	if err := run(*addr, urls, *spawn, *probe, *stale, *drain, *jobTimeout, *portfile); err != nil {
+	opts := servingOptions{
+		cacheEntries: *cacheEntries,
+		cacheTTL:     *cacheTTL,
+		cacheVerify:  *cacheVerify,
+	}
+	if len(tenants) > 0 {
+		reg, err := tenant.NewRegistry(tenants...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unizk-cluster:", err)
+			os.Exit(1)
+		}
+		opts.tenants = reg
+	}
+	if err := run(*addr, urls, *spawn, *probe, *stale, *drain, *jobTimeout, *portfile, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "unizk-cluster:", err)
 		os.Exit(1)
 	}
+}
+
+// servingOptions carries the serving-tier knobs (coordinator cache and
+// tenant registry) from flags into run.
+type servingOptions struct {
+	cacheEntries int
+	cacheTTL     time.Duration
+	cacheVerify  bool
+	tenants      *tenant.Registry
 }
 
 // localNode is one self-spawned in-process prover node.
@@ -89,7 +132,7 @@ func spawnLocal(n int) ([]*localNode, []string, error) {
 	return locals, urls, nil
 }
 
-func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout time.Duration, portfile string) error {
+func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout time.Duration, portfile string, opts servingOptions) error {
 	if spawn > 0 && len(urls) > 0 {
 		return errors.New("use -nodes or -spawn, not both")
 	}
@@ -111,6 +154,10 @@ func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout 
 		ProbeInterval:  probe,
 		StaleAfter:     stale,
 		DefaultTimeout: jobTimeout,
+		CacheEntries:   opts.cacheEntries,
+		CacheTTL:       opts.cacheTTL,
+		CacheVerify:    opts.cacheVerify,
+		Tenants:        opts.tenants,
 	})
 	if err != nil {
 		return err

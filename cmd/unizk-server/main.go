@@ -32,7 +32,23 @@ import (
 
 	"unizk/internal/parallel"
 	"unizk/internal/server"
+	"unizk/internal/tenant"
 )
+
+// tenantFlags collects repeatable -tenant specs
+// (name:key[:class=N][:rate=R][:burst=B][:inflight=M]).
+type tenantFlags []tenant.Config
+
+func (f *tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(*f)) }
+
+func (f *tenantFlags) Set(spec string) error {
+	cfg, err := tenant.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, cfg)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8427", "listen address (use :0 for an ephemeral port)")
@@ -44,6 +60,12 @@ func main() {
 	idemTTL := flag.Duration("idem-ttl", 10*time.Minute, "how long a submitted idempotency key deduplicates retries")
 	idemKeys := flag.Int("idem-keys", 4096, "max idempotency keys tracked before the oldest are evicted")
 	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	cacheEntries := flag.Int("cache", 0, "content-addressed proof cache entries (0 = cache off)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cached proof lifetime (0 = proofcache default)")
+	cacheVerify := flag.Bool("cache-verify", false, "verify each proof before caching it (verify-on-insert)")
+	registry := flag.Int("registry", 0, "precompiled-circuit registry size: hot circuits compile once (0 = off)")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "tenant spec name:key[:class=N][:rate=R][:burst=B][:inflight=M] (repeatable)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -52,6 +74,18 @@ func main() {
 		DefaultTimeout:     *jobTimeout,
 		IdempotencyTTL:     *idemTTL,
 		MaxIdempotencyKeys: *idemKeys,
+		CacheEntries:       *cacheEntries,
+		CacheTTL:           *cacheTTL,
+		CacheVerify:        *cacheVerify,
+		RegistryCircuits:   *registry,
+	}
+	if len(tenants) > 0 {
+		reg, err := tenant.NewRegistry(tenants...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unizk-server:", err)
+			os.Exit(1)
+		}
+		cfg.Tenants = reg
 	}
 	if err := run(*addr, cfg, *workers, *drain, *portfile); err != nil {
 		fmt.Fprintln(os.Stderr, "unizk-server:", err)

@@ -44,7 +44,9 @@ import (
 	"time"
 
 	"unizk/internal/jobs"
+	"unizk/internal/proofcache"
 	"unizk/internal/server"
+	"unizk/internal/tenant"
 )
 
 // Rejection sentinels for cluster admission. Both are retryable — they
@@ -111,6 +113,24 @@ type Config struct {
 	// idempotency index. Defaults 10m / 4096.
 	IdempotencyTTL     time.Duration
 	MaxIdempotencyKeys int
+
+	// CacheEntries > 0 enables the coordinator-level content-addressed
+	// proof cache: identical content is answered before any dispatch,
+	// and concurrent identical submissions coalesce onto one cluster
+	// job. Replicated at the coordinator like the idempotency index, so
+	// hits survive the node that proved them. 0 disables it.
+	CacheEntries int
+	// CacheTTL bounds cached proof age; proofcache.DefaultTTL when 0.
+	CacheTTL time.Duration
+	// CacheVerify re-verifies each proof (jobs.CheckResult) before it
+	// is cached at the coordinator.
+	CacheVerify bool
+	// Tenants, when non-nil, is the multi-tenant registry the
+	// coordinator authenticates and gates against — the same model a
+	// single server applies, enforced once at the cluster edge (nodes
+	// behind it see only the coordinator's own submissions). Nil gets a
+	// registry with just the unlimited default tenant.
+	Tenants *tenant.Registry
 
 	// Node-client tuning: each node handle gets its own
 	// breaker/retry stack built from these; zero values use the
@@ -223,6 +243,19 @@ type cjob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// running closes exactly once, on the first dispatch to a node; jobs
+	// that finish without dispatching (canceled while queued, served from
+	// cache) never close it — progress streams select on done alongside.
+	running chan struct{}
+
+	// owner is the tenant this job is attributed to; only slotHeld jobs
+	// release an in-flight quota slot at finish.
+	owner    *tenant.Tenant
+	slotHeld bool
+	// cacheKey/cacheLeader mark a job leading a proof-cache flight; its
+	// result (or failure) settles the flight in watch/finishJob.
+	cacheKey    proofcache.Key
+	cacheLeader bool
 
 	mu sync.Mutex
 	//unizklint:guardedby mu
@@ -299,6 +332,11 @@ type Coordinator struct {
 	met   *metrics
 	mux   *http.ServeMux
 
+	// cache is the coordinator-level proof cache (nil when disabled);
+	// tenants is always non-nil.
+	cache   *proofcache.Cache
+	tenants *tenant.Registry
+
 	base      context.Context
 	cancelAll context.CancelFunc
 	probers   sync.WaitGroup
@@ -336,6 +374,19 @@ func New(cfg Config) (*Coordinator, error) {
 		jobsByID:  make(map[string]*cjob),
 		idemIndex: make(map[string]*idemEntry),
 	}
+	if cfg.CacheEntries > 0 {
+		c.cache = proofcache.New(proofcache.Config{
+			MaxEntries: cfg.CacheEntries,
+			TTL:        cfg.CacheTTL,
+			Verify:     cfg.CacheVerify,
+		})
+	}
+	c.tenants = cfg.Tenants
+	if c.tenants == nil {
+		// NewRegistry without configs cannot fail: it only synthesizes
+		// the unlimited default tenant.
+		c.tenants, _ = tenant.NewRegistry()
+	}
 	for i, u := range cfg.Nodes {
 		c.nodes = append(c.nodes, newNode(u, i, cfg))
 	}
@@ -352,39 +403,111 @@ func New(cfg Config) (*Coordinator, error) {
 // work against a cluster unchanged.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// admit validates, registers, and starts a cluster job. A request
-// carrying an idempotency key already admitted returns the original job
-// with deduped=true.
-func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Duration) (j *cjob, deduped bool, err error) {
+// admitHow classifies how a submit resolved to its cluster job —
+// mirrors the single-server taxonomy so SubmitReply flags line up.
+type admitHow int
+
+const (
+	admitFresh admitHow = iota
+	admitDeduped
+	admitCachedHit
+	admitCoalesced
+)
+
+// admit validates, registers, and starts a cluster job on behalf of tn
+// (nil means the default tenant). Non-fresh outcomes return an existing
+// (or pre-completed) job: idempotent replays, coordinator proof-cache
+// hits, and coalesced attachments onto an in-flight identical job.
+//
+// Admission order matches the single server: drain gate, tenant rate
+// token, request validation, idempotency lookup, node availability,
+// proof-cache lookup/flight, tenant in-flight slot, register, dispatch.
+func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Duration, tn *tenant.Tenant) (j *cjob, how admitHow, err error) {
 	if c.draining.Load() {
-		return nil, false, server.ErrDraining
+		return nil, admitFresh, server.ErrDraining
 	}
+	if tn == nil {
+		tn = c.tenants.Default()
+	}
+	if err := tn.AllowSubmit(); err != nil {
+		c.met.rejectedLimited.Add(1)
+		return nil, admitFresh, err
+	}
+	priority = tn.EffectivePriority(priority)
 	if err := req.Validate(); err != nil {
 		c.met.rejectedInvalid.Add(1)
-		return nil, false, err
+		return nil, admitFresh, err
 	}
 	var fp fingerprint
 	if req.IdempotencyKey != "" {
 		raw, err := req.MarshalBinary()
 		if err != nil {
-			return nil, false, err
+			return nil, admitFresh, err
 		}
 		fp = requestFingerprint(raw)
 		c.mu.Lock()
 		existing, err := c.idemLookupLocked(req.IdempotencyKey, fp)
 		c.mu.Unlock()
 		if err != nil {
-			return nil, false, err
+			return nil, admitFresh, err
 		}
 		if existing != nil {
 			c.met.idemHits.Add(1)
-			return existing, true, nil
+			tn.RecordAdmit()
+			return existing, admitDeduped, nil
+		}
+	}
+	id := fmt.Sprintf("c%08d", c.nextID.Add(1))
+	var ckey proofcache.Key
+	cacheLeader := false
+	if c.cache != nil {
+		// The cache is consulted before node availability: a hit answers
+		// even while every node is dark — the proof already exists.
+		ckey = proofcache.KeyFor(req)
+		res, leaderID, leader := c.cache.Begin(ckey, id)
+		for i := 0; leaderID != ""; i++ {
+			if lj, ok := c.lookup(leaderID); ok {
+				tn.RecordAdmit()
+				return lj, admitCoalesced, nil
+			}
+			// The flight exists but its leader's job is not registered
+			// yet (the window between Begin and registration), or its
+			// admission failed and the flight is about to clear. Wait a
+			// beat and re-resolve; after a bounded wait, prove
+			// independently rather than stalling admission.
+			if i >= 500 {
+				leaderID = ""
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+			if cur, ok := c.cache.Flight(ckey); ok && cur == leaderID {
+				continue
+			}
+			res, leaderID, leader = c.cache.Begin(ckey, id)
+		}
+		if res != nil {
+			return c.admitCached(id, req, priority, res, tn, fp)
+		}
+		if leader {
+			cacheLeader = true
+		}
+	}
+	rollback := func() {
+		if cacheLeader {
+			c.cache.Abort(ckey, id)
 		}
 	}
 	if c.healthyNodes() == 0 {
+		rollback()
 		c.met.rejectedNoNodes.Add(1)
-		return nil, false, ErrNoHealthyNodes
+		return nil, admitFresh, ErrNoHealthyNodes
 	}
+	if err := tn.AcquireSlot(time.Duration(c.retryAfterSeconds()) * time.Second); err != nil {
+		rollback()
+		c.met.rejectedLimited.Add(1)
+		return nil, admitFresh, err
+	}
+	releaseSlot := func() { tn.Release() }
 	if timeout <= 0 || timeout > c.cfg.MaxTimeout {
 		if timeout > c.cfg.MaxTimeout {
 			timeout = c.cfg.MaxTimeout
@@ -400,14 +523,19 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 		cancel = func() { tcancel(); inner() }
 	}
 	j = &cjob{
-		id:        fmt.Sprintf("c%08d", c.nextID.Add(1)),
-		req:       req,
-		priority:  priority,
-		timeout:   timeout,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		submitted: time.Now(),
+		id:          id,
+		req:         req,
+		priority:    priority,
+		timeout:     timeout,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		running:     make(chan struct{}),
+		owner:       tn,
+		slotHeld:    true,
+		cacheKey:    ckey,
+		cacheLeader: cacheLeader,
+		submitted:   time.Now(),
 	}
 	j.nodeKey = "cluster/" + j.id
 
@@ -419,18 +547,22 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 		if lerr != nil || existing != nil {
 			c.mu.Unlock()
 			j.cancel()
+			rollback()
+			releaseSlot()
 			if lerr != nil {
-				return nil, false, lerr
+				return nil, admitFresh, lerr
 			}
 			c.met.idemHits.Add(1)
-			return existing, true, nil
+			return existing, admitDeduped, nil
 		}
 	}
 	if c.pending >= c.cfg.PendingCap {
 		c.mu.Unlock()
 		j.cancel()
+		rollback()
+		releaseSlot()
 		c.met.rejectedSaturated.Add(1)
-		return nil, false, ErrSaturated
+		return nil, admitFresh, ErrSaturated
 	}
 	if req.IdempotencyKey != "" {
 		c.idemInsertLocked(req.IdempotencyKey, fp, j.id)
@@ -442,7 +574,50 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 	c.met.submitted.Add(1)
 	c.watchers.Add(1)
 	go c.watch(j)
-	return j, false, nil
+	return j, admitFresh, nil
+}
+
+// admitCached mints an already-done cluster job for a coordinator
+// proof-cache hit: every surface (status, proof, sync prove, waiters,
+// idempotent replays) serves the cached result through the normal job
+// lifecycle, with no dispatch and no node traffic.
+func (c *Coordinator) admitCached(id string, req *jobs.Request, priority int, res *jobs.Result, tn *tenant.Tenant, fp fingerprint) (*cjob, admitHow, error) {
+	// Counted here, not via AcquireSlot: a cached serve claims no slot
+	// but is still a submission the tenant had accepted.
+	tn.RecordAdmit()
+	ctx, cancel := context.WithCancel(c.base)
+	j := &cjob{
+		id:        id,
+		req:       req,
+		priority:  priority,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		running:   make(chan struct{}),
+		owner:     tn,
+		submitted: time.Now(),
+	}
+	j.nodeKey = "cluster/" + j.id
+	c.mu.Lock()
+	if req.IdempotencyKey != "" {
+		existing, lerr := c.idemLookupLocked(req.IdempotencyKey, fp)
+		if lerr != nil || existing != nil {
+			c.mu.Unlock()
+			j.cancel()
+			if lerr != nil {
+				return nil, admitFresh, lerr
+			}
+			c.met.idemHits.Add(1)
+			return existing, admitDeduped, nil
+		}
+		c.idemInsertLocked(req.IdempotencyKey, fp, id)
+	}
+	c.jobsByID[id] = j
+	c.pending++
+	c.mu.Unlock()
+	c.met.submitted.Add(1)
+	c.finishJob(j, res, nil)
+	return j, admitCachedHit, nil
 }
 
 // lookup returns a registered cluster job by id.
@@ -481,6 +656,14 @@ func (c *Coordinator) finishJob(j *cjob, res *jobs.Result, err error) {
 		c.met.canceled.Add(1)
 	default:
 		c.met.failed.Add(1)
+	}
+	if j.cacheLeader {
+		// No-op after a successful Complete; clears the flight on every
+		// failure path so the content stays provable by the next submit.
+		c.cache.Abort(j.cacheKey, j.id)
+	}
+	if j.slotHeld {
+		j.owner.Release()
 	}
 	j.cancel()
 	close(j.done)

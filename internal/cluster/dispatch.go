@@ -44,6 +44,14 @@ var (
 func (c *Coordinator) watch(j *cjob) {
 	defer c.watchers.Done()
 	res, err := c.runJob(j)
+	if err == nil && j.cacheLeader {
+		// Settle the coordinator's proof-cache flight before the job goes
+		// terminal; with CacheVerify a proof failing re-verification fails
+		// the job instead of fanning out to every coalesced waiter.
+		if cerr := c.cache.Complete(j.cacheKey, j.id, res, c.cacheCheck(j)); cerr != nil {
+			res, err = nil, cerr
+		}
+	}
 	if err != nil && errors.Is(err, j.ctx.Err()) {
 		// The job's own context ended it (cancel or deadline); if a
 		// remote job is still attributed, cancel it there so the node
@@ -54,6 +62,16 @@ func (c *Coordinator) watch(j *cjob) {
 		err = j.ctx.Err()
 	}
 	c.finishJob(j, res, err)
+}
+
+// cacheCheck returns the verify-on-insert hook for a flight leader:
+// a full re-verification of the node-produced proof against the
+// request, or nil when CacheVerify is off.
+func (c *Coordinator) cacheCheck(j *cjob) func(*jobs.Result) error {
+	if !c.cfg.CacheVerify {
+		return nil
+	}
+	return func(res *jobs.Result) error { return jobs.CheckResult(j.req, res) }
 }
 
 // runJob is the placement/failover loop: pick a node, run the job
@@ -129,6 +147,7 @@ func (c *Coordinator) runOn(j *cjob, n *node) (*jobs.Result, error) {
 	}
 	if j.state == cstateQueued {
 		j.state = cstateDispatched
+		close(j.running) // first dispatch only; failovers keep the state
 	}
 	j.mu.Unlock()
 

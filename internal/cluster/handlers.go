@@ -19,6 +19,7 @@ import (
 	"unizk/internal/prooferr"
 	"unizk/internal/server"
 	"unizk/internal/serverclient"
+	"unizk/internal/tenant"
 )
 
 func (c *Coordinator) buildMux() *http.ServeMux {
@@ -54,11 +55,38 @@ func statusForCluster(err error) (int, string) {
 func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
 	status, class := statusForCluster(err)
 	body := serverclient.ErrorBody{Error: err.Error(), Class: class}
-	if server.RetryableStatus(status) {
+	var limit *tenant.LimitError
+	switch {
+	case errors.As(err, &limit):
+		// Tenant rejections carry their own computed Retry-After (token
+		// refill or quota estimate) and name the rejected tenant.
+		body.Tenant = limit.Tenant
+		body.RetryAfterSeconds = ceilSeconds(limit.RetryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
+	case server.RetryableStatus(status):
 		body.RetryAfterSeconds = c.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
 	}
 	writeJSON(w, status, body)
+}
+
+// ceilSeconds rounds a duration up to whole seconds, minimum 1.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// authenticate resolves the request's tenant from its API key; unknown
+// keys are counted and rejected with 401.
+func (c *Coordinator) authenticate(r *http.Request) (*tenant.Tenant, error) {
+	tn, err := c.tenants.Authenticate(server.APIKey(r))
+	if err != nil {
+		c.met.rejectedUnauth.Add(1)
+	}
+	return tn, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,35 +130,49 @@ func (c *Coordinator) decodeSubmit(r *http.Request) (*jobs.Request, int, time.Du
 }
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := c.authenticate(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
 	req, priority, timeout, err := c.decodeSubmit(r)
 	if err != nil {
 		c.writeError(w, err)
 		return
 	}
-	j, deduped, err := c.admit(req, priority, timeout)
+	j, how, err := c.admit(req, priority, timeout, tn)
 	if err != nil {
 		c.writeError(w, err)
 		return
 	}
 	state := cstateQueued
-	if deduped {
+	if how != admitFresh {
+		// An attach (idempotency, cache, coalesce) may land on a job in
+		// any state; report the one it is actually in.
 		state, _, _, _ = j.snapshot()
 	}
 	writeJSON(w, http.StatusAccepted, serverclient.SubmitReply{
 		ID:           j.id,
 		State:        state.String(),
 		StatusURL:    "/v1/jobs/" + j.id,
-		Deduplicated: deduped,
+		Deduplicated: how == admitDeduped,
+		Cached:       how == admitCachedHit,
+		Coalesced:    how == admitCoalesced,
 	})
 }
 
 func (c *Coordinator) handleProveSync(w http.ResponseWriter, r *http.Request) {
+	tn, err := c.authenticate(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
 	req, priority, timeout, err := c.decodeSubmit(r)
 	if err != nil {
 		c.writeError(w, err)
 		return
 	}
-	j, deduped, err := c.admit(req, priority, timeout)
+	j, how, err := c.admit(req, priority, timeout, tn)
 	if err != nil {
 		c.writeError(w, err)
 		return
@@ -138,10 +180,11 @@ func (c *Coordinator) handleProveSync(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		// Disconnect cancels only a job this request admitted; a
-		// deduplicated job belongs to its original submitter, and
-		// canceling it here would fail every other waiter.
-		if !deduped {
+		// Disconnect cancels only a job this request admitted; an
+		// attached job (idempotency, cache, coalesce) belongs to its
+		// original submitter, and canceling it here would fail every
+		// other waiter.
+		if how == admitFresh {
 			j.cancel()
 			<-j.done
 		}
@@ -203,12 +246,36 @@ func (c *Coordinator) statusJSON(j *cjob) ClusterJobStatus {
 	return st
 }
 
+// handleStatus mirrors the node's three status modes: immediate
+// snapshot, ?wait= long-poll, and SSE via Accept: text/event-stream —
+// reusing the server package's streaming primitives so the cluster
+// speaks the identical wire protocol.
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.lookup(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
 			Error: "unknown job id", Class: "not_found"})
 		return
+	}
+	if server.WantsSSE(r) {
+		server.StreamJob(w, r, j.running, j.done, func() (any, bool) {
+			st := c.statusJSON(j)
+			return st, server.TerminalState(st.State)
+		})
+		return
+	}
+	wait, err := server.ParseWait(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	if wait > 0 {
+		select {
+		case <-j.done:
+		case <-time.After(wait):
+		case <-r.Context().Done():
+			return // client went away; nothing left to answer
+		}
 	}
 	writeJSON(w, http.StatusOK, c.statusJSON(j))
 }

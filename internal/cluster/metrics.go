@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unizk/internal/server"
 	"unizk/internal/serverclient"
 )
 
@@ -23,6 +24,8 @@ type metrics struct {
 	rejectedSaturated atomic.Int64
 	rejectedNoNodes   atomic.Int64
 	rejectedInvalid   atomic.Int64
+	rejectedLimited   atomic.Int64
+	rejectedUnauth    atomic.Int64
 
 	// Failover machinery counters.
 	redispatches atomic.Int64 // jobs re-placed after their node was lost
@@ -86,6 +89,22 @@ type ClusterMetrics struct {
 	RejectedNoNodes   int64 `json:"rejected_no_healthy_nodes"`
 	RejectedInvalid   int64 `json:"rejected_invalid"`
 
+	RejectedRateLimited  int64 `json:"rejected_rate_limited,omitempty"`
+	RejectedUnauthorized int64 `json:"rejected_unauthorized,omitempty"`
+
+	// Coordinator proof-cache counters; all zero when the cache is off.
+	CacheHits           int64 `json:"cache_hits,omitempty"`
+	CacheMisses         int64 `json:"cache_misses,omitempty"`
+	CacheCoalesced      int64 `json:"cache_coalesced,omitempty"`
+	CacheEvicted        int64 `json:"cache_evicted,omitempty"`
+	CacheExpired        int64 `json:"cache_expired,omitempty"`
+	CacheInserted       int64 `json:"cache_inserted,omitempty"`
+	CacheVerifyRejected int64 `json:"cache_verify_rejected,omitempty"`
+	CacheEntries        int   `json:"cache_entries,omitempty"`
+
+	// Tenants is the per-tenant admission/limit roster.
+	Tenants []serverclient.TenantMetrics `json:"tenants,omitempty"`
+
 	Redispatches int64 `json:"redispatches"`
 	Recovered    int64 `json:"recovered"`
 	Ejections    int64 `json:"ejections"`
@@ -123,6 +142,21 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	m.Pending = c.pending
 	m.IdempotencyEntries = len(c.idemIndex)
 	c.mu.Unlock()
+
+	m.RejectedRateLimited = c.met.rejectedLimited.Load()
+	m.RejectedUnauthorized = c.met.rejectedUnauth.Load()
+	if c.cache != nil {
+		cs := c.cache.Stats()
+		m.CacheHits = cs.Hits
+		m.CacheMisses = cs.Misses
+		m.CacheCoalesced = cs.Coalesced
+		m.CacheEvicted = cs.Evicted
+		m.CacheExpired = cs.Expired
+		m.CacheInserted = cs.Inserted
+		m.CacheVerifyRejected = cs.VerifyRejected
+		m.CacheEntries = cs.Entries
+	}
+	m.Tenants = server.TenantMetricsFor(c.tenants)
 
 	for _, n := range c.nodes {
 		n.mu.Lock()

@@ -294,6 +294,51 @@ func decodeTrace(payload []byte, s *stark.Stark) ([][]field.Element, error) {
 	return cols, nil
 }
 
+// ReuseFor derives a ready-to-prove job for req from an already-compiled
+// job, skipping circuit construction. The receiver must have been
+// compiled for the same (kind, workload, logRows) triple; req is
+// validated the same way Compile validates it. The expensive frozen
+// artifacts are shared — the plonk circuit (read-only during proving:
+// find() walks a frozen union-find) and the stark AIR — while anything
+// proving mutates is private to the derived job: the plonk witness is
+// cloned (generators write into its value map), and a stark payload is
+// decoded fresh so the base job's generated trace is never aliased by a
+// payload-overridden request. The derived job proves bit-identically to
+// a Compile of the same request.
+func (j *Job) ReuseFor(req *Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Kind != j.req.Kind || req.Workload != j.req.Workload || req.LogRows != j.req.LogRows {
+		return nil, fmt.Errorf("jobs: reuse of (%s, %s, 2^%d) for (%s, %s, 2^%d): %w: %w",
+			j.req.Kind, j.req.Workload, j.req.LogRows,
+			req.Kind, req.Workload, req.LogRows,
+			ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	d := &Job{req: req}
+	switch req.Kind {
+	case KindPlonk:
+		d.circuit = j.circuit
+		d.wit = j.wit.Clone()
+		d.pub = j.pub
+	case KindStark:
+		d.stark = j.stark
+		if len(req.Payload) > 0 {
+			cols, err := decodeTrace(req.Payload, j.stark)
+			if err != nil {
+				return nil, err
+			}
+			d.cols = cols
+		} else {
+			// The generated trace is read-only during proving
+			// (fri.CommitValues copies columns into pooled buffers), so the
+			// base job's columns are safe to share across derived jobs.
+			d.cols = j.cols
+		}
+	}
+	return d, nil
+}
+
 // Describe returns the one-line build summary cmd/prove prints.
 func (j *Job) Describe() string {
 	switch j.req.Kind {

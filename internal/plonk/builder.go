@@ -217,6 +217,19 @@ func (w *Witness) Set(t Target, v field.Element) {
 // Err reports the first witness assignment conflict, if any.
 func (w *Witness) Err() error { return w.err }
 
+// Clone returns an independent copy of the witness sharing the (frozen)
+// circuit. Proving mutates the witness — ProveContext runs the circuit's
+// generators, which write computed values into the map — so a compiled
+// witness that will be proven more than once, or concurrently, must be
+// cloned per prove.
+func (w *Witness) Clone() *Witness {
+	values := make(map[Target]field.Element, len(w.values))
+	for t, v := range w.values {
+		values[t] = v
+	}
+	return &Witness{circuit: w.circuit, values: values, err: w.err}
+}
+
 // Get returns the target's value (zero if unset).
 func (w *Witness) Get(t Target) field.Element {
 	return w.values[w.circuit.find(t)]

@@ -1,0 +1,322 @@
+// Package proofcache implements the content-addressed proof cache and
+// the precompiled-circuit registry behind the serving stack's hot-path
+// amortization (ROADMAP item 4): identical requests cost one prove.
+//
+// The cache key is derived from request *content* — the canonical wire
+// encoding of (kind, workload, logRows, payload) — and deliberately
+// excludes the client-chosen idempotency key. The idempotency index
+// answers "did *this client* already submit this request?" (retry
+// safety, key-reuse conflicts); the proof cache answers "does *anyone's*
+// proof for these bytes already exist?" (work amortization). Two clients
+// submitting the same content under different idempotency keys are two
+// distinct idempotency entries but one cache entry and one prove.
+//
+// Caching proofs is sound because proving is deterministic: the prover's
+// parallel kernels commit to their split points (internal/parallel), so
+// the proof bytes for given content are bit-identical regardless of
+// worker count, scheduling, or which node proves. A cached proof is the
+// proof a fresh prove would produce.
+package proofcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/wire"
+)
+
+// Key is a content address: sha256 over the canonical wire encoding of
+// the request fields that determine the proof bytes.
+type Key [sha256.Size]byte
+
+// KeyFor derives the content key for a request. The idempotency key is
+// excluded — it is client-chosen routing state, not proof content — so
+// requests that differ only in it collide here, which is the point.
+func KeyFor(req *jobs.Request) Key {
+	var w wire.Writer
+	w.Uvarint(uint64(req.Kind))
+	w.Str(req.Workload)
+	w.Uvarint(uint64(req.LogRows))
+	w.Blob(req.Payload)
+	return sha256.Sum256(w.Bytes())
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxEntries = 512
+	DefaultTTL        = 30 * time.Minute
+)
+
+// Config bounds the cache. The zero value gets DefaultMaxEntries and
+// DefaultTTL; a nil *Cache (not a zero Config) is how callers disable
+// caching entirely.
+type Config struct {
+	// MaxEntries bounds the number of retained results (LRU beyond it).
+	MaxEntries int
+	// TTL bounds entry age; expired entries are dropped on lookup.
+	TTL time.Duration
+	// Verify makes Complete check each result against its compiled job
+	// before inserting (verify-on-insert): a proof that fails its own
+	// verifier is reported to the leader and never served from cache.
+	Verify bool
+}
+
+type entry struct {
+	key     Key
+	res     *jobs.Result
+	expires time.Time
+	elem    *list.Element
+}
+
+// flight is one in-progress prove for a key: the leader's job plus the
+// count of coalesced followers that attached to it.
+type flight struct {
+	leaderID  string
+	followers int
+}
+
+// Cache is the content-addressed proof cache with singleflight
+// coalescing. All methods are safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu sync.Mutex
+	//unizklint:guardedby mu
+	entries map[Key]*entry
+	//unizklint:guardedby mu
+	lru *list.List // front = most recently used; values are *entry
+	//unizklint:guardedby mu
+	flights map[Key]*flight
+	//unizklint:guardedby mu
+	now func() time.Time // test hook; nil means time.Now
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	coalesced      atomic.Int64
+	evicted        atomic.Int64
+	inserted       atomic.Int64
+	expired        atomic.Int64
+	verifyRejected atomic.Int64
+}
+
+// New builds a cache, applying defaults to zero Config fields.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[Key]*entry),
+		lru:     list.New(),
+		flights: make(map[Key]*flight),
+	}
+}
+
+//unizklint:holds c.mu
+func (c *Cache) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+// lookupLocked resolves key to a live cached result, expiring and
+// evicting as a side effect.
+//
+//unizklint:holds c.mu
+func (c *Cache) lookupLocked(key Key) *jobs.Result {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	if !e.expires.After(c.clock()) {
+		c.removeLocked(e)
+		c.expired.Add(1)
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.res
+}
+
+//unizklint:holds c.mu
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}
+
+// Get returns the cached result for key, if present and unexpired,
+// bumping its LRU position. Counts a hit or a miss.
+func (c *Cache) Get(key Key) (*jobs.Result, bool) {
+	c.mu.Lock()
+	res := c.lookupLocked(key)
+	c.mu.Unlock()
+	if res == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// Begin resolves key at admission time, atomically with respect to
+// concurrent submitters of the same content. Exactly one of three
+// outcomes:
+//
+//   - res != nil: cache hit — the proof already exists, serve it.
+//   - leaderID != "": an identical request is proving right now; the
+//     caller should attach to that job (coalesce) instead of proving.
+//   - leader == true: the caller is the leader for this key. It must
+//     eventually call Complete (success) or Abort (failure/cancel) with
+//     the same jobID, or the key stays in flight forever.
+func (c *Cache) Begin(key Key, jobID string) (res *jobs.Result, leaderID string, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res := c.lookupLocked(key); res != nil {
+		c.hits.Add(1)
+		return res, "", false
+	}
+	if f, ok := c.flights[key]; ok {
+		f.followers++
+		c.coalesced.Add(1)
+		return nil, f.leaderID, false
+	}
+	c.misses.Add(1)
+	c.flights[key] = &flight{leaderID: jobID}
+	return nil, "", true
+}
+
+// Flight peeks at the current flight leader for key without counting
+// anything — how a coalescing follower re-checks while it waits for the
+// leader's job to become visible in its server's registry (the leader
+// registers a beat after Begin; a follower can observe the flight
+// first).
+func (c *Cache) Flight(key Key) (leaderID string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.flights[key]
+	if !ok {
+		return "", false
+	}
+	return f.leaderID, true
+}
+
+// Complete finishes a leader's flight with a successful result. If the
+// cache was built with Verify, check is invoked (outside the lock) and a
+// failing result is counted, not inserted, and its error returned — the
+// flight is still cleared so a later request can re-prove. check may be
+// nil to skip verification even under Verify. Complete by a jobID that
+// is not the key's current leader is a no-op (the flight was aborted and
+// reclaimed, or never existed).
+func (c *Cache) Complete(key Key, jobID string, res *jobs.Result, check func(*jobs.Result) error) error {
+	if c.cfg.Verify && check != nil {
+		if err := check(res); err != nil {
+			c.verifyRejected.Add(1)
+			c.Abort(key, jobID)
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; !ok || f.leaderID != jobID {
+		return nil
+	}
+	delete(c.flights, key)
+	if e, ok := c.entries[key]; ok {
+		// A racing insert (e.g. a replicated coordinator writing the same
+		// content) already landed; refresh rather than duplicate.
+		e.res = res
+		e.expires = c.clock().Add(c.cfg.TTL)
+		c.lru.MoveToFront(e.elem)
+		return nil
+	}
+	e := &entry{key: key, res: res, expires: c.clock().Add(c.cfg.TTL)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.inserted.Add(1)
+	for len(c.entries) > c.cfg.MaxEntries {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*entry))
+		c.evicted.Add(1)
+	}
+	return nil
+}
+
+// Put inserts a result directly, without a flight — how a cluster
+// coordinator seeds its cache from a node's completed job.
+func (c *Cache) Put(key Key, res *jobs.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.res = res
+		e.expires = c.clock().Add(c.cfg.TTL)
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: key, res: res, expires: c.clock().Add(c.cfg.TTL)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.inserted.Add(1)
+	for len(c.entries) > c.cfg.MaxEntries {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*entry))
+		c.evicted.Add(1)
+	}
+}
+
+// Abort clears a leader's flight without inserting anything — the prove
+// failed or was canceled, and failures are never cached (same policy as
+// the idempotency index). Followers that attached to the leader's job
+// observe its failure through the job itself; the next submission of
+// this content starts a fresh flight. No-op unless jobID is the key's
+// current leader.
+func (c *Cache) Abort(key Key, jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok && f.leaderID == jobID {
+		delete(c.flights, key)
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	Coalesced      int64
+	Evicted        int64
+	Expired        int64
+	Inserted       int64
+	VerifyRejected int64
+	Entries        int
+	Flights        int
+}
+
+// Stats snapshots the counters and current sizes.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, flights := len(c.entries), len(c.flights)
+	c.mu.Unlock()
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Coalesced:      c.coalesced.Load(),
+		Evicted:        c.evicted.Load(),
+		Expired:        c.expired.Load(),
+		Inserted:       c.inserted.Load(),
+		VerifyRejected: c.verifyRejected.Load(),
+		Entries:        entries,
+		Flights:        flights,
+	}
+}

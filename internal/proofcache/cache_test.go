@@ -1,0 +1,244 @@
+package proofcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"unizk/internal/jobs"
+)
+
+func testKey(i int) Key {
+	return KeyFor(&jobs.Request{Kind: jobs.KindStark, Workload: "fib", LogRows: 1 + i})
+}
+
+func testRes(i int) *jobs.Result {
+	return &jobs.Result{Kind: jobs.KindStark, Proof: []byte{byte(i), byte(i >> 8)}}
+}
+
+// complete drives a full leader flight for key and inserts res.
+func complete(t *testing.T, c *Cache, key Key, id string, res *jobs.Result) {
+	t.Helper()
+	got, leaderID, leader := c.Begin(key, id)
+	if got != nil || leaderID != "" || !leader {
+		t.Fatalf("Begin(%s) = (%v, %q, %v), want fresh leader", id, got, leaderID, leader)
+	}
+	if err := c.Complete(key, id, res, nil); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+}
+
+func TestKeyForIgnoresIdempotencyKey(t *testing.T) {
+	a := &jobs.Request{Kind: jobs.KindStark, Workload: "fib", LogRows: 4, IdempotencyKey: "alice-1"}
+	b := &jobs.Request{Kind: jobs.KindStark, Workload: "fib", LogRows: 4, IdempotencyKey: "bob-7"}
+	if KeyFor(a) != KeyFor(b) {
+		t.Fatal("requests differing only in idempotency key must share a content key")
+	}
+	c := &jobs.Request{Kind: jobs.KindStark, Workload: "fib", LogRows: 5, IdempotencyKey: "alice-1"}
+	if KeyFor(a) == KeyFor(c) {
+		t.Fatal("requests with different content must not share a key")
+	}
+	d := &jobs.Request{Kind: jobs.KindStark, Workload: "fib", LogRows: 4, Payload: []byte{1}}
+	if KeyFor(a) == KeyFor(d) {
+		t.Fatal("payload must be part of the content key")
+	}
+}
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c := New(Config{MaxEntries: 2, TTL: time.Hour})
+	k0, k1, k2 := testKey(0), testKey(1), testKey(2)
+	if _, ok := c.Get(k0); ok {
+		t.Fatal("empty cache must miss")
+	}
+	complete(t, c, k0, "j0", testRes(0))
+	complete(t, c, k1, "j1", testRes(1))
+	// Touch k0 so k1 is the LRU victim when k2 lands.
+	if res, ok := c.Get(k0); !ok || res.Proof[0] != 0 {
+		t.Fatalf("Get(k0) = (%v, %v), want hit", res, ok)
+	}
+	complete(t, c, k2, "j2", testRes(2))
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("k1 should have been LRU-evicted")
+	}
+	if _, ok := c.Get(k0); !ok {
+		t.Fatal("k0 was recently used and must survive eviction")
+	}
+	if _, ok := c.Get(k2); !ok {
+		t.Fatal("k2 was just inserted and must be present")
+	}
+	st := c.Stats()
+	if st.Evicted != 1 || st.Inserted != 3 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 evicted, 3 inserted, 2 entries", st)
+	}
+}
+
+func TestCacheTTLExpiryDeterministic(t *testing.T) {
+	c := New(Config{MaxEntries: 8, TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	k := testKey(0)
+	complete(t, c, k, "j0", testRes(0))
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("entry must be live just before TTL")
+	}
+	now = now.Add(2 * time.Second) // 61s after insert
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry must expire after TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 expired, 0 entries", st)
+	}
+	// Begin after expiry starts a fresh flight, not a hit.
+	if res, _, leader := c.Begin(k, "j1"); res != nil || !leader {
+		t.Fatalf("Begin after expiry = (%v, leader=%v), want fresh leader", res, leader)
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := New(Config{})
+	k := testKey(0)
+	if _, _, leader := c.Begin(k, "leader"); !leader {
+		t.Fatal("first Begin must become leader")
+	}
+	for i := 0; i < 3; i++ {
+		res, leaderID, leader := c.Begin(k, fmt.Sprintf("f%d", i))
+		if res != nil || leader || leaderID != "leader" {
+			t.Fatalf("follower Begin = (%v, %q, %v), want attach to leader", res, leaderID, leader)
+		}
+	}
+	if st := c.Stats(); st.Coalesced != 3 || st.Flights != 1 {
+		t.Fatalf("stats = %+v, want 3 coalesced, 1 flight", st)
+	}
+	if err := c.Complete(k, "leader", testRes(0), nil); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	// After completion, new submitters hit the cache.
+	res, leaderID, leader := c.Begin(k, "late")
+	if res == nil || leaderID != "" || leader {
+		t.Fatalf("Begin after Complete = (%v, %q, %v), want cache hit", res, leaderID, leader)
+	}
+	if st := c.Stats(); st.Flights != 0 {
+		t.Fatalf("flight not cleared: %+v", st)
+	}
+}
+
+func TestCacheAbortClearsFlight(t *testing.T) {
+	c := New(Config{})
+	k := testKey(0)
+	c.Begin(k, "leader")
+	c.Begin(k, "follower")
+	// A non-leader abort is a no-op.
+	c.Abort(k, "follower")
+	if _, leaderID, _ := c.Begin(k, "f2"); leaderID != "leader" {
+		t.Fatalf("flight should survive non-leader abort, got leader %q", leaderID)
+	}
+	c.Abort(k, "leader")
+	if _, _, leader := c.Begin(k, "retry"); !leader {
+		t.Fatal("after leader abort the next Begin must start a fresh flight")
+	}
+	// A stale Complete from the aborted leader must not insert.
+	if err := c.Complete(k, "leader", testRes(0), nil); err != nil {
+		t.Fatalf("stale Complete: %v", err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale Complete after abort must not populate the cache")
+	}
+}
+
+func TestCacheVerifyOnInsertRejects(t *testing.T) {
+	c := New(Config{Verify: true})
+	k := testKey(0)
+	c.Begin(k, "leader")
+	bad := errors.New("proof rejected")
+	if err := c.Complete(k, "leader", testRes(0), func(*jobs.Result) error { return bad }); !errors.Is(err, bad) {
+		t.Fatalf("Complete with failing check = %v, want %v", err, bad)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("verify-rejected result must not be cached")
+	}
+	st := c.Stats()
+	if st.VerifyRejected != 1 || st.Flights != 0 {
+		t.Fatalf("stats = %+v, want 1 verify-rejected and flight cleared", st)
+	}
+	// The key is provable again.
+	if _, _, leader := c.Begin(k, "retry"); !leader {
+		t.Fatal("key must accept a new leader after verify rejection")
+	}
+	if err := c.Complete(k, "retry", testRes(0), func(*jobs.Result) error { return nil }); err != nil {
+		t.Fatalf("Complete with passing check: %v", err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("verified result must be cached")
+	}
+}
+
+func TestCachePutSeedsWithoutFlight(t *testing.T) {
+	c := New(Config{})
+	k := testKey(0)
+	c.Put(k, testRes(0))
+	if res, ok := c.Get(k); !ok || res.Proof[0] != 0 {
+		t.Fatal("Put must make the result visible to Get")
+	}
+	// Put twice refreshes in place.
+	c.Put(k, testRes(7))
+	if res, _ := c.Get(k); res.Proof[0] != 7 {
+		t.Fatal("second Put must refresh the entry")
+	}
+	if st := c.Stats(); st.Inserted != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want one inserted entry", st)
+	}
+}
+
+// TestCacheConcurrentHammer drives many goroutines through the full
+// Begin/Complete/Abort/Get surface under the race detector: exactly one
+// leader per key per generation, and every published result readable.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := New(Config{MaxEntries: 8, TTL: time.Hour})
+	const workers = 16
+	const keys = 4
+	var leaders [keys]int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ki := (w + i) % keys
+				k := testKey(ki)
+				id := fmt.Sprintf("w%d-%d", w, i)
+				res, _, leader := c.Begin(k, id)
+				switch {
+				case leader:
+					mu.Lock()
+					leaders[ki]++
+					mu.Unlock()
+					if i%3 == 0 {
+						c.Abort(k, id)
+					} else {
+						_ = c.Complete(k, id, testRes(ki), nil)
+					}
+				case res != nil:
+					if res.Proof[0] != byte(ki) {
+						t.Errorf("key %d served foreign proof %v", ki, res.Proof)
+					}
+				}
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Flights != 0 {
+		t.Fatalf("flights leaked: %+v", st)
+	}
+	if st.Hits+st.Misses+st.Coalesced != workers*50+workers*50 {
+		// Every Begin counts exactly one of hit/miss/coalesced, and every
+		// Get counts a hit or a miss.
+		t.Fatalf("counter accounting off: %+v", st)
+	}
+}

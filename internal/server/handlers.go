@@ -15,16 +15,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"unizk/internal/jobs"
 	"unizk/internal/parallel"
 	"unizk/internal/prooferr"
 	"unizk/internal/serverclient"
+	"unizk/internal/tenant"
 )
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -40,15 +43,55 @@ func (s *Server) buildMux() *http.ServeMux {
 }
 
 // writeError renders err through the status mapping, attaching the
-// Retry-After backpressure hint to retryable rejections.
+// Retry-After backpressure hint to retryable rejections. Tenant-limit
+// rejections carry their own computed Retry-After (time until the token
+// bucket refills, or the quota estimate) and name the rejected tenant.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, class := statusFor(err)
 	body := serverclient.ErrorBody{Error: err.Error(), Class: class}
-	if retryable(status) {
+	var limit *tenant.LimitError
+	switch {
+	case errors.As(err, &limit):
+		body.Tenant = limit.Tenant
+		body.RetryAfterSeconds = ceilSeconds(limit.RetryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
+	case retryable(status):
 		body.RetryAfterSeconds = s.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSeconds))
 	}
 	writeJSON(w, status, body)
+}
+
+// ceilSeconds rounds a duration up to whole seconds, minimum 1 — the
+// granularity of the Retry-After header.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// APIKey extracts the presented credential: Authorization: Bearer <key>
+// takes precedence over X-API-Key; absence of both is anonymous. The
+// cluster coordinator authenticates the identical wire contract.
+func APIKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authenticate resolves the request's tenant; unknown keys are counted
+// and rejected with 401.
+func (s *Server) authenticate(r *http.Request) (*tenant.Tenant, error) {
+	tn, err := s.tenants.Authenticate(APIKey(r))
+	if err != nil {
+		s.met.rejectedUnauth.Add(1)
+	}
+	return tn, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -93,28 +136,35 @@ func (s *Server) decodeSubmit(r *http.Request) (*jobs.Request, int, time.Duratio
 // handleSubmit admits a job and replies 202 with its id; the client
 // polls GET /v1/jobs/{id} and fetches the proof when done.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authenticate(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	req, priority, timeout, err := s.decodeSubmit(r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	j, deduped, err := s.admit(req, priority, timeout)
+	j, how, err := s.admit(req, priority, timeout, tn)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	state := stateQueued
-	if deduped {
-		// A dedup hit may attach to a job in any state; report the one
-		// it is actually in so a replayed "done" submit is immediately
-		// fetchable.
+	if how != admitFresh {
+		// An attach (idempotency, cache, coalesce) may land on a job in
+		// any state; report the one it is actually in so a replayed
+		// "done" submit is immediately fetchable.
 		state, _, _, _ = j.snapshot()
 	}
 	writeJSON(w, http.StatusAccepted, serverclient.SubmitReply{
 		ID:           j.id,
 		State:        state.String(),
 		StatusURL:    "/v1/jobs/" + j.id,
-		Deduplicated: deduped,
+		Deduplicated: how == admitDeduped,
+		Cached:       how == admitCached,
+		Coalesced:    how == admitCoalesced,
 	})
 }
 
@@ -123,12 +173,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // client disconnect cancels the job through the same context plumbing
 // as a deadline or a drain.
 func (s *Server) handleProveSync(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authenticate(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	req, priority, timeout, err := s.decodeSubmit(r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	j, deduped, err := s.admit(req, priority, timeout)
+	j, how, err := s.admit(req, priority, timeout, tn)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -136,10 +191,11 @@ func (s *Server) handleProveSync(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		// Disconnect cancels only a job this request admitted; a
-		// deduplicated job belongs to its original submitter, and
-		// canceling it here would fail every other waiter.
-		if !deduped {
+		// Disconnect cancels only a job this request admitted; an
+		// attached job (idempotency, cache, coalesce) belongs to its
+		// original submitter, and canceling it here would fail every
+		// other waiter.
+		if how == admitFresh {
 			j.cancel()
 			<-j.done
 		}
@@ -181,12 +237,34 @@ func (s *Server) statusJSON(j *job) serverclient.JobStatus {
 	return st
 }
 
+// handleStatus reports a job's status. Three modes:
+//
+//   - plain GET: an immediate JSON snapshot (the original contract);
+//   - ?wait=30s: long-poll — the reply is held until the job reaches a
+//     terminal state or the wait elapses, whichever is first;
+//   - Accept: text/event-stream: SSE — a "status" event now and on each
+//     observed transition (running, terminal), then the stream ends.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, serverclient.ErrorBody{
 			Error: "unknown job id", Class: "not_found"})
 		return
+	}
+	if WantsSSE(r) {
+		StreamJob(w, r, j.running, j.done, func() (any, bool) {
+			st := s.statusJSON(j)
+			return st, TerminalState(st.State)
+		})
+		return
+	}
+	wait, err := ParseWait(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if wait > 0 && !waitDone(r, j.done, wait) {
+		return // client went away; nothing left to answer
 	}
 	writeJSON(w, http.StatusOK, s.statusJSON(j))
 }
@@ -261,7 +339,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	idemEntries := len(s.idemIndex)
 	s.mu.Unlock()
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Queued:            qs.Len,
 		InFlight:          m.inFlight.Load(),
 		Submitted:         m.submitted.Load(),
@@ -286,4 +364,45 @@ func (s *Server) Metrics() MetricsSnapshot {
 		QueueWaitP50MS:    ms(m.queueWait.quantile(0.50)),
 		QueueWaitP99MS:    ms(m.queueWait.quantile(0.99)),
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		snap.CacheHits = cs.Hits
+		snap.CacheMisses = cs.Misses
+		snap.CacheCoalesced = cs.Coalesced
+		snap.CacheEvicted = cs.Evicted
+		snap.CacheExpired = cs.Expired
+		snap.CacheInserted = cs.Inserted
+		snap.CacheVerifyRejected = cs.VerifyRejected
+		snap.CacheEntries = cs.Entries
+	}
+	if s.registry != nil {
+		rs := s.registry.Stats()
+		snap.RegistryHits = rs.Hits
+		snap.RegistryMisses = rs.Misses
+		snap.RegistryCompiles = rs.Compiles
+		snap.RegistryEntries = rs.Entries
+	}
+	snap.RejectedRateLimited = m.rejectedLimited.Load()
+	snap.RejectedUnauthorized = m.rejectedUnauth.Load()
+	snap.Tenants = TenantMetricsFor(s.tenants)
+	return snap
+}
+
+// TenantMetricsFor assembles the per-tenant roster for /metrics; the
+// cluster coordinator fronts the same registry shape and reuses it.
+func TenantMetricsFor(reg *tenant.Registry) []serverclient.TenantMetrics {
+	all := reg.All()
+	rows := make([]serverclient.TenantMetrics, 0, len(all))
+	for _, t := range all {
+		ts := t.Stats()
+		rows = append(rows, serverclient.TenantMetrics{
+			Name:        ts.Name,
+			Class:       ts.Class,
+			Admitted:    ts.Admitted,
+			RateLimited: ts.RateLimited,
+			QuotaDenied: ts.QuotaDenied,
+			InFlight:    ts.InFlight,
+		})
+	}
+	return rows
 }

@@ -64,7 +64,7 @@ func (s *Server) idemLookupLocked(key string, fp [sha256.Size]byte) (*job, error
 	if !ok {
 		return nil, nil
 	}
-	if !e.expires.After(time.Now()) {
+	if !e.expires.After(s.clock()) {
 		delete(s.idemIndex, key)
 		return nil, nil
 	}
@@ -102,7 +102,7 @@ func (s *Server) idemInsertLocked(key string, fp [sha256.Size]byte, jobID string
 		jobID:   jobID,
 		fp:      fp,
 		seq:     seq,
-		expires: time.Now().Add(s.cfg.IdempotencyTTL),
+		expires: s.clock().Add(s.cfg.IdempotencyTTL),
 	}
 	s.idemOrder = append(s.idemOrder, idemOrderEntry{key: key, seq: seq})
 	for len(s.idemIndex) > s.cfg.MaxIdempotencyKeys && len(s.idemOrder) > 0 {

@@ -61,6 +61,8 @@ type metrics struct {
 	rejectedFull    atomic.Int64 // submissions refused: queue full
 	rejectedInvalid atomic.Int64 // submissions refused: bad request
 	rejectedDrain   atomic.Int64 // queued jobs rejected at drain
+	rejectedLimited atomic.Int64 // submissions refused: tenant rate/quota (429)
+	rejectedUnauth  atomic.Int64 // requests refused: unknown API key (401)
 	inFlight        atomic.Int64 // currently proving
 
 	proveInvocations atomic.Int64 // prover entries; == unique proved jobs

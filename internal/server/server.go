@@ -29,6 +29,8 @@ import (
 
 	"unizk/internal/jobqueue"
 	"unizk/internal/jobs"
+	"unizk/internal/proofcache"
+	"unizk/internal/tenant"
 )
 
 // ErrDraining rejects work while (or after) the server drains. It is
@@ -72,6 +74,27 @@ type Config struct {
 	// MaxIdempotencyKeys bounds the idempotency index; the oldest
 	// entries are evicted first. Default 4096.
 	MaxIdempotencyKeys int
+
+	// CacheEntries > 0 enables the content-addressed proof cache
+	// (internal/proofcache) with that many entries. 0 disables it — the
+	// default, so deployments (and tests) that rely on every admitted
+	// job proving must opt in.
+	CacheEntries int
+	// CacheTTL bounds cached proof age; proofcache.DefaultTTL when 0.
+	CacheTTL time.Duration
+	// CacheVerify makes the cache verify each proof against its compiled
+	// job before inserting (verify-on-insert): a proof failing its own
+	// verifier fails the job and is never served from cache.
+	CacheVerify bool
+	// RegistryCircuits > 0 enables the precompiled-circuit registry:
+	// hot (kind, workload, logRows) triples compile once and every
+	// subsequent admit derives from the stored base. 0 disables it.
+	RegistryCircuits int
+	// Tenants, when non-nil, is the multi-tenant registry: API keys,
+	// rate limits, in-flight quotas, priority classes. Nil gets a
+	// registry with only the unlimited default tenant, which keeps
+	// unauthenticated single-user deployments working untouched.
+	Tenants *tenant.Registry
 
 	// testHookRunning, when set by in-package tests, runs synchronously
 	// after a job transitions to running and before its prover starts —
@@ -156,6 +179,22 @@ type job struct {
 	cancel context.CancelFunc
 	// done closes exactly once, when the job reaches a terminal state.
 	done chan struct{}
+	// running closes exactly once, when the job transitions to
+	// stateRunning; jobs that finish without ever running (canceled in
+	// queue, drained, cache-served) never close it — progress streams
+	// select on done alongside it.
+	running chan struct{}
+
+	// owner is the tenant whose in-flight slot this job holds (nil when
+	// the job holds none: dedup/cache/coalesce attachments and tenants
+	// without quotas still set it for attribution, but only slotHeld
+	// jobs release a slot at finish).
+	owner    *tenant.Tenant
+	slotHeld bool
+	// cacheKey/cacheLeader mark a job that leads a proof-cache flight:
+	// its result (or failure) settles the flight in finish/run.
+	cacheKey    proofcache.Key
+	cacheLeader bool
 
 	mu sync.Mutex
 	//unizklint:guardedby mu
@@ -217,6 +256,12 @@ type Server struct {
 	nodeID  string
 	started time.Time
 
+	// cache/registry/tenants are the PR 9 serving-tier subsystems; cache
+	// and registry are nil when disabled, tenants is always non-nil.
+	cache    *proofcache.Cache
+	registry *proofcache.Registry
+	tenants  *tenant.Registry
+
 	base      context.Context
 	cancelAll context.CancelFunc
 	runners   sync.WaitGroup
@@ -224,6 +269,8 @@ type Server struct {
 	nextID    atomic.Int64
 
 	mu sync.Mutex
+	//unizklint:guardedby mu
+	now func() time.Time // test hook for idempotency TTL expiry; nil means time.Now
 	//unizklint:guardedby mu
 	jobsByID map[string]*job
 	//unizklint:guardedby mu
@@ -250,6 +297,22 @@ func New(cfg Config) *Server {
 		cancelAll: cancel,
 		jobsByID:  make(map[string]*job),
 		idemIndex: make(map[string]*idemEntry),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = proofcache.New(proofcache.Config{
+			MaxEntries: cfg.CacheEntries,
+			TTL:        cfg.CacheTTL,
+			Verify:     cfg.CacheVerify,
+		})
+	}
+	if cfg.RegistryCircuits > 0 {
+		s.registry = proofcache.NewRegistry(cfg.RegistryCircuits)
+	}
+	s.tenants = cfg.Tenants
+	if s.tenants == nil {
+		// NewRegistry without configs cannot fail: it only synthesizes
+		// the unlimited default tenant.
+		s.tenants, _ = tenant.NewRegistry()
 	}
 	s.mux = s.buildMux()
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -286,6 +349,18 @@ func newNodeID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// clock reads the injected time source; the idempotency index's TTL
+// expiry goes through it so tests drive expiry deterministically
+// (same pattern as serverclient.Breaker.clock).
+//
+//unizklint:holds s.mu
+func (s *Server) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
 // runner is the scheduler loop: it pops admitted jobs in
 // priority-then-FIFO order and proves them on the shared pool. MaxInFlight
 // runners give bounded prove concurrency; Pop consults ctx, so
@@ -314,6 +389,7 @@ func (s *Server) run(j *job) {
 	j.started = time.Now()
 	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	close(j.running)
 	s.met.inFlight.Add(1)
 	s.met.queueWait.add(wait)
 	if hook := s.cfg.testHookRunning; hook != nil {
@@ -326,7 +402,25 @@ func (s *Server) run(j *job) {
 	s.met.proveInvocations.Add(1)
 	res, err := j.compiled.Prove(j.ctx)
 	s.met.inFlight.Add(-1)
+	if err == nil && j.cacheLeader {
+		// Settle the proof-cache flight before the job goes terminal:
+		// with verify-on-insert, a proof that fails its own verifier
+		// fails the job (and is never cached) instead of fanning out to
+		// every coalesced waiter.
+		if cerr := s.cache.Complete(j.cacheKey, j.id, res, s.cacheCheck(j)); cerr != nil {
+			res, err = nil, cerr
+		}
+	}
 	s.finish(j, res, err)
+}
+
+// cacheCheck returns the verify-on-insert hook for a leader job, nil
+// when verification is disabled.
+func (s *Server) cacheCheck(j *job) func(*jobs.Result) error {
+	if !s.cfg.CacheVerify {
+		return nil
+	}
+	return j.compiled.Check
 }
 
 // finish moves a job to its terminal state exactly once and records
@@ -369,6 +463,15 @@ func (s *Server) finish(j *job, res *jobs.Result, err error) {
 			s.met.failed.Add(1)
 		}
 	}
+	if j.cacheLeader {
+		// No-op after a successful Complete (the flight is already
+		// settled); clears the flight on every failure path — canceled in
+		// queue, deadline, drain — so the content stays provable.
+		s.cache.Abort(j.cacheKey, j.id)
+	}
+	if j.slotHeld {
+		j.owner.Release()
+	}
 	j.cancel()
 	close(j.done)
 	s.retire(j)
@@ -392,37 +495,125 @@ func (s *Server) retire(j *job) {
 	}
 }
 
-// admit validates, compiles, registers, and enqueues a request. On any
-// error the job is not registered and the typed error maps to an HTTP
-// status via statusFor. A request carrying an idempotency key already
-// admitted returns the original job with deduped=true: the caller
-// serves that job's (eventual) result instead of proving again.
-func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (j *job, deduped bool, err error) {
+// admitHow classifies how a submit resolved to its job.
+type admitHow int
+
+const (
+	// admitFresh admitted a new job that will prove.
+	admitFresh admitHow = iota
+	// admitDeduped attached to an existing job via the idempotency key.
+	admitDeduped
+	// admitCached was served from the content-addressed proof cache; the
+	// returned job was minted already done.
+	admitCached
+	// admitCoalesced attached to the in-flight job already proving
+	// identical content (thundering-herd protection).
+	admitCoalesced
+)
+
+// admit validates, compiles, registers, and enqueues a request on
+// behalf of tn (nil means the default tenant). On any error the job is
+// not registered and the typed error maps to an HTTP status via
+// statusFor. Non-fresh outcomes return an existing (or pre-completed)
+// job: the caller serves that job's result instead of proving again.
+//
+// Admission order: drain gate, tenant rate token, idempotency lookup,
+// proof-cache lookup/flight, tenant in-flight slot, compile, register,
+// enqueue. Rejections happen cheapest-first — a rate-limited tenant
+// never costs a compile, and a cache hit never takes a quota slot (it
+// admits no new work).
+func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration, tn *tenant.Tenant) (j *job, how admitHow, err error) {
 	if s.draining.Load() {
-		return nil, false, ErrDraining
+		return nil, admitFresh, ErrDraining
 	}
+	if tn == nil {
+		tn = s.tenants.Default()
+	}
+	if err := tn.AllowSubmit(); err != nil {
+		s.met.rejectedLimited.Add(1)
+		return nil, admitFresh, err
+	}
+	priority = tn.EffectivePriority(priority)
 	var fp [32]byte
 	if req.IdempotencyKey != "" {
 		raw, err := req.MarshalBinary()
 		if err != nil {
-			return nil, false, err
+			return nil, admitFresh, err
 		}
 		fp = requestFingerprint(raw)
 		s.mu.Lock()
 		existing, err := s.idemLookupLocked(req.IdempotencyKey, fp)
 		s.mu.Unlock()
 		if err != nil {
-			return nil, false, err
+			return nil, admitFresh, err
 		}
 		if existing != nil {
 			s.met.idemHits.Add(1)
-			return existing, true, nil
+			tn.RecordAdmit()
+			return existing, admitDeduped, nil
 		}
 	}
-	compiled, err := jobs.Compile(req)
+	id := fmt.Sprintf("j%08d", s.nextID.Add(1))
+	var ckey proofcache.Key
+	cacheLeader := false
+	if s.cache != nil {
+		// Validate before touching the cache so malformed requests keep
+		// their 400s; only valid content ever completes a flight.
+		if err := req.Validate(); err != nil {
+			s.met.rejectedInvalid.Add(1)
+			return nil, admitFresh, err
+		}
+		ckey = proofcache.KeyFor(req)
+		res, leaderID, leader := s.cache.Begin(ckey, id)
+		for i := 0; leaderID != ""; i++ {
+			if lj, ok := s.lookup(leaderID); ok {
+				tn.RecordAdmit()
+				return lj, admitCoalesced, nil
+			}
+			// The flight exists but its leader's job is not visible yet:
+			// the leader is in its window between Begin and registration
+			// (compile, slot acquisition), or its admission failed and the
+			// flight is about to clear. Wait a beat and re-resolve; after a
+			// bounded wait, prove independently rather than stalling
+			// admission on a flight nobody can observe.
+			if i >= 500 {
+				leaderID = ""
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+			if cur, ok := s.cache.Flight(ckey); ok && cur == leaderID {
+				continue
+			}
+			res, leaderID, leader = s.cache.Begin(ckey, id)
+		}
+		if res != nil {
+			return s.admitCached(id, req, priority, res, tn, fp)
+		}
+		if leader {
+			cacheLeader = true
+		}
+	}
+	// rollback unwinds cache-flight leadership on every pre-enqueue
+	// failure path so the content stays provable by the next submit.
+	rollback := func() {
+		if cacheLeader {
+			s.cache.Abort(ckey, id)
+		}
+	}
+	slotHeld := false
+	if err := tn.AcquireSlot(time.Duration(s.retryAfterSeconds()) * time.Second); err != nil {
+		rollback()
+		s.met.rejectedLimited.Add(1)
+		return nil, admitFresh, err
+	}
+	slotHeld = true
+	releaseSlot := func() { tn.Release() }
+	compiled, err := s.compile(req)
 	if err != nil {
+		rollback()
+		releaseSlot()
 		s.met.rejectedInvalid.Add(1)
-		return nil, false, err
+		return nil, admitFresh, err
 	}
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		if timeout > s.cfg.MaxTimeout {
@@ -442,15 +633,20 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		cancel = func() { tcancel(); inner() }
 	}
 	j = &job{
-		id:        fmt.Sprintf("j%08d", s.nextID.Add(1)),
-		req:       req,
-		compiled:  compiled,
-		priority:  priority,
-		timeout:   timeout,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		submitted: time.Now(),
+		id:          id,
+		req:         req,
+		compiled:    compiled,
+		priority:    priority,
+		timeout:     timeout,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		running:     make(chan struct{}),
+		owner:       tn,
+		slotHeld:    slotHeld,
+		cacheKey:    ckey,
+		cacheLeader: cacheLeader,
+		submitted:   time.Now(),
 	}
 	s.mu.Lock()
 	if req.IdempotencyKey != "" {
@@ -461,11 +657,13 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		if lerr != nil || existing != nil {
 			s.mu.Unlock()
 			j.cancel()
+			rollback()
+			releaseSlot()
 			if lerr != nil {
-				return nil, false, lerr
+				return nil, admitFresh, lerr
 			}
 			s.met.idemHits.Add(1)
-			return existing, true, nil
+			return existing, admitDeduped, nil
 		}
 		s.idemInsertLocked(req.IdempotencyKey, fp, j.id)
 	}
@@ -476,17 +674,72 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration) (
 		delete(s.jobsByID, j.id)
 		s.idemDeleteLocked(req.IdempotencyKey, j.id)
 		s.mu.Unlock()
+		// finish (via cacheLeader/slotHeld) would also unwind these, but
+		// the job was never enqueued — do it directly and cheaply.
+		j.cacheLeader, j.slotHeld = false, false
 		j.cancel()
+		rollback()
+		releaseSlot()
 		if errors.Is(err, jobqueue.ErrClosed) {
 			err = ErrDraining
 		}
 		if errors.Is(err, jobqueue.ErrFull) {
 			s.met.rejectedFull.Add(1)
 		}
-		return nil, false, err
+		return nil, admitFresh, err
 	}
 	s.met.submitted.Add(1)
-	return j, false, nil
+	return j, admitFresh, nil
+}
+
+// compile builds the request's job, through the precompiled-circuit
+// registry when one is configured.
+func (s *Server) compile(req *jobs.Request) (*jobs.Job, error) {
+	if s.registry != nil {
+		return s.registry.JobFor(req)
+	}
+	return jobs.Compile(req)
+}
+
+// admitCached mints an already-done job record for a proof-cache hit so
+// every existing surface — status, proof fetch, sync prove, waiters,
+// idempotent replays — serves the cached result through the normal job
+// lifecycle, with zero queue time and zero prover entries.
+func (s *Server) admitCached(id string, req *jobs.Request, priority int, res *jobs.Result, tn *tenant.Tenant, fp [32]byte) (*job, admitHow, error) {
+	// Counted here, not via AcquireSlot: a cached serve claims no slot
+	// but is still a submission the tenant had accepted.
+	tn.RecordAdmit()
+	ctx, cancel := context.WithCancel(s.base)
+	j := &job{
+		id:        id,
+		req:       req,
+		priority:  priority,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		running:   make(chan struct{}),
+		owner:     tn,
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	if req.IdempotencyKey != "" {
+		existing, lerr := s.idemLookupLocked(req.IdempotencyKey, fp)
+		if lerr != nil || existing != nil {
+			s.mu.Unlock()
+			j.cancel()
+			if lerr != nil {
+				return nil, admitFresh, lerr
+			}
+			s.met.idemHits.Add(1)
+			return existing, admitDeduped, nil
+		}
+		s.idemInsertLocked(req.IdempotencyKey, fp, id)
+	}
+	s.jobsByID[id] = j
+	s.mu.Unlock()
+	s.met.submitted.Add(1)
+	s.finish(j, res, nil)
+	return j, admitCached, nil
 }
 
 // lookup returns a registered job by id.

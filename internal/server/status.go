@@ -12,6 +12,7 @@ import (
 
 	"unizk/internal/jobqueue"
 	"unizk/internal/prooferr"
+	"unizk/internal/tenant"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-originated) code
@@ -23,6 +24,8 @@ const StatusClientClosedRequest = 499
 // the machine-readable label carried in JSON bodies and job status:
 //
 //	nil                      → 200 ""
+//	tenant.LimitError        → 429 "rate_limited" | "quota_exceeded" (retry)
+//	tenant.ErrUnknownKey     → 401 "unauthorized" (terminal: fix the key)
 //	jobqueue.ErrFull         → 429 "queue_full"   (backpressure; retry)
 //	ErrDraining / ErrClosed  → 503 "draining"     (drain; retry)
 //	ErrIdempotencyConflict   → 409 "idempotency_conflict" (terminal)
@@ -36,9 +39,14 @@ const StatusClientClosedRequest = 499
 // prooferr taxonomy so that, e.g., a canceled job whose error chain also
 // carries a classification still reports the lifecycle code.
 func statusFor(err error) (int, string) {
+	var limit *tenant.LimitError
 	switch {
 	case err == nil:
 		return http.StatusOK, ""
+	case errors.As(err, &limit):
+		return http.StatusTooManyRequests, limit.Reason
+	case errors.Is(err, tenant.ErrUnknownKey):
+		return http.StatusUnauthorized, "unauthorized"
 	case errors.Is(err, jobqueue.ErrFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrDraining), errors.Is(err, jobqueue.ErrClosed):

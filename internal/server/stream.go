@@ -1,0 +1,137 @@
+// Job-progress streaming: SSE and long-poll primitives shared by this
+// server's GET /v1/jobs/{id} and the cluster coordinator's. Both exist
+// so clients stop busy-polling: long-poll (?wait=) parks one request
+// until the job settles; SSE pushes a status event on each transition
+// over one connection.
+//
+// The SSE protocol is deliberately minimal: every event is
+//
+//	event: status
+//	data: <one-line JSON status document>
+//
+// and the stream ends after the first terminal status. Clients detect
+// terminality from the JSON state field, so the wire format carries no
+// separate "done" event to drift from the status schema.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/prooferr"
+)
+
+// MaxLongPoll caps ?wait= durations: a long-poll parks a handler
+// goroutine, so the cap bounds what one client can pin. Longer waits
+// just re-poll; the client helper does this transparently.
+const MaxLongPoll = 5 * time.Minute
+
+// WantsSSE reports whether the request negotiated a server-sent event
+// stream (Accept: text/event-stream).
+func WantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// ParseWait parses the ?wait= long-poll duration: 0 (absent) means
+// answer immediately; values above MaxLongPoll are clamped, not
+// rejected, so clients can express "as long as you allow".
+func ParseWait(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad wait %q: %w: %w",
+			v, jobs.ErrBadRequest, prooferr.ErrMalformedProof)
+	}
+	if d > MaxLongPoll {
+		d = MaxLongPoll
+	}
+	return d, nil
+}
+
+// waitDone parks until the job settles, the wait elapses, or the client
+// disconnects; it reports false only for disconnect (nothing left to
+// answer).
+func waitDone(r *http.Request, done <-chan struct{}, wait time.Duration) bool {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// TerminalState reports whether a wire-visible job state string is
+// terminal — the condition that ends an SSE stream and satisfies a
+// long-poll.
+func TerminalState(state string) bool {
+	switch state {
+	case "done", "failed", "canceled":
+		return true
+	default:
+		return false
+	}
+}
+
+// StreamJob writes an SSE status stream for one job: the current status
+// immediately, then one event per observed transition, ending after the
+// first terminal status or when the client disconnects. running and
+// done are the job's lifecycle channels (running may never close — jobs
+// canceled in queue or served from cache skip the running state, which
+// is why done is always selected alongside it). status must be safe to
+// call from this goroutine at any time; its payload is marshaled as the
+// event data and terminal ends the stream after the event is written.
+func StreamJob(w http.ResponseWriter, r *http.Request, running, done <-chan struct{}, status func() (payload any, terminal bool)) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		// No streaming support in the transport stack: degrade to a
+		// single JSON snapshot, which every SSE client here treats as a
+		// poll response.
+		payload, _ := status()
+		writeJSON(w, http.StatusOK, payload)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func() (terminal bool) {
+		payload, terminal := status()
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "event: status\ndata: %s\n\n", data); err != nil {
+			return true
+		}
+		flusher.Flush()
+		return terminal
+	}
+	if emit() {
+		return
+	}
+	for {
+		select {
+		case <-running:
+			// The transition fires once; a closed channel would otherwise
+			// win every subsequent select.
+			running = nil
+		case <-done:
+		case <-r.Context().Done():
+			return
+		}
+		if emit() {
+			return
+		}
+	}
+}

@@ -39,6 +39,13 @@ type SubmitReply struct {
 	// already-admitted request: ID names the original job (which may be
 	// in any state, including done) and nothing was re-proved.
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Cached reports a content-addressed proof-cache hit: the job is
+	// already done and its result is the cached (bit-identical) proof.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that an identical-content request was already
+	// proving and this submit attached to that in-flight job
+	// (thundering-herd protection; exactly one prove runs).
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx API response.
@@ -47,6 +54,10 @@ type ErrorBody struct {
 	Class string `json:"class"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Tenant names the tenant whose rate limit or in-flight quota
+	// rejected the request (429 rate_limited / quota_exceeded only);
+	// Class carries the quota reason.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Health is the JSON body of GET /healthz.
@@ -101,4 +112,38 @@ type MetricsSnapshot struct {
 	ProveLatencyP99MS float64 `json:"prove_latency_p99_ms"`
 	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
+
+	// Proof-cache counters (internal/proofcache), all zero when the
+	// cache is disabled. CacheHits counts submits served a stored
+	// proof; CacheCoalesced counts submits attached to an in-flight
+	// identical prove.
+	CacheHits           int64 `json:"cache_hits,omitempty"`
+	CacheMisses         int64 `json:"cache_misses,omitempty"`
+	CacheCoalesced      int64 `json:"cache_coalesced,omitempty"`
+	CacheEvicted        int64 `json:"cache_evicted,omitempty"`
+	CacheExpired        int64 `json:"cache_expired,omitempty"`
+	CacheInserted       int64 `json:"cache_inserted,omitempty"`
+	CacheVerifyRejected int64 `json:"cache_verify_rejected,omitempty"`
+	CacheEntries        int   `json:"cache_entries,omitempty"`
+
+	// Precompiled-circuit registry counters; zero when disabled.
+	RegistryHits     int64 `json:"registry_hits,omitempty"`
+	RegistryMisses   int64 `json:"registry_misses,omitempty"`
+	RegistryCompiles int64 `json:"registry_compiles,omitempty"`
+	RegistryEntries  int   `json:"registry_entries,omitempty"`
+
+	// Tenant-tier rejection counters and the per-tenant roster.
+	RejectedRateLimited  int64           `json:"rejected_rate_limited,omitempty"`
+	RejectedUnauthorized int64           `json:"rejected_unauthorized,omitempty"`
+	Tenants              []TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's row in MetricsSnapshot.Tenants.
+type TenantMetrics struct {
+	Name        string `json:"name"`
+	Class       int    `json:"class,omitempty"`
+	Admitted    int64  `json:"admitted"`
+	RateLimited int64  `json:"rate_limited,omitempty"`
+	QuotaDenied int64  `json:"quota_denied,omitempty"`
+	InFlight    int    `json:"in_flight,omitempty"`
 }

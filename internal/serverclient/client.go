@@ -28,8 +28,15 @@ type APIError struct {
 	Class string
 	// Message is the human-readable error.
 	Message string
-	// RetryAfter is the backpressure hint on 429/503 replies.
+	// RetryAfter is the backpressure hint on 429/503 replies. For tenant
+	// rejections it is the server's computed refill/quota estimate, which
+	// RetryPolicy honors over its own jittered backoff when longer.
 	RetryAfter time.Duration
+	// Tenant names the tenant whose rate limit or in-flight quota
+	// rejected the request (429 with Class "rate_limited" or
+	// "quota_exceeded"); empty otherwise. The quota reason itself is
+	// Class.
+	Tenant string
 }
 
 func (e *APIError) Error() string {
@@ -76,6 +83,10 @@ type Client struct {
 	// a streak of transport-level failures, instead of piling timeouts
 	// onto a dead server.
 	Breaker *Breaker
+	// APIKey, when non-empty, authenticates every request as its tenant
+	// (sent as Authorization: Bearer). Unset means the server's default
+	// tenant.
+	APIKey string
 }
 
 // New returns a client for the service at baseURL.
@@ -111,6 +122,7 @@ func apiError(resp *http.Response, body []byte) error {
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
 		e.Class, e.Message = eb.Class, eb.Error
 		e.RetryAfter = time.Duration(eb.RetryAfterSeconds) * time.Second
+		e.Tenant = eb.Tenant
 	} else {
 		e.Message = string(body)
 	}
@@ -185,6 +197,9 @@ func (c *Client) exchange(ctx context.Context, method, u string, body []byte) (*
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

@@ -1,0 +1,170 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+		ok   bool
+	}{
+		{"alice:sk-a", Config{Name: "alice", Key: "sk-a"}, true},
+		{"bob:sk-b:class=2:rate=5:burst=10:inflight=3",
+			Config{Name: "bob", Key: "sk-b", Class: 2, Rate: 5, Burst: 10, MaxInFlight: 3}, true},
+		{"carol:sk-c:rate=0.5", Config{Name: "carol", Key: "sk-c", Rate: 0.5}, true},
+		{"", Config{}, false},
+		{"nokey", Config{}, false},
+		{":sk", Config{}, false},
+		{"a:k:bogus", Config{}, false},
+		{"a:k:rate=-1", Config{}, false},
+		{"a:k:class=x", Config{}, false},
+		{"a:k:frob=1", Config{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	r, err := NewRegistry(Config{Name: "alice", Key: "sk-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn, err := r.Authenticate(""); err != nil || tn.Name() != DefaultName {
+		t.Fatalf("anonymous = (%v, %v), want default tenant", tn, err)
+	}
+	if tn, err := r.Authenticate("sk-a"); err != nil || tn.Name() != "alice" {
+		t.Fatalf("known key = (%v, %v), want alice", tn, err)
+	}
+	if _, err := r.Authenticate("sk-wrong"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key = %v, want ErrUnknownKey", err)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndDoubleDefault(t *testing.T) {
+	if _, err := NewRegistry(Config{Name: "a", Key: "k"}, Config{Name: "a", Key: "k2"}); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+	if _, err := NewRegistry(Config{Name: "a", Key: "k"}, Config{Name: "b", Key: "k"}); err == nil {
+		t.Fatal("duplicate key must be rejected")
+	}
+	if _, err := NewRegistry(Config{Name: DefaultName}, Config{Name: "anon"}); err == nil {
+		t.Fatal("two default tenants must be rejected")
+	}
+	// A configured default imposes limits on anonymous traffic.
+	r, err := NewRegistry(Config{Name: DefaultName, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn, _ := r.Authenticate(""); tn.cfg.Rate != 1 {
+		t.Fatal("configured default tenant must replace the built-in one")
+	}
+}
+
+func TestTokenBucketDeterministic(t *testing.T) {
+	r, err := NewRegistry(Config{Name: "a", Key: "k", Rate: 2, Burst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	tn, _ := r.Authenticate("k")
+
+	// Burst of 2, then empty.
+	for i := 0; i < 2; i++ {
+		if err := tn.AllowSubmit(); err != nil {
+			t.Fatalf("submit %d within burst: %v", i, err)
+		}
+	}
+	err = tn.AllowSubmit()
+	var le *LimitError
+	if !errors.As(err, &le) || le.Reason != ReasonRateLimited || le.Tenant != "a" {
+		t.Fatalf("over-rate = %v, want rate_limited LimitError", err)
+	}
+	if le.RetryAfter <= 0 {
+		t.Fatalf("rate limit RetryAfter = %v, want > 0", le.RetryAfter)
+	}
+
+	// Refill at 2 tokens/sec: after 500ms exactly one token is back.
+	now = now.Add(500 * time.Millisecond)
+	if err := tn.AllowSubmit(); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := tn.AllowSubmit(); err == nil {
+		t.Fatal("second submit after a one-token refill must be limited")
+	}
+	if st := tn.Stats(); st.RateLimited != 2 {
+		t.Fatalf("RateLimited = %d, want 2", st.RateLimited)
+	}
+}
+
+func TestInFlightQuota(t *testing.T) {
+	r, err := NewRegistry(Config{Name: "a", Key: "k", MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Authenticate("k")
+	if err := tn.AcquireSlot(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AcquireSlot(0); err != nil {
+		t.Fatal(err)
+	}
+	err = tn.AcquireSlot(3 * time.Second)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Reason != ReasonQuotaExceeded {
+		t.Fatalf("over quota = %v, want quota_exceeded", err)
+	}
+	if le.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want the caller's hint", le.RetryAfter)
+	}
+	tn.Release()
+	if err := tn.AcquireSlot(0); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := tn.Stats()
+	if st.InFlight != 2 || st.Admitted != 3 || st.QuotaDenied != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Unlimited tenants never block and never track in-flight.
+	d := r.Default()
+	for i := 0; i < 100; i++ {
+		if err := d.AcquireSlot(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AllowSubmit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEffectivePriority(t *testing.T) {
+	r, err := NewRegistry(
+		Config{Name: "gold", Key: "g", Class: 2},
+		Config{Name: "bronze", Key: "b", Class: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, _ := r.Authenticate("g")
+	bronze, _ := r.Authenticate("b")
+	// A bronze client cannot out-prioritize gold no matter what it asks for.
+	if bronze.EffectivePriority(1<<30) >= gold.EffectivePriority(-(1 << 30)) {
+		t.Fatal("client priority must not cross class lanes")
+	}
+	// Within a class, client priority still orders.
+	if gold.EffectivePriority(1) <= gold.EffectivePriority(0) {
+		t.Fatal("client priority must order within a class")
+	}
+}
