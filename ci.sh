@@ -79,6 +79,18 @@ go test -race -timeout 10m -run '^TestClusterChaosSoak$' ./internal/cluster
 go test -race -timeout 10m -run '^TestCacheSoak$' ./internal/faultinject/netchaos
 go test -race -timeout 10m -run '^TestClusterCacheSoak$' ./internal/cluster
 
+# crash-recovery-soak (fixed seed): a *journaled* coordinator subprocess
+# is SIGKILLed mid-load and restarted on the same journal directory and
+# address — twice, the second time onto a journal with a torn tail. The
+# gate asserts zero acknowledged jobs lost, proofs bit-identical across
+# the crash, the exactly-once sandwich (unique proves ≤ invocations ≤
+# unique + recorded re-dispatches), the persisted epoch visible on
+# /healthz, torn tails truncated and counted instead of failing startup,
+# and zero goroutine leaks — all under the race detector. The full -race
+# run below repeats it; this step makes a durability regression fail
+# under its own name.
+go test -race -timeout 15m -run '^TestCrashRecoverySoak$' ./internal/cluster
+
 # Kernel differential suite: the optimized field and NTT kernels against
 # their retained naive reference oracles (internal/field/goldilocks_ref.go's big.Int
 # arithmetic, internal/ntt/ntt_ref.go's O(n^2) DFT) over fuzzed inputs
@@ -111,6 +123,12 @@ go test -run='^$' -fuzz='^FuzzStarkUnmarshalVerify$' -fuzztime=10s ./internal/st
 go test -run='^$' -fuzz='^FuzzForCoverage$' -fuzztime=10s ./internal/parallel
 go test -run='^$' -fuzz='^FuzzRequestRoundTrip$' -fuzztime=5s ./internal/jobs
 go test -run='^$' -fuzz='^FuzzResultRoundTrip$' -fuzztime=5s ./internal/jobs
+
+# Journal replay fuzz: arbitrary bytes on disk must never panic the
+# replayer — the worst acceptable outcome is a truncated tail, counted
+# in stats. This is the corruption half of the durability story; the
+# crash-recovery soak above is the process-death half.
+go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=10s ./internal/journal
 
 # Proving-service smoke test: start unizk-server on an ephemeral port,
 # prove one Plonky2 and one Starky job over HTTP (cmd/prove -remote

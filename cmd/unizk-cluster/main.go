@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"unizk/internal/cluster"
+	"unizk/internal/journal"
 	"unizk/internal/server"
 	"unizk/internal/tenant"
 )
@@ -64,6 +65,9 @@ func main() {
 	cacheEntries := flag.Int("cache", 0, "coordinator proof cache entries (0 = cache off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cached proof lifetime (0 = proofcache default)")
 	cacheVerify := flag.Bool("cache-verify", false, "verify each proof before caching it (verify-on-insert)")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; admitted jobs survive coordinator crashes (empty = journaling off)")
+	fsyncPolicy := flag.String("fsync", "batch", "journal fsync policy: always, batch, or off")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = journal default, negative = never)")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "tenant spec name:key[:class=N][:rate=R][:burst=B][:inflight=M] (repeatable)")
 	flag.Parse()
@@ -74,10 +78,18 @@ func main() {
 			urls = append(urls, u)
 		}
 	}
+	fsync, err := journal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-cluster:", err)
+		os.Exit(1)
+	}
 	opts := servingOptions{
-		cacheEntries: *cacheEntries,
-		cacheTTL:     *cacheTTL,
-		cacheVerify:  *cacheVerify,
+		cacheEntries:  *cacheEntries,
+		cacheTTL:      *cacheTTL,
+		cacheVerify:   *cacheVerify,
+		journalDir:    *journalDir,
+		fsync:         fsync,
+		snapshotEvery: *snapshotEvery,
 	}
 	if len(tenants) > 0 {
 		reg, err := tenant.NewRegistry(tenants...)
@@ -96,10 +108,13 @@ func main() {
 // servingOptions carries the serving-tier knobs (coordinator cache and
 // tenant registry) from flags into run.
 type servingOptions struct {
-	cacheEntries int
-	cacheTTL     time.Duration
-	cacheVerify  bool
-	tenants      *tenant.Registry
+	cacheEntries  int
+	cacheTTL      time.Duration
+	cacheVerify   bool
+	tenants       *tenant.Registry
+	journalDir    string
+	fsync         journal.Policy
+	snapshotEvery int
 }
 
 // localNode is one self-spawned in-process prover node.
@@ -158,6 +173,9 @@ func run(addr string, urls []string, spawn int, probe, stale, drain, jobTimeout 
 		CacheTTL:       opts.cacheTTL,
 		CacheVerify:    opts.cacheVerify,
 		Tenants:        opts.tenants,
+		JournalDir:     opts.journalDir,
+		JournalFsync:   opts.fsync,
+		SnapshotEvery:  opts.snapshotEvery,
 	})
 	if err != nil {
 		return err

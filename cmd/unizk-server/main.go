@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"unizk/internal/journal"
 	"unizk/internal/parallel"
 	"unizk/internal/server"
 	"unizk/internal/tenant"
@@ -64,10 +65,18 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "cached proof lifetime (0 = proofcache default)")
 	cacheVerify := flag.Bool("cache-verify", false, "verify each proof before caching it (verify-on-insert)")
 	registry := flag.Int("registry", 0, "precompiled-circuit registry size: hot circuits compile once (0 = off)")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; admitted jobs survive server crashes (empty = journaling off)")
+	fsyncPolicy := flag.String("fsync", "batch", "journal fsync policy: always, batch, or off")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = journal default, negative = never)")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "tenant spec name:key[:class=N][:rate=R][:burst=B][:inflight=M] (repeatable)")
 	flag.Parse()
 
+	fsync, err := journal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unizk-server:", err)
+		os.Exit(1)
+	}
 	cfg := server.Config{
 		QueueCap:           *queueCap,
 		MaxInFlight:        *inflight,
@@ -78,6 +87,9 @@ func main() {
 		CacheTTL:           *cacheTTL,
 		CacheVerify:        *cacheVerify,
 		RegistryCircuits:   *registry,
+		JournalDir:         *journalDir,
+		JournalFsync:       fsync,
+		SnapshotEvery:      *snapshotEvery,
 	}
 	if len(tenants) > 0 {
 		reg, err := tenant.NewRegistry(tenants...)
@@ -98,7 +110,10 @@ func run(addr string, cfg server.Config, workers int, drain time.Duration, portf
 		parallel.SetWorkers(workers)
 	}
 
-	s := server.New(cfg)
+	s, err := server.NewDurable(cfg)
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

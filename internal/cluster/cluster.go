@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"unizk/internal/jobs"
+	"unizk/internal/journal"
 	"unizk/internal/proofcache"
 	"unizk/internal/server"
 	"unizk/internal/tenant"
@@ -141,6 +142,21 @@ type Config struct {
 	NodeMaxAttempts      int
 	NodeBaseDelay        time.Duration
 	NodeMaxDelay         time.Duration
+
+	// JournalDir, when non-empty, enables the write-ahead journal: every
+	// externally acknowledged state transition (admission, dispatch,
+	// completion, idempotency binding) is made durable before the client
+	// sees it, and a coordinator restarted on the same directory replays
+	// the journal into its pending/retained maps and re-dispatches
+	// in-flight jobs under their stable node-level dedup keys. Empty
+	// disables journaling (the pre-durability in-memory behavior).
+	JournalDir string
+	// JournalFsync selects the journal's fsync policy; the zero value is
+	// journal.FsyncBatch (group commit).
+	JournalFsync journal.Policy
+	// SnapshotEvery is the journal's snapshot/compaction cadence in
+	// records; 0 uses the journal default, negative disables snapshots.
+	SnapshotEvery int
 
 	// Seed fixes the node clients' retry jitter for deterministic
 	// soaks; 0 seeds from the wall clock.
@@ -291,6 +307,12 @@ type cjob struct {
 
 	//unizklint:guardedby mu
 	redispatches int
+
+	// dispatches counts node submit attempts (journaled as TypeDispatched
+	// before each one); snapshots persist it so re-dispatch credits
+	// survive compaction.
+	//unizklint:guardedby mu
+	dispatches int
 }
 
 func (j *cjob) snapshot() (state cjobState, err error, queueWait, run time.Duration) {
@@ -344,6 +366,22 @@ type Coordinator struct {
 	draining  atomic.Bool
 	nextID    atomic.Int64
 
+	// jnl is the write-ahead journal (nil when Config.JournalDir is
+	// empty); epoch is the persisted coordinator epoch, written once in
+	// New before any request is served. The recovery* counters describe
+	// the startup replay, also set before serving.
+	jnl                  *journal.Journal
+	epoch                uint64
+	recoveredJobs        int64
+	recoveryRedispatches int64
+
+	// snapMu is the snapshot barrier: every journal-append-plus-state-
+	// mutation pair runs under RLock, and the snapshot writer captures
+	// state and compacts under Lock — so a record acknowledged into an
+	// old segment can never be deleted before the snapshot that replaces
+	// it contains its effect. Ordering: snapMu before c.mu before j.mu.
+	snapMu sync.RWMutex
+
 	mu sync.Mutex
 	//unizklint:guardedby mu
 	jobsByID map[string]*cjob
@@ -391,6 +429,24 @@ func New(cfg Config) (*Coordinator, error) {
 		c.nodes = append(c.nodes, newNode(u, i, cfg))
 	}
 	c.mux = c.buildMux()
+	if cfg.JournalDir != "" {
+		jnl, err := journal.Open(cfg.JournalDir, journal.Options{
+			Fsync:         cfg.JournalFsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.jnl = jnl
+		if err := c.recover(); err != nil {
+			cancel()
+			jnl.Close()
+			return nil, err
+		}
+		c.probers.Add(1)
+		go c.snapshotLoop()
+	}
 	for _, n := range c.nodes {
 		c.probers.Add(1)
 		go c.probeLoop(n)
@@ -539,6 +595,18 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 	}
 	j.nodeKey = "cluster/" + j.id
 
+	// Journal the admission before registration: nothing is acknowledged
+	// to the client (admit has not returned) until the record is durable.
+	// snapMu keeps the append and the registration atomic with respect to
+	// snapshot compaction.
+	c.snapMu.RLock()
+	if err := c.journalAdmitted(j); err != nil {
+		c.snapMu.RUnlock()
+		j.cancel()
+		rollback()
+		releaseSlot()
+		return nil, admitFresh, err
+	}
 	c.mu.Lock()
 	if req.IdempotencyKey != "" {
 		// Recheck under the lock: a concurrent duplicate may have
@@ -546,6 +614,10 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 		existing, lerr := c.idemLookupLocked(req.IdempotencyKey, fp)
 		if lerr != nil || existing != nil {
 			c.mu.Unlock()
+			// The Admitted record is already durable; mark the loser
+			// superseded so replay does not resurrect it.
+			c.journalSuperseded(j.id)
+			c.snapMu.RUnlock()
 			j.cancel()
 			rollback()
 			releaseSlot()
@@ -558,6 +630,8 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 	}
 	if c.pending >= c.cfg.PendingCap {
 		c.mu.Unlock()
+		c.journalSuperseded(j.id)
+		c.snapMu.RUnlock()
 		j.cancel()
 		rollback()
 		releaseSlot()
@@ -570,6 +644,10 @@ func (c *Coordinator) admit(req *jobs.Request, priority int, timeout time.Durati
 	c.jobsByID[j.id] = j
 	c.pending++
 	c.mu.Unlock()
+	if req.IdempotencyKey != "" {
+		c.journalIdem(req.IdempotencyKey, fp, j.id)
+	}
+	c.snapMu.RUnlock()
 
 	c.met.submitted.Add(1)
 	c.watchers.Add(1)
@@ -598,11 +676,19 @@ func (c *Coordinator) admitCached(id string, req *jobs.Request, priority int, re
 		submitted: time.Now(),
 	}
 	j.nodeKey = "cluster/" + j.id
+	c.snapMu.RLock()
+	if err := c.journalAdmitted(j); err != nil {
+		c.snapMu.RUnlock()
+		j.cancel()
+		return nil, admitFresh, err
+	}
 	c.mu.Lock()
 	if req.IdempotencyKey != "" {
 		existing, lerr := c.idemLookupLocked(req.IdempotencyKey, fp)
 		if lerr != nil || existing != nil {
 			c.mu.Unlock()
+			c.journalSuperseded(j.id)
+			c.snapMu.RUnlock()
 			j.cancel()
 			if lerr != nil {
 				return nil, admitFresh, lerr
@@ -615,6 +701,10 @@ func (c *Coordinator) admitCached(id string, req *jobs.Request, priority int, re
 	c.jobsByID[id] = j
 	c.pending++
 	c.mu.Unlock()
+	if req.IdempotencyKey != "" {
+		c.journalIdem(req.IdempotencyKey, fp, id)
+	}
+	c.snapMu.RUnlock()
 	c.met.submitted.Add(1)
 	c.finishJob(j, res, nil)
 	return j, admitCachedHit, nil
@@ -631,9 +721,11 @@ func (c *Coordinator) lookup(id string) (*cjob, bool) {
 // finishJob moves a job to its terminal state exactly once, records
 // metrics, and retires the record.
 func (c *Coordinator) finishJob(j *cjob, res *jobs.Result, err error) {
+	c.snapMu.RLock()
 	j.mu.Lock()
 	if j.state == cstateDone || j.state == cstateFailed || j.state == cstateCanceled {
 		j.mu.Unlock()
+		c.snapMu.RUnlock()
 		return
 	}
 	j.finished = time.Now()
@@ -647,7 +739,12 @@ func (c *Coordinator) finishJob(j *cjob, res *jobs.Result, err error) {
 		j.state = cstateFailed
 	}
 	state := j.state
+	doneURL, doneID := j.doneNodeURL, j.doneNodeID
 	j.mu.Unlock()
+	// The terminal record must be durable before close(j.done) releases
+	// waiters: an acked outcome survives a crash.
+	c.journalTerminal(j.id, state, res, err, doneURL, doneID)
+	c.snapMu.RUnlock()
 
 	switch state {
 	case cstateDone:
@@ -724,6 +821,11 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}
 	c.cancelAll()
 	c.probers.Wait()
+	if c.jnl != nil {
+		// All appenders (watchers, snapshot loop) are done; a clean close
+		// fsyncs the tail.
+		_ = c.jnl.Close()
+	}
 	return forced
 }
 

@@ -140,6 +140,7 @@ func (c *Coordinator) pickNode() *node {
 // there, or to errNodeLost/errNodeBusy for the outer loop.
 func (c *Coordinator) runOn(j *cjob, n *node) (*jobs.Result, error) {
 	gen := n.generation()
+	c.snapMu.RLock()
 	j.mu.Lock()
 	j.node, j.genAt = n, gen
 	if j.started.IsZero() {
@@ -149,7 +150,13 @@ func (c *Coordinator) runOn(j *cjob, n *node) (*jobs.Result, error) {
 		j.state = cstateDispatched
 		close(j.running) // first dispatch only; failovers keep the state
 	}
+	j.dispatches++
 	j.mu.Unlock()
+	// Durable before the submit attempt: replay over-counts rather than
+	// under-counts dispatches, keeping the re-dispatch credit an upper
+	// bound on extra prove invocations.
+	c.journalDispatched(j.id, n.url)
+	c.snapMu.RUnlock()
 
 	n.addOutstanding(1)
 	defer n.addOutstanding(-1)

@@ -328,6 +328,10 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := serverclient.Health{
 		Status: "ok",
 		Queued: pending,
+		// Epoch is the persisted coordinator epoch (0 when journaling is
+		// off): it survives restarts and increments on each, so "did it
+		// crash and recover" is observable right here.
+		Epoch: c.epoch,
 	}
 	status := http.StatusOK
 	switch {

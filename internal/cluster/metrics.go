@@ -105,6 +105,10 @@ type ClusterMetrics struct {
 	// Tenants is the per-tenant admission/limit roster.
 	Tenants []serverclient.TenantMetrics `json:"tenants,omitempty"`
 
+	// Journal is the write-ahead-journal section; nil when journaling is
+	// off.
+	Journal *serverclient.JournalMetrics `json:"journal,omitempty"`
+
 	Redispatches int64 `json:"redispatches"`
 	Recovered    int64 `json:"recovered"`
 	Ejections    int64 `json:"ejections"`
@@ -157,6 +161,10 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 		m.CacheEntries = cs.Entries
 	}
 	m.Tenants = server.TenantMetricsFor(c.tenants)
+	if c.jnl != nil {
+		m.Journal = server.JournalMetricsFor(c.jnl.Stats(), c.epoch,
+			c.recoveredJobs, c.recoveryRedispatches)
+	}
 
 	for _, n := range c.nodes {
 		n.mu.Lock()

@@ -1,0 +1,411 @@
+// Write-ahead journaling and crash recovery for the coordinator. The
+// append helpers here are the only writers of journal records; every
+// caller pairs the append with the in-memory state mutation under
+// c.snapMu.RLock, and the snapshot writer captures + compacts under
+// c.snapMu.Lock, so compaction can never delete a record whose effect
+// is missing from the replacing snapshot. Recovery (recover) runs once
+// in New, before any request is served and before the probers start:
+// it replays snapshot+tail into the pending/retained maps and the
+// idempotency index, bumps the persisted epoch, and re-dispatches
+// non-terminal jobs under their stable "cluster/<id>" node-level dedup
+// keys — so a node that already proved a job before the crash dedups
+// the replayed submit instead of proving it twice.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/journal"
+	"unizk/internal/serverclient"
+	"unizk/internal/tenant"
+)
+
+// journalAdmitted makes the admission durable. A failure here fails the
+// admission: the client must never hold an acknowledgment the journal
+// cannot replay. Callers hold c.snapMu.RLock.
+func (c *Coordinator) journalAdmitted(j *cjob) error {
+	if c.jnl == nil {
+		return nil
+	}
+	raw, err := j.req.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	submitted := j.submitted
+	j.mu.Unlock()
+	return c.jnl.Append(&journal.Record{
+		Type:      journal.TypeAdmitted,
+		ID:        j.id,
+		Req:       raw,
+		Priority:  int64(j.priority),
+		TimeoutNS: int64(j.timeout),
+		Tenant:    j.owner.Name(),
+		TimeNS:    submitted.UnixNano(),
+	})
+}
+
+// journalSuperseded marks a job whose Admitted record became durable
+// but which lost the under-lock admission recheck: replay must not
+// resurrect it. Callers hold c.snapMu.RLock.
+func (c *Coordinator) journalSuperseded(id string) {
+	if c.jnl == nil {
+		return
+	}
+	_ = c.jnl.Append(&journal.Record{
+		Type:   journal.TypeCanceled,
+		ID:     id,
+		Class:  journal.ClassSuperseded,
+		TimeNS: time.Now().UnixNano(),
+	})
+}
+
+// journalIdem makes an idempotency binding durable. Best-effort: losing
+// it costs a replayed dedup after a crash, never a wrong answer.
+// Callers hold c.snapMu.RLock.
+func (c *Coordinator) journalIdem(key string, fp fingerprint, jobID string) {
+	if c.jnl == nil {
+		return
+	}
+	_ = c.jnl.Append(&journal.Record{
+		Type:   journal.TypeIdem,
+		Key:    key,
+		FP:     fp,
+		ID:     jobID,
+		TimeNS: time.Now().Add(c.cfg.IdempotencyTTL).UnixNano(),
+	})
+}
+
+// journalDispatched records a node submit attempt before it is made.
+// Callers hold c.snapMu.RLock.
+func (c *Coordinator) journalDispatched(id, nodeURL string) {
+	if c.jnl == nil {
+		return
+	}
+	_ = c.jnl.Append(&journal.Record{
+		Type: journal.TypeDispatched,
+		ID:   id,
+		Node: nodeURL,
+	})
+}
+
+// journalTerminal records the job's terminal outcome before waiters are
+// released. Callers hold c.snapMu.RLock.
+func (c *Coordinator) journalTerminal(id string, state cjobState, res *jobs.Result, jerr error, doneURL, doneID string) {
+	if c.jnl == nil {
+		return
+	}
+	if state == cstateDone {
+		raw, err := res.MarshalBinary()
+		if err == nil {
+			_ = c.jnl.Append(&journal.Record{
+				Type:   journal.TypeCommitted,
+				ID:     id,
+				Result: raw,
+				Node:   doneURL,
+				NodeID: doneID,
+				TimeNS: time.Now().UnixNano(),
+			})
+			return
+		}
+		// A result that cannot round-trip cannot be replayed; record the
+		// job as failed so a recovered coordinator is honest about it.
+		jerr = fmt.Errorf("cluster: result for %s unmarshalable: %w", id, err)
+		state = cstateFailed
+	}
+	code, class := statusForCluster(jerr)
+	_ = c.jnl.Append(&journal.Record{
+		Type:   journal.TypeCanceled,
+		ID:     id,
+		Class:  class,
+		Msg:    jerr.Error(),
+		Failed: state == cstateFailed,
+		Code:   int64(code),
+		TimeNS: time.Now().UnixNano(),
+	})
+}
+
+// recover replays the journal into the coordinator's maps. It runs
+// single-threaded in New (no probers, no watchers, no handlers yet);
+// c.mu is still held around map writes to keep the guard discipline
+// uniform.
+func (c *Coordinator) recover() error {
+	st, err := journal.Rebuild(c.jnl)
+	if err != nil {
+		return err
+	}
+	c.epoch = st.Epoch + 1
+	if err := c.jnl.Append(&journal.Record{Type: journal.TypeEpoch, Epoch: c.epoch}); err != nil {
+		return err
+	}
+	now := time.Now()
+	var maxID int64
+	restored := make(map[string]*cjob, len(st.Jobs))
+	var pending []*cjob
+	c.mu.Lock()
+	for _, id := range st.Order {
+		jr := st.Jobs[id]
+		if jr == nil {
+			continue
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(jr.ID, "c%d", &seq); err == nil && seq > maxID {
+			maxID = seq
+		}
+		if jr.Terminal && jr.Class == journal.ClassSuperseded {
+			// Never acknowledged under its own id; nothing to restore.
+			continue
+		}
+		req := new(jobs.Request)
+		if err := req.UnmarshalBinary(jr.Req); err != nil {
+			// An undecodable request inside a CRC-valid Admitted record
+			// means a writer bug, not disk damage; the job cannot be
+			// re-proved, so it is dropped rather than blocking startup.
+			continue
+		}
+		j := c.restoreJobLocked(jr, req, now)
+		restored[id] = j
+		if !jr.Terminal {
+			pending = append(pending, j)
+		}
+	}
+	for _, e := range st.Idem {
+		if _, ok := restored[e.JobID]; !ok {
+			continue
+		}
+		exp := time.Unix(0, e.ExpiresNS)
+		if !exp.After(now) {
+			continue
+		}
+		c.idemSeq++
+		c.idemIndex[e.Key] = &idemEntry{
+			jobID:   e.JobID,
+			fp:      fingerprint(e.FP),
+			seq:     c.idemSeq,
+			expires: exp,
+		}
+		c.idemOrder = append(c.idemOrder, idemOrderEntry{key: e.Key, seq: c.idemSeq})
+	}
+	c.mu.Unlock()
+	c.nextID.Store(maxID)
+	for _, j := range pending {
+		c.watchers.Add(1)
+		go c.watch(j)
+	}
+	return nil
+}
+
+// restoreJobLocked rebuilds one replayed job. Terminal jobs become
+// retained records (result/error replayable, idempotent hits land on
+// them); non-terminal jobs are re-registered as pending with their
+// remaining deadline budget and re-dispatched by a fresh watcher. No
+// tenant slot is re-acquired (the crash released every slot) and no
+// cache flight is restored (cache bodies are deliberately not
+// journaled; the next identical submit re-proves and re-primes).
+//
+//unizklint:holds c.mu
+func (c *Coordinator) restoreJobLocked(jr *journal.JobRecord, req *jobs.Request, now time.Time) *cjob {
+	tn := c.tenantByName(jr.Tenant)
+	j := &cjob{
+		id:       jr.ID,
+		req:      req,
+		nodeKey:  "cluster/" + jr.ID,
+		priority: int(jr.Priority),
+		timeout:  time.Duration(jr.TimeoutNS),
+		done:     make(chan struct{}),
+		running:  make(chan struct{}),
+		owner:    tn,
+	}
+	// The job is not yet published, but the guarded fields keep their
+	// lock discipline anyway; the caller's c.mu → j.mu order matches
+	// captureState.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.submitted = time.Unix(0, jr.SubmittedNS)
+	j.dispatches = int(jr.Dispatches)
+	if jr.Dispatches > 0 {
+		j.started = j.submitted
+		close(j.running)
+	}
+	c.met.submitted.Add(1)
+	if jr.Terminal {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		j.ctx, j.cancel = ctx, cancel
+		j.finished = time.Unix(0, jr.FinishedNS)
+		j.doneNodeURL, j.doneNodeID = jr.DoneNode, jr.DoneNodeID
+		if jr.Dispatches > 1 {
+			// D dispatches may have invoked up to D proves; credit the
+			// surplus as recorded re-dispatches so the exactly-once
+			// accounting (unique ≤ invocations ≤ unique + re-dispatches)
+			// holds across the restart.
+			j.redispatches = int(jr.Dispatches) - 1
+			c.met.redispatches.Add(jr.Dispatches - 1)
+		}
+		switch {
+		case !jr.Failed && !jr.Canceled:
+			res := new(jobs.Result)
+			if err := res.UnmarshalBinary(jr.Result); err == nil {
+				j.state, j.res = cstateDone, res
+				c.met.completed.Add(1)
+			} else {
+				j.state = cstateFailed
+				j.err = fmt.Errorf("cluster: replayed result for %s unreadable: %w", jr.ID, err)
+				c.met.failed.Add(1)
+			}
+		case jr.Canceled:
+			j.state = cstateCanceled
+			if jr.Class == "canceled" || jr.Class == "" {
+				j.err = context.Canceled
+			} else {
+				j.err = &serverclient.APIError{StatusCode: int(jr.Code), Class: jr.Class, Message: jr.Msg}
+			}
+			c.met.canceled.Add(1)
+		default:
+			j.state = cstateFailed
+			j.err = &serverclient.APIError{StatusCode: int(jr.Code), Class: jr.Class, Message: jr.Msg}
+			c.met.failed.Add(1)
+		}
+		// Waiters park on the done channel (sync prove dedup attach,
+		// long-poll, SSE); a restored terminal job must present as
+		// already closed or they hang forever.
+		close(j.done)
+		c.jobsByID[jr.ID] = j
+		c.finishedList = append(c.finishedList, jr.ID)
+		return j
+	}
+
+	// Non-terminal: re-register with whatever deadline budget remains
+	// (an already-expired budget gets an epsilon so the job terminates
+	// promptly through the normal deadline path).
+	ctx, cancel := context.WithCancel(c.base)
+	if jr.TimeoutNS > 0 {
+		rem := time.Duration(jr.TimeoutNS) - now.Sub(j.submitted)
+		if rem <= 0 {
+			rem = time.Millisecond
+		}
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, rem)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	j.ctx, j.cancel = ctx, cancel
+	if jr.Dispatches > 0 {
+		j.state = cstateDispatched
+		// Every pre-crash dispatch may have reached a prover; the restart
+		// re-dispatches on top of them, so all D are credited.
+		j.redispatches = int(jr.Dispatches)
+		c.met.redispatches.Add(jr.Dispatches)
+		c.recoveryRedispatches++
+	}
+	c.recoveredJobs++
+	c.jobsByID[jr.ID] = j
+	c.pending++
+	return j
+}
+
+// tenantByName rebinds a replayed job to its tenant; a tenant that no
+// longer exists in the registry falls back to the default (the job was
+// already admitted — recovery must not re-run admission control).
+func (c *Coordinator) tenantByName(name string) *tenant.Tenant {
+	for _, tn := range c.tenants.All() {
+		if tn.Name() == name {
+			return tn
+		}
+	}
+	return c.tenants.Default()
+}
+
+// snapshotLoop compacts the journal whenever enough records have
+// accumulated since the last snapshot, bounding replay cost.
+func (c *Coordinator) snapshotLoop() {
+	defer c.probers.Done()
+	for {
+		if !sleepCtx(c.base, c.cfg.ProbeInterval) {
+			return
+		}
+		if c.jnl.SnapshotDue() {
+			c.writeSnapshot()
+		}
+	}
+}
+
+// writeSnapshot captures the full coordinator state and hands it to the
+// journal, which writes it as the head of a fresh segment and deletes
+// the older ones. snapMu.Lock excludes every append+mutate pair, so the
+// captured state covers everything the deleted segments held.
+func (c *Coordinator) writeSnapshot() {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	_ = c.jnl.WriteSnapshot(c.captureState())
+}
+
+// captureState builds the snapshot image. Callers hold c.snapMu.Lock.
+func (c *Coordinator) captureState() *journal.State {
+	st := journal.NewState()
+	st.Epoch = c.epoch
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.jobsByID))
+	for id := range c.jobsByID {
+		ids = append(ids, id)
+	}
+	// Job ids are zero-padded ("c%08d"), so lexicographic order is
+	// admission order.
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := c.jobsByID[id]
+		jr := &journal.JobRecord{
+			ID:        j.id,
+			Priority:  int64(j.priority),
+			TimeoutNS: int64(j.timeout),
+			Tenant:    j.owner.Name(),
+		}
+		if raw, err := j.req.MarshalBinary(); err == nil {
+			jr.Req = raw
+		} else {
+			continue
+		}
+		j.mu.Lock()
+		jr.SubmittedNS = j.submitted.UnixNano()
+		jr.Dispatches = int64(j.dispatches)
+		if j.node != nil {
+			jr.Node = j.node.url
+		}
+		switch j.state {
+		case cstateDone:
+			jr.Terminal = true
+			jr.DoneNode, jr.DoneNodeID = j.doneNodeURL, j.doneNodeID
+			jr.FinishedNS = j.finished.UnixNano()
+			if raw, err := j.res.MarshalBinary(); err == nil {
+				jr.Result = raw
+			}
+		case cstateFailed, cstateCanceled:
+			jr.Terminal = true
+			jr.Failed = j.state == cstateFailed
+			jr.Canceled = j.state == cstateCanceled
+			jr.FinishedNS = j.finished.UnixNano()
+			if j.err != nil {
+				code, class := statusForCluster(j.err)
+				jr.Class, jr.Code, jr.Msg = class, int64(code), j.err.Error()
+			}
+		}
+		j.mu.Unlock()
+		st.Jobs[id] = jr
+		st.Order = append(st.Order, id)
+	}
+	for key, e := range c.idemIndex {
+		st.Idem = append(st.Idem, journal.IdemRecord{
+			Key:       key,
+			FP:        [32]byte(e.fp),
+			JobID:     e.jobID,
+			ExpiresNS: e.expires.UnixNano(),
+		})
+	}
+	sort.Slice(st.Idem, func(a, b int) bool { return st.Idem[a].Key < st.Idem[b].Key })
+	return st
+}

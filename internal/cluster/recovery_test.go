@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/journal"
+	"unizk/internal/server"
+	"unizk/internal/serverclient"
+)
+
+// durableConfig is fastConfig plus a journal directory.
+func durableConfig(dir string, urls ...string) Config {
+	cfg := fastConfig(urls...)
+	cfg.JournalDir = dir
+	return cfg
+}
+
+// TestClusterJournalRestartRetainsState restarts a journaled
+// coordinator cleanly and checks the second life serves the first
+// life's results bit-identically, keeps its idempotency bindings, bumps
+// the persisted epoch, and reports the replay in /metrics and /healthz.
+func TestClusterJournalRestartRetainsState(t *testing.T) {
+	n1 := startTestNode(t, server.Config{})
+	n2 := startTestNode(t, server.Config{})
+	t.Cleanup(n1.kill)
+	t.Cleanup(n2.kill)
+	dir := t.TempDir()
+
+	coord1, cl1, _ := startCluster(t, durableConfig(dir, n1.url, n2.url))
+	waitHealthy(t, coord1, 2)
+	ctx := context.Background()
+
+	plain := &jobs.Request{Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 6}
+	keyed := &jobs.Request{Kind: jobs.KindStark, Workload: "Factorial", LogRows: 5,
+		IdempotencyKey: "cluster-restart-k1"}
+
+	plainID, err := cl1.Submit(ctx, plain, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyedID, err := cl1.Submit(ctx, keyed, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := cl1.Wait(ctx, plainID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl1.Wait(ctx, keyedID); err != nil {
+		t.Fatal(err)
+	}
+	if coord1.epoch != 1 {
+		t.Fatalf("first life epoch = %d, want 1", coord1.epoch)
+	}
+	sctx, scancel := context.WithTimeout(ctx, 30*time.Second)
+	_ = coord1.Shutdown(sctx)
+	scancel()
+
+	coord2, cl2, _ := startCluster(t, durableConfig(dir, n1.url, n2.url))
+	waitHealthy(t, coord2, 2)
+	if coord2.epoch != 2 {
+		t.Fatalf("second life epoch = %d, want 2", coord2.epoch)
+	}
+	h, err := cl2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 2 {
+		t.Fatalf("healthz epoch = %d, want 2", h.Epoch)
+	}
+
+	res, err := cl2.Result(ctx, plainID)
+	if err != nil {
+		t.Fatalf("replayed result fetch: %v", err)
+	}
+	if !bytes.Equal(res.Proof, plainRes.Proof) {
+		t.Fatal("replayed proof differs from the one acknowledged before restart")
+	}
+
+	// The idempotency binding survived the restart: the same key
+	// resolves to the pre-restart job instead of proving again.
+	dupID, err := cl2.Submit(ctx, keyed, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupID != keyedID {
+		t.Fatalf("idempotent resubmit after restart = %s, want %s", dupID, keyedID)
+	}
+
+	// A *sync* prove of the same key parks on the restored job's done
+	// channel; it must observe the channel already closed and return at
+	// once, not hang (the channel is rebuilt by replay, not by a prove).
+	pctx, pcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer pcancel()
+	syncRes, err := cl2.Prove(pctx, keyed, serverclient.Options{})
+	if err != nil {
+		t.Fatalf("sync prove against replayed terminal job: %v", err)
+	}
+	if len(syncRes.Proof) == 0 {
+		t.Fatal("sync prove against replayed terminal job returned no proof")
+	}
+
+	m := coord2.Metrics()
+	if m.Journal == nil {
+		t.Fatal("cluster metrics journal section missing with journaling on")
+	}
+	if m.Journal.Epoch != 2 || m.Journal.RecordsReplayed == 0 {
+		t.Fatalf("journal metrics = %+v, want epoch 2 and replayed records", m.Journal)
+	}
+}
+
+// TestClusterJournalRequeuesUnfinished replays a hand-written journal
+// holding admitted-but-unfinished jobs — what a kill -9 leaves behind —
+// and checks the restarted coordinator re-dispatches and proves them
+// under their stable node-level dedup keys, counting the prior
+// Dispatched record as a recorded re-dispatch.
+func TestClusterJournalRequeuesUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	reqs := map[string]*jobs.Request{
+		"c00000001": {Kind: jobs.KindPlonk, Workload: "Fibonacci", LogRows: 6},
+		"c00000002": {Kind: jobs.KindStark, Workload: "Factorial", LogRows: 5},
+	}
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := journal.Rebuild(jnl); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(reqs))
+	for id := range reqs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		raw, err := reqs[id].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := jnl.Append(&journal.Record{
+			Type:   journal.TypeAdmitted,
+			ID:     id,
+			Req:    raw,
+			TimeNS: time.Now().UnixNano(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// c00000002 was dispatched before the kill; the node it went to is
+	// gone, so the restarted coordinator must re-place it and count the
+	// re-dispatch.
+	if err := jnl.Append(&journal.Record{
+		Type: journal.TypeDispatched,
+		ID:   "c00000002",
+		Node: "http://127.0.0.1:1", // unreachable: the pre-crash node
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n1 := startTestNode(t, server.Config{})
+	t.Cleanup(n1.kill)
+	coord, cl, _ := startCluster(t, durableConfig(dir, n1.url))
+	waitHealthy(t, coord, 1)
+	ctx := context.Background()
+
+	for _, id := range ids {
+		res, err := cl.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: wait after recovery: %v", id, err)
+		}
+		if !bytes.Equal(res.Proof, directProof(t, reqs[id])) {
+			t.Fatalf("%s: recovered proof differs from direct prove", id)
+		}
+	}
+	if coord.recoveredJobs != 2 || coord.recoveryRedispatches != 1 {
+		t.Fatalf("recovered=%d redispatches=%d, want 2 and 1",
+			coord.recoveredJobs, coord.recoveryRedispatches)
+	}
+	m := coord.Metrics()
+	if m.Journal == nil || m.Journal.RecoveredJobs != 2 || m.Journal.RecoveryRedispatches != 1 {
+		t.Fatalf("journal metrics = %+v, want 2 recovered / 1 re-dispatch", m.Journal)
+	}
+	// The pre-crash dispatch is credited in the re-dispatch upper bound.
+	if m.Redispatches < 1 {
+		t.Fatalf("redispatches = %d, want >= 1", m.Redispatches)
+	}
+
+	// New admissions must not collide with replayed ids.
+	freshID, err := cl.Submit(ctx, &jobs.Request{Kind: jobs.KindPlonk, Workload: "MVM", LogRows: 5}, serverclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshID <= "c00000002" {
+		t.Fatalf("fresh id %s does not continue the replayed sequence", freshID)
+	}
+	if _, err := cl.Wait(ctx, freshID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterJournalMetricsShape pins the coordinator /metrics journal
+// section: present with the documented field names when journaling is
+// on, absent entirely when it is off.
+func TestClusterJournalMetricsShape(t *testing.T) {
+	n1 := startTestNode(t, server.Config{})
+	t.Cleanup(n1.kill)
+
+	on, _, _ := startCluster(t, durableConfig(t.TempDir(), n1.url))
+	raw, err := json.Marshal(on.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	sect, ok := doc["journal"]
+	if !ok {
+		t.Fatalf("cluster metrics JSON has no journal section: %s", raw)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(sect, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"epoch", "records_appended", "records_replayed", "fsyncs",
+		"fsync_p50_ms", "fsync_p99_ms", "segments", "snapshots",
+		"snapshot_age_ms", "truncated_tails", "recovery_duration_ms",
+		"recovered_jobs", "recovery_redispatches",
+	} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("cluster journal metrics missing %q: %s", key, sect)
+		}
+	}
+	if fields["epoch"].(float64) != 1 {
+		t.Fatalf("fresh journal epoch = %v, want 1", fields["epoch"])
+	}
+
+	off, _, _ := startCluster(t, fastConfig(n1.url))
+	raw, err = json.Marshal(off.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc = nil
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["journal"]; ok {
+		t.Fatalf("journaling off but cluster metrics JSON has a journal section: %s", raw)
+	}
+}

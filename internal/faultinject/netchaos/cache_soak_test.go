@@ -194,6 +194,11 @@ func TestCacheSoak(t *testing.T) {
 		if !errors.As(err, &apiErr) {
 			t.Fatalf("starved submit: unclassified error %v", err)
 		}
+		if apiErr.Class == "injected_blip" {
+			// Chaos 503, not the rate limiter — same as a transport fault.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
 		break
 	}
 	if apiErr.StatusCode != http.StatusTooManyRequests ||

@@ -1,0 +1,227 @@
+// Journal record encoding. Every record is one wire-encoded payload
+// (internal/wire: uvarint lengths, little-endian words) framed by the
+// segment writer with a length + CRC32-C header. The record set mirrors
+// the coordinator's externally observable state transitions — what was
+// acknowledged to a client must be reconstructible from these records
+// alone. See DESIGN.md §16.
+package journal
+
+import (
+	"fmt"
+
+	"unizk/internal/wire"
+)
+
+// Type tags one journal record. The numeric values are part of the
+// on-disk format and must never be reused.
+type Type uint8
+
+const (
+	// TypeAdmitted: a job passed admission and is about to be
+	// acknowledged to the client. Written before the in-memory
+	// registration so an acked job is always recoverable.
+	TypeAdmitted Type = 1
+	// TypeDispatched: the coordinator is about to submit the job to a
+	// node. Written before the submit attempt, so replay over-counts
+	// rather than under-counts dispatch attempts (the safe side of the
+	// re-dispatch invariant).
+	TypeDispatched Type = 2
+	// TypeCommitted: the job reached a successful terminal state with a
+	// result.
+	TypeCommitted Type = 3
+	// TypeCanceled: the job reached a failed/canceled terminal state, or
+	// an admission lost the under-lock idempotency race after its
+	// Admitted record was already durable (ClassSuperseded).
+	TypeCanceled Type = 4
+	// TypeIdem: an idempotency-index entry was bound to a job.
+	TypeIdem Type = 5
+	// TypeSnapshot: a full State image; always the first record of a
+	// fresh segment, written by WriteSnapshot before older segments are
+	// deleted.
+	TypeSnapshot Type = 6
+	// TypeEpoch: the persisted coordinator epoch, appended once per
+	// process start after replay.
+	TypeEpoch Type = 7
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeAdmitted:
+		return "admitted"
+	case TypeDispatched:
+		return "dispatched"
+	case TypeCommitted:
+		return "committed"
+	case TypeCanceled:
+		return "canceled"
+	case TypeIdem:
+		return "idem"
+	case TypeSnapshot:
+		return "snapshot"
+	case TypeEpoch:
+		return "epoch"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ClassSuperseded marks a Canceled record for a job whose Admitted
+// record became durable but which lost the under-lock idempotency
+// recheck to a concurrent duplicate: the job was never acknowledged
+// under its own id, so replay must not resurrect it.
+const ClassSuperseded = "superseded"
+
+// Record is one journal entry. It is a tagged union: Type selects which
+// fields are meaningful (and encoded); the rest stay zero.
+type Record struct {
+	Type Type
+
+	// ID is the coordinator job id (all job-lifecycle records, and the
+	// bound job for TypeIdem).
+	ID string
+
+	// Admitted: the marshaled jobs.Request, effective priority, the
+	// admission deadline budget, and the owning tenant name.
+	Req       []byte
+	Priority  int64
+	TimeoutNS int64
+	Tenant    string
+
+	// TimeNS is the event instant (admission, completion) as UnixNano —
+	// except for TypeIdem, where it is the entry's expiry.
+	TimeNS int64
+
+	// Dispatched: the target node's base URL. Committed: the node URL
+	// and /healthz node id that produced the result.
+	Node   string
+	NodeID string
+
+	// Committed: the marshaled jobs.Result.
+	Result []byte
+
+	// Canceled: the terminal classification. Failed distinguishes a
+	// failure from a cancellation; Class/Code are the HTTP error class
+	// and status the coordinator reported, so a replayed terminal error
+	// keeps its original classification.
+	Class  string
+	Msg    string
+	Failed bool
+	Code   int64
+
+	// Idem: the client's key and the request fingerprint it vouches for.
+	Key string
+	FP  [32]byte
+
+	// Snapshot: a wire-encoded State (EncodeState/DecodeState).
+	State []byte
+
+	// Epoch: the persisted coordinator epoch.
+	Epoch uint64
+}
+
+// EncodeTo appends the record's wire encoding.
+func (rec *Record) EncodeTo(w *wire.Writer) error {
+	w.Uvarint(uint64(rec.Type))
+	switch rec.Type {
+	case TypeAdmitted:
+		w.Str(rec.ID)
+		w.Blob(rec.Req)
+		w.U64(uint64(rec.Priority))
+		w.U64(uint64(rec.TimeoutNS))
+		w.Str(rec.Tenant)
+		w.U64(uint64(rec.TimeNS))
+	case TypeDispatched:
+		w.Str(rec.ID)
+		w.Str(rec.Node)
+	case TypeCommitted:
+		w.Str(rec.ID)
+		w.Blob(rec.Result)
+		w.Str(rec.Node)
+		w.Str(rec.NodeID)
+		w.U64(uint64(rec.TimeNS))
+	case TypeCanceled:
+		w.Str(rec.ID)
+		w.Str(rec.Class)
+		w.Str(rec.Msg)
+		if rec.Failed {
+			w.Uvarint(1)
+		} else {
+			w.Uvarint(0)
+		}
+		w.U64(uint64(rec.Code))
+		w.U64(uint64(rec.TimeNS))
+	case TypeIdem:
+		w.Str(rec.Key)
+		w.Blob(rec.FP[:])
+		w.Str(rec.ID)
+		w.U64(uint64(rec.TimeNS))
+	case TypeSnapshot:
+		w.Blob(rec.State)
+	case TypeEpoch:
+		w.Uvarint(rec.Epoch)
+	default:
+		return fmt.Errorf("journal: cannot encode record type %d", rec.Type)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the record as a standalone payload.
+func (rec *Record) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	if err := rec.EncodeTo(&w); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeRecord parses one record payload, rejecting unknown types,
+// malformed fields, and trailing bytes — any of which the replayer
+// treats as corruption.
+func DecodeRecord(data []byte) (*Record, error) {
+	r := wire.NewReader(data)
+	rec := &Record{Type: Type(r.Uvarint())}
+	switch rec.Type {
+	case TypeAdmitted:
+		rec.ID = r.Str()
+		rec.Req = r.Blob()
+		rec.Priority = int64(r.U64())
+		rec.TimeoutNS = int64(r.U64())
+		rec.Tenant = r.Str()
+		rec.TimeNS = int64(r.U64())
+	case TypeDispatched:
+		rec.ID = r.Str()
+		rec.Node = r.Str()
+	case TypeCommitted:
+		rec.ID = r.Str()
+		rec.Result = r.Blob()
+		rec.Node = r.Str()
+		rec.NodeID = r.Str()
+		rec.TimeNS = int64(r.U64())
+	case TypeCanceled:
+		rec.ID = r.Str()
+		rec.Class = r.Str()
+		rec.Msg = r.Str()
+		rec.Failed = r.Uvarint() != 0
+		rec.Code = int64(r.U64())
+		rec.TimeNS = int64(r.U64())
+	case TypeIdem:
+		rec.Key = r.Str()
+		fp := r.Blob()
+		if r.Err() == nil && len(fp) != len(rec.FP) {
+			return nil, fmt.Errorf("journal: idem fingerprint is %d bytes, want %d", len(fp), len(rec.FP))
+		}
+		copy(rec.FP[:], fp)
+		rec.ID = r.Str()
+		rec.TimeNS = int64(r.U64())
+	case TypeSnapshot:
+		rec.State = r.Blob()
+	case TypeEpoch:
+		rec.Epoch = r.Uvarint()
+	default:
+		return nil, fmt.Errorf("journal: unknown record type %d", rec.Type)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,142 @@
+// Snapshot payload codec. A snapshot is a full State image encoded with
+// internal/wire, carried inside a TypeSnapshot record at the head of a
+// fresh segment; replay substitutes it for all prior history.
+package journal
+
+import (
+	"fmt"
+	"sort"
+
+	"unizk/internal/wire"
+)
+
+// EncodeState serializes a snapshot payload. Jobs are emitted in Order;
+// ids in Order without a job entry are skipped (they cannot be
+// restored), and jobs missing from Order are appended in sorted-id
+// order so the image is deterministic and total.
+func EncodeState(st *State) []byte {
+	ids := make([]string, 0, len(st.Jobs))
+	seen := make(map[string]bool, len(st.Jobs))
+	for _, id := range st.Order {
+		if st.Jobs[id] != nil && !seen[id] {
+			ids = append(ids, id)
+			seen[id] = true
+		}
+	}
+	var extra []string
+	for id := range st.Jobs {
+		if !seen[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	ids = append(ids, extra...)
+
+	var w wire.Writer
+	w.Uvarint(st.Epoch)
+	w.Len(len(ids))
+	for _, id := range ids {
+		encodeJob(&w, st.Jobs[id])
+	}
+	w.Len(len(st.Idem))
+	for _, e := range st.Idem {
+		w.Str(e.Key)
+		w.Blob(e.FP[:])
+		w.Str(e.JobID)
+		w.U64(uint64(e.ExpiresNS))
+	}
+	return w.Bytes()
+}
+
+// Job flag bits inside the snapshot encoding.
+const (
+	jobFlagTerminal = 1 << iota
+	jobFlagFailed
+	jobFlagCanceled
+)
+
+func encodeJob(w *wire.Writer, job *JobRecord) {
+	w.Str(job.ID)
+	w.Blob(job.Req)
+	w.U64(uint64(job.Priority))
+	w.U64(uint64(job.TimeoutNS))
+	w.Str(job.Tenant)
+	w.U64(uint64(job.SubmittedNS))
+	w.Uvarint(uint64(job.Dispatches))
+	w.Str(job.Node)
+	flags := uint64(0)
+	if job.Terminal {
+		flags |= jobFlagTerminal
+	}
+	if job.Failed {
+		flags |= jobFlagFailed
+	}
+	if job.Canceled {
+		flags |= jobFlagCanceled
+	}
+	w.Uvarint(flags)
+	w.Str(job.Class)
+	w.Str(job.Msg)
+	w.U64(uint64(job.Code))
+	w.Blob(job.Result)
+	w.Str(job.DoneNode)
+	w.Str(job.DoneNodeID)
+	w.U64(uint64(job.FinishedNS))
+}
+
+// DecodeState parses a snapshot payload.
+func DecodeState(data []byte) (*State, error) {
+	r := wire.NewReader(data)
+	st := NewState()
+	st.Epoch = r.Uvarint()
+	nJobs := r.Len()
+	for i := 0; i < nJobs && r.Err() == nil; i++ {
+		job := decodeJob(r)
+		if r.Err() != nil {
+			break
+		}
+		st.Jobs[job.ID] = job
+		st.Order = append(st.Order, job.ID)
+	}
+	nIdem := r.Len()
+	for i := 0; i < nIdem && r.Err() == nil; i++ {
+		var e IdemRecord
+		e.Key = r.Str()
+		fp := r.Blob()
+		if r.Err() == nil && len(fp) != len(e.FP) {
+			return nil, fmt.Errorf("journal: snapshot idem fingerprint is %d bytes, want %d", len(fp), len(e.FP))
+		}
+		copy(e.FP[:], fp)
+		e.JobID = r.Str()
+		e.ExpiresNS = int64(r.U64())
+		st.Idem = append(st.Idem, e)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func decodeJob(r *wire.Reader) *JobRecord {
+	job := &JobRecord{}
+	job.ID = r.Str()
+	job.Req = r.Blob()
+	job.Priority = int64(r.U64())
+	job.TimeoutNS = int64(r.U64())
+	job.Tenant = r.Str()
+	job.SubmittedNS = int64(r.U64())
+	job.Dispatches = int64(r.Uvarint())
+	job.Node = r.Str()
+	flags := r.Uvarint()
+	job.Terminal = flags&jobFlagTerminal != 0
+	job.Failed = flags&jobFlagFailed != 0
+	job.Canceled = flags&jobFlagCanceled != 0
+	job.Class = r.Str()
+	job.Msg = r.Str()
+	job.Code = int64(r.U64())
+	job.Result = r.Blob()
+	job.DoneNode = r.Str()
+	job.DoneNodeID = r.Str()
+	job.FinishedNS = int64(r.U64())
+	return job
+}

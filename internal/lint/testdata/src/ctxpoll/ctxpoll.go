@@ -160,3 +160,33 @@ func redispatchLoopNoCtx(ctx context.Context, pick func() bool, dispatch func() 
 		}
 	}
 }
+
+// snapshotCompactLoop mirrors the journal's snapshot/compaction loop:
+// an unbounded cadence loop whose sleep selects on ctx.Done — the
+// select counts as consulting ctx.
+func snapshotCompactLoop(ctx context.Context, tick <-chan struct{}, due func() bool, compact func()) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		}
+		if due() {
+			compact()
+		}
+	}
+}
+
+// replayRequeueNoCtx mirrors a crash-recovery requeue loop with the
+// ctx consultation missing: replayed jobs are pushed until the queue
+// accepts them, so after cancellation it would spin on a full queue
+// forever and must be flagged.
+func replayRequeueNoCtx(ctx context.Context, replayed []int, push func(int) bool) {
+	for _, j := range replayed {
+		for { // want `never consults`
+			if push(j) {
+				break
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"unizk/internal/jobs"
+	"unizk/internal/journal"
 	"unizk/internal/parallel"
 	"unizk/internal/prooferr"
 	"unizk/internal/serverclient"
@@ -317,6 +318,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		InFlight: s.met.inFlight.Load(),
 		NodeID:   s.nodeID,
 		StartNS:  s.started.UnixNano(),
+		// Epoch is the persisted server epoch (0 when journaling is off):
+		// unlike NodeID/StartNS it survives restarts and increments on
+		// each, making crash recovery directly observable.
+		Epoch: s.epoch,
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -385,7 +390,33 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.RejectedRateLimited = m.rejectedLimited.Load()
 	snap.RejectedUnauthorized = m.rejectedUnauth.Load()
 	snap.Tenants = TenantMetricsFor(s.tenants)
+	if s.jnl != nil {
+		snap.Journal = JournalMetricsFor(s.jnl.Stats(), s.epoch,
+			s.recoveredJobs, s.recoveryRedispatches)
+	}
 	return snap
+}
+
+// JournalMetricsFor converts journal counters into the /metrics
+// "journal" section; the cluster coordinator surfaces its own journal
+// through the same shape.
+func JournalMetricsFor(st journal.Stats, epoch uint64, recoveredJobs, recoveryRedispatches int64) *serverclient.JournalMetrics {
+	return &serverclient.JournalMetrics{
+		Epoch:                epoch,
+		RecordsAppended:      st.RecordsAppended,
+		RecordsReplayed:      st.RecordsReplayed,
+		AppendErrors:         st.AppendErrors,
+		Fsyncs:               st.Fsyncs,
+		FsyncP50MS:           ms(st.FsyncP50),
+		FsyncP99MS:           ms(st.FsyncP99),
+		Segments:             st.Segments,
+		Snapshots:            st.Snapshots,
+		SnapshotAgeMS:        st.SnapshotAge.Milliseconds(),
+		TruncatedTails:       st.TruncatedTails,
+		RecoveryDurationMS:   st.ReplayDuration.Milliseconds(),
+		RecoveredJobs:        recoveredJobs,
+		RecoveryRedispatches: recoveryRedispatches,
+	}
 }
 
 // TenantMetricsFor assembles the per-tenant roster for /metrics; the

@@ -1,0 +1,416 @@
+// Write-ahead journaling and crash recovery for the single-node
+// service — the same discipline the cluster coordinator applies, one
+// tier down. Append helpers pair each journal record with its in-memory
+// state mutation under s.snapMu.RLock; the snapshot writer captures and
+// compacts under s.snapMu.Lock; recover runs once in NewDurable, before
+// the runners start, replaying terminal jobs into the retained set and
+// handing unfinished ones back for re-enqueue. Dispatched records here
+// mark prover entries (there is no remote node), so a job that was
+// proving at the kill re-proves after restart as a *recorded* re-entry.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"unizk/internal/jobs"
+	"unizk/internal/journal"
+	"unizk/internal/tenant"
+)
+
+// replayedError reconstructs a journaled terminal error so a recovered
+// job reports the exact class and status code it was acknowledged with.
+type replayedError struct {
+	code  int
+	class string
+	msg   string
+}
+
+func (e *replayedError) Error() string { return e.msg }
+
+// journalAdmitted makes the admission durable. A failure here fails the
+// admission: the client must never hold an acknowledgment the journal
+// cannot replay. Callers hold s.snapMu.RLock.
+func (s *Server) journalAdmitted(j *job) error {
+	if s.jnl == nil {
+		return nil
+	}
+	raw, err := j.req.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	submitted := j.submitted
+	j.mu.Unlock()
+	return s.jnl.Append(&journal.Record{
+		Type:      journal.TypeAdmitted,
+		ID:        j.id,
+		Req:       raw,
+		Priority:  int64(j.priority),
+		TimeoutNS: int64(j.timeout),
+		Tenant:    j.owner.Name(),
+		TimeNS:    submitted.UnixNano(),
+	})
+}
+
+// journalSuperseded marks a job whose Admitted record became durable
+// but which was never acknowledged under its own id (lost the idem
+// recheck, or its enqueue failed). Callers hold s.snapMu.RLock.
+func (s *Server) journalSuperseded(id string) {
+	if s.jnl == nil {
+		return
+	}
+	_ = s.jnl.Append(&journal.Record{
+		Type:   journal.TypeCanceled,
+		ID:     id,
+		Class:  journal.ClassSuperseded,
+		TimeNS: time.Now().UnixNano(),
+	})
+}
+
+// journalIdem makes an idempotency binding durable. Best-effort: losing
+// it costs a replayed dedup after a crash, never a wrong answer.
+// Callers hold s.snapMu.RLock.
+func (s *Server) journalIdem(key string, fp [32]byte, jobID string) {
+	if s.jnl == nil {
+		return
+	}
+	_ = s.jnl.Append(&journal.Record{
+		Type:   journal.TypeIdem,
+		Key:    key,
+		FP:     fp,
+		ID:     jobID,
+		TimeNS: time.Now().Add(s.cfg.IdempotencyTTL).UnixNano(),
+	})
+}
+
+// journalDispatched records a prover entry before it happens. Callers
+// hold s.snapMu.RLock.
+func (s *Server) journalDispatched(id string) {
+	if s.jnl == nil {
+		return
+	}
+	_ = s.jnl.Append(&journal.Record{
+		Type: journal.TypeDispatched,
+		ID:   id,
+	})
+}
+
+// journalTerminal records the job's terminal outcome before waiters are
+// released. Callers hold s.snapMu.RLock.
+func (s *Server) journalTerminal(id string, state jobState, res *jobs.Result, jerr error) {
+	if s.jnl == nil {
+		return
+	}
+	if state == stateDone {
+		raw, err := res.MarshalBinary()
+		if err == nil {
+			_ = s.jnl.Append(&journal.Record{
+				Type:   journal.TypeCommitted,
+				ID:     id,
+				Result: raw,
+				NodeID: s.nodeID,
+				TimeNS: time.Now().UnixNano(),
+			})
+			return
+		}
+		jerr = fmt.Errorf("result for %s unmarshalable: %w", id, err)
+		state = stateFailed
+	}
+	code, class := statusFor(jerr)
+	_ = s.jnl.Append(&journal.Record{
+		Type:   journal.TypeCanceled,
+		ID:     id,
+		Class:  class,
+		Msg:    jerr.Error(),
+		Failed: state == stateFailed,
+		Code:   int64(code),
+		TimeNS: time.Now().UnixNano(),
+	})
+}
+
+// recover replays the journal into the retained maps and returns the
+// unfinished jobs for re-enqueue (NewDurable pushes them after the
+// runners start). Runs single-threaded in NewDurable; s.mu is held
+// around map writes to keep the guard discipline uniform.
+func (s *Server) recover() ([]*job, error) {
+	st, err := journal.Rebuild(s.jnl)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch = st.Epoch + 1
+	if err := s.jnl.Append(&journal.Record{Type: journal.TypeEpoch, Epoch: s.epoch}); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	var maxID int64
+	var requeue []*job
+	restored := make(map[string]*job, len(st.Jobs))
+	s.mu.Lock()
+	for _, id := range st.Order {
+		jr := st.Jobs[id]
+		if jr == nil {
+			continue
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(jr.ID, "j%d", &seq); err == nil && seq > maxID {
+			maxID = seq
+		}
+		if jr.Terminal && jr.Class == journal.ClassSuperseded {
+			// Never acknowledged under its own id; nothing to restore.
+			continue
+		}
+		req := new(jobs.Request)
+		if err := req.UnmarshalBinary(jr.Req); err != nil {
+			// An undecodable request inside a CRC-valid record means a
+			// writer bug, not disk damage; drop the job rather than block
+			// startup.
+			continue
+		}
+		j, pending := s.restoreJobLocked(jr, req, now)
+		restored[id] = j
+		if pending {
+			requeue = append(requeue, j)
+		}
+	}
+	for _, e := range st.Idem {
+		if _, ok := restored[e.JobID]; !ok {
+			continue
+		}
+		exp := time.Unix(0, e.ExpiresNS)
+		if !exp.After(now) {
+			continue
+		}
+		s.idemSeq++
+		s.idemIndex[e.Key] = &idemEntry{
+			jobID:   e.JobID,
+			fp:      e.FP,
+			seq:     s.idemSeq,
+			expires: exp,
+		}
+		s.idemOrder = append(s.idemOrder, idemOrderEntry{key: e.Key, seq: s.idemSeq})
+	}
+	s.mu.Unlock()
+	s.nextID.Store(maxID)
+	return requeue, nil
+}
+
+// restoreJobLocked rebuilds one replayed job: terminal jobs become
+// retained records, unfinished jobs are recompiled and reported pending
+// for re-enqueue. No tenant slot is re-acquired (the crash released
+// every slot) and no cache flight is restored — cache bodies are
+// deliberately not journaled.
+//
+//unizklint:holds s.mu
+func (s *Server) restoreJobLocked(jr *journal.JobRecord, req *jobs.Request, now time.Time) (*job, bool) {
+	tn := s.tenantByName(jr.Tenant)
+	j := &job{
+		id:       jr.ID,
+		req:      req,
+		priority: int(jr.Priority),
+		timeout:  time.Duration(jr.TimeoutNS),
+		done:     make(chan struct{}),
+		running:  make(chan struct{}),
+		owner:    tn,
+	}
+	// The job is not yet published, but the guarded fields keep their
+	// lock discipline anyway; the caller's s.mu → j.mu order matches
+	// captureState.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.submitted = time.Unix(0, jr.SubmittedNS)
+	j.dispatches = int(jr.Dispatches)
+	s.met.submitted.Add(1)
+	if jr.Terminal {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		j.ctx, j.cancel = ctx, cancel
+		j.finished = time.Unix(0, jr.FinishedNS)
+		if jr.Dispatches > 0 {
+			j.started = j.submitted
+			close(j.running)
+		}
+		switch {
+		case !jr.Failed && !jr.Canceled:
+			res := new(jobs.Result)
+			if err := res.UnmarshalBinary(jr.Result); err == nil {
+				j.state, j.res = stateDone, res
+				s.met.completed.Add(1)
+			} else {
+				j.state = stateFailed
+				j.err = fmt.Errorf("replayed result for %s unreadable: %w", jr.ID, err)
+				s.met.failed.Add(1)
+			}
+		case jr.Canceled:
+			j.state = stateCanceled
+			j.err = replayedErr(jr)
+			s.met.canceled.Add(1)
+		default:
+			j.state = stateFailed
+			j.err = replayedErr(jr)
+			if jr.Class == "draining" {
+				s.met.rejectedDrain.Add(1)
+			} else {
+				s.met.failed.Add(1)
+			}
+		}
+		// Waiters park on the done channel (sync prove dedup attach,
+		// long-poll, SSE); a restored terminal job must present as
+		// already closed or they hang forever.
+		close(j.done)
+		s.jobsByID[jr.ID] = j
+		s.finishedList = append(s.finishedList, jr.ID)
+		return j, false
+	}
+
+	// Unfinished: recompile and hand back for re-enqueue with whatever
+	// deadline budget remains (an expired budget gets an epsilon so the
+	// job terminates promptly through the normal deadline path). A prior
+	// Dispatched record means the kill interrupted its prove: the re-run
+	// is a recorded re-entry, not a silent double prove.
+	ctx, cancel := context.WithCancel(s.base)
+	if jr.TimeoutNS > 0 {
+		rem := time.Duration(jr.TimeoutNS) - now.Sub(j.submitted)
+		if rem <= 0 {
+			rem = time.Millisecond
+		}
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, rem)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	j.ctx, j.cancel = ctx, cancel
+	compiled, err := s.compile(req)
+	if err != nil {
+		// It compiled at admission; refusing now means the environment
+		// changed. Fail the job through the normal path after recovery
+		// instead of dropping it silently.
+		j.err = err
+	} else {
+		j.compiled = compiled
+	}
+	if jr.Dispatches > 0 {
+		s.recoveryRedispatches++
+	}
+	s.recoveredJobs++
+	s.jobsByID[jr.ID] = j
+	return j, true
+}
+
+// replayedErr rebuilds a journaled terminal error. Lifecycle classes
+// map back to their sentinel errors (so errors.Is keeps working);
+// everything else keeps its class and code via replayedError.
+func replayedErr(jr *journal.JobRecord) error {
+	switch jr.Class {
+	case "canceled", "":
+		return context.Canceled
+	case "deadline":
+		return context.DeadlineExceeded
+	case "draining":
+		return fmt.Errorf("%s: %w", jr.Msg, ErrDraining)
+	default:
+		return &replayedError{code: int(jr.Code), class: jr.Class, msg: jr.Msg}
+	}
+}
+
+// tenantByName rebinds a replayed job to its tenant; a tenant that no
+// longer exists falls back to the default (the job was already
+// admitted — recovery must not re-run admission control).
+func (s *Server) tenantByName(name string) *tenant.Tenant {
+	for _, tn := range s.tenants.All() {
+		if tn.Name() == name {
+			return tn
+		}
+	}
+	return s.tenants.Default()
+}
+
+// snapshotLoop compacts the journal whenever enough records have
+// accumulated since the last snapshot, bounding replay cost.
+func (s *Server) snapshotLoop() {
+	defer s.aux.Done()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+		if s.jnl.SnapshotDue() {
+			s.writeSnapshot()
+		}
+	}
+}
+
+// writeSnapshot captures the full retained state and hands it to the
+// journal, which writes it as the head of a fresh segment and deletes
+// the older ones. snapMu.Lock excludes every append+mutate pair, so the
+// captured state covers everything the deleted segments held.
+func (s *Server) writeSnapshot() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	_ = s.jnl.WriteSnapshot(s.captureState())
+}
+
+// captureState builds the snapshot image. Callers hold s.snapMu.Lock.
+func (s *Server) captureState() *journal.State {
+	st := journal.NewState()
+	st.Epoch = s.epoch
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobsByID))
+	for id := range s.jobsByID {
+		ids = append(ids, id)
+	}
+	// Job ids are zero-padded ("j%08d"), so lexicographic order is
+	// admission order.
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobsByID[id]
+		jr := &journal.JobRecord{
+			ID:        j.id,
+			Priority:  int64(j.priority),
+			TimeoutNS: int64(j.timeout),
+			Tenant:    j.owner.Name(),
+		}
+		if raw, err := j.req.MarshalBinary(); err == nil {
+			jr.Req = raw
+		} else {
+			continue
+		}
+		j.mu.Lock()
+		jr.SubmittedNS = j.submitted.UnixNano()
+		jr.Dispatches = int64(j.dispatches)
+		switch j.state {
+		case stateDone:
+			jr.Terminal = true
+			jr.FinishedNS = j.finished.UnixNano()
+			if raw, err := j.res.MarshalBinary(); err == nil {
+				jr.Result = raw
+			}
+		case stateFailed, stateCanceled:
+			jr.Terminal = true
+			jr.Failed = j.state == stateFailed
+			jr.Canceled = j.state == stateCanceled
+			jr.FinishedNS = j.finished.UnixNano()
+			if j.err != nil {
+				code, class := statusFor(j.err)
+				jr.Class, jr.Code, jr.Msg = class, int64(code), j.err.Error()
+			}
+		}
+		j.mu.Unlock()
+		st.Jobs[id] = jr
+		st.Order = append(st.Order, id)
+	}
+	for key, e := range s.idemIndex {
+		st.Idem = append(st.Idem, journal.IdemRecord{
+			Key:       key,
+			FP:        e.fp,
+			JobID:     e.jobID,
+			ExpiresNS: e.expires.UnixNano(),
+		})
+	}
+	sort.Slice(st.Idem, func(a, b int) bool { return st.Idem[a].Key < st.Idem[b].Key })
+	return st
+}

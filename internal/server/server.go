@@ -29,6 +29,7 @@ import (
 
 	"unizk/internal/jobqueue"
 	"unizk/internal/jobs"
+	"unizk/internal/journal"
 	"unizk/internal/proofcache"
 	"unizk/internal/tenant"
 )
@@ -95,6 +96,20 @@ type Config struct {
 	// registry with only the unlimited default tenant, which keeps
 	// unauthenticated single-user deployments working untouched.
 	Tenants *tenant.Registry
+
+	// JournalDir, when non-empty, enables the write-ahead journal:
+	// admissions, prover entries, terminal outcomes, and idempotency
+	// bindings are durable before they are acknowledged, and a server
+	// restarted on the same directory replays them — terminal jobs back
+	// into the retained set, unfinished jobs back into the queue. Empty
+	// disables journaling.
+	JournalDir string
+	// JournalFsync selects the journal's fsync policy; the zero value is
+	// journal.FsyncBatch (group commit).
+	JournalFsync journal.Policy
+	// SnapshotEvery is the journal's snapshot/compaction cadence in
+	// records; 0 uses the journal default, negative disables snapshots.
+	SnapshotEvery int
 
 	// testHookRunning, when set by in-package tests, runs synchronously
 	// after a job transitions to running and before its prover starts —
@@ -209,6 +224,12 @@ type job struct {
 	started time.Time
 	//unizklint:guardedby mu
 	finished time.Time
+
+	// dispatches counts prover entries for this job (journaled as
+	// TypeDispatched before each Prove); snapshots persist it so the
+	// re-prove accounting survives compaction.
+	//unizklint:guardedby mu
+	dispatches int
 }
 
 // snapshot returns the fields the status endpoint reports, consistently.
@@ -268,6 +289,22 @@ type Server struct {
 	draining  atomic.Bool
 	nextID    atomic.Int64
 
+	// jnl is the write-ahead journal (nil when Config.JournalDir is
+	// empty); epoch is the persisted server epoch, set once in NewDurable
+	// before any request is served, alongside the recovery counters. aux
+	// tracks the snapshot loop, waited out by Shutdown before the
+	// journal closes.
+	jnl                  *journal.Journal
+	epoch                uint64
+	recoveredJobs        int64
+	recoveryRedispatches int64
+	aux                  sync.WaitGroup
+
+	// snapMu is the snapshot barrier: journal-append-plus-state-mutation
+	// pairs run under RLock; the snapshot writer captures state and
+	// compacts under Lock. Ordering: snapMu before s.mu before j.mu.
+	snapMu sync.RWMutex
+
 	mu sync.Mutex
 	//unizklint:guardedby mu
 	now func() time.Time // test hook for idempotency TTL expiry; nil means time.Now
@@ -283,8 +320,23 @@ type Server struct {
 	idemSeq uint64
 }
 
-// New builds the service and starts its scheduler runners.
+// New builds the service and starts its scheduler runners. It panics if
+// the configured journal directory cannot be opened or replayed — use
+// NewDurable to handle that error; without Config.JournalDir, New
+// cannot fail.
 func New(cfg Config) *Server {
+	s, err := NewDurable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewDurable builds the service, opening and replaying the write-ahead
+// journal when Config.JournalDir is set: terminal jobs return as
+// retained records (results replayable, idempotency intact), unfinished
+// jobs re-enter the queue, and the persisted epoch bumps.
+func NewDurable(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -315,11 +367,38 @@ func New(cfg Config) *Server {
 		s.tenants, _ = tenant.NewRegistry()
 	}
 	s.mux = s.buildMux()
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		jnl, err := journal.Open(cfg.JournalDir, journal.Options{
+			Fsync:         cfg.JournalFsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jnl = jnl
+		if requeue, err = s.recover(); err != nil {
+			cancel()
+			jnl.Close()
+			return nil, err
+		}
+		s.aux.Add(1)
+		go s.snapshotLoop()
+	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		s.runners.Add(1)
 		go s.runner(base)
 	}
-	return s
+	// Push replayed unfinished jobs after the runners start, oldest
+	// first; a queue that cannot take one (shrunk QueueCap) fails that
+	// job with the retryable draining class rather than blocking startup.
+	for _, j := range requeue {
+		if err := s.queue.Push(j, j.priority); err != nil {
+			s.finish(j, nil, fmt.Errorf("job %s could not re-enter the queue after recovery: %w", j.id, ErrDraining))
+		}
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP API. Mount it on any http.Server (or
@@ -384,11 +463,18 @@ func (s *Server) run(j *job) {
 		s.finish(j, nil, err)
 		return
 	}
+	s.snapMu.RLock()
 	j.mu.Lock()
 	j.state = stateRunning
 	j.started = time.Now()
 	wait := j.started.Sub(j.submitted)
+	j.dispatches++
 	j.mu.Unlock()
+	// Durable before the prover entry: replay over-counts rather than
+	// under-counts prover entries, so a recovered server's re-prove is
+	// always a recorded one.
+	s.journalDispatched(j.id)
+	s.snapMu.RUnlock()
 	close(j.running)
 	s.met.inFlight.Add(1)
 	s.met.queueWait.add(wait)
@@ -427,9 +513,11 @@ func (s *Server) cacheCheck(j *job) func(*jobs.Result) error {
 // metrics. It is called by the runner, by Shutdown for drained queued
 // jobs, and by admission rollback paths.
 func (s *Server) finish(j *job, res *jobs.Result, err error) {
+	s.snapMu.RLock()
 	j.mu.Lock()
 	if j.state == stateDone || j.state == stateFailed || j.state == stateCanceled {
 		j.mu.Unlock()
+		s.snapMu.RUnlock()
 		return
 	}
 	wasRunning := j.state == stateRunning
@@ -449,6 +537,10 @@ func (s *Server) finish(j *job, res *jobs.Result, err error) {
 	}
 	state := j.state
 	j.mu.Unlock()
+	// The terminal record must be durable before close(j.done) releases
+	// waiters: an acked outcome survives a crash.
+	s.journalTerminal(j.id, state, res, err)
+	s.snapMu.RUnlock()
 
 	switch state {
 	case stateDone:
@@ -648,6 +740,16 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration, t
 		cacheLeader: cacheLeader,
 		submitted:   time.Now(),
 	}
+	// Journal the admission before registration and enqueue: nothing is
+	// acknowledged (admit has not returned) until the record is durable.
+	s.snapMu.RLock()
+	if err := s.journalAdmitted(j); err != nil {
+		s.snapMu.RUnlock()
+		j.cancel()
+		rollback()
+		releaseSlot()
+		return nil, admitFresh, err
+	}
 	s.mu.Lock()
 	if req.IdempotencyKey != "" {
 		// Recheck under the lock: a concurrent duplicate may have
@@ -656,6 +758,10 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration, t
 		existing, lerr := s.idemLookupLocked(req.IdempotencyKey, fp)
 		if lerr != nil || existing != nil {
 			s.mu.Unlock()
+			// The Admitted record is already durable; mark the loser
+			// superseded so replay does not resurrect it.
+			s.journalSuperseded(j.id)
+			s.snapMu.RUnlock()
 			j.cancel()
 			rollback()
 			releaseSlot()
@@ -674,6 +780,10 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration, t
 		delete(s.jobsByID, j.id)
 		s.idemDeleteLocked(req.IdempotencyKey, j.id)
 		s.mu.Unlock()
+		// The admission was never acknowledged; a replay must not
+		// resurrect it.
+		s.journalSuperseded(j.id)
+		s.snapMu.RUnlock()
 		// finish (via cacheLeader/slotHeld) would also unwind these, but
 		// the job was never enqueued — do it directly and cheaply.
 		j.cacheLeader, j.slotHeld = false, false
@@ -688,6 +798,10 @@ func (s *Server) admit(req *jobs.Request, priority int, timeout time.Duration, t
 		}
 		return nil, admitFresh, err
 	}
+	if req.IdempotencyKey != "" {
+		s.journalIdem(req.IdempotencyKey, fp, j.id)
+	}
+	s.snapMu.RUnlock()
 	s.met.submitted.Add(1)
 	return j, admitFresh, nil
 }
@@ -721,11 +835,19 @@ func (s *Server) admitCached(id string, req *jobs.Request, priority int, res *jo
 		owner:     tn,
 		submitted: time.Now(),
 	}
+	s.snapMu.RLock()
+	if err := s.journalAdmitted(j); err != nil {
+		s.snapMu.RUnlock()
+		j.cancel()
+		return nil, admitFresh, err
+	}
 	s.mu.Lock()
 	if req.IdempotencyKey != "" {
 		existing, lerr := s.idemLookupLocked(req.IdempotencyKey, fp)
 		if lerr != nil || existing != nil {
 			s.mu.Unlock()
+			s.journalSuperseded(j.id)
+			s.snapMu.RUnlock()
 			j.cancel()
 			if lerr != nil {
 				return nil, admitFresh, lerr
@@ -737,6 +859,10 @@ func (s *Server) admitCached(id string, req *jobs.Request, priority int, res *jo
 	}
 	s.jobsByID[id] = j
 	s.mu.Unlock()
+	if req.IdempotencyKey != "" {
+		s.journalIdem(req.IdempotencyKey, fp, id)
+	}
+	s.snapMu.RUnlock()
 	s.met.submitted.Add(1)
 	s.finish(j, res, nil)
 	return j, admitCached, nil
@@ -775,6 +901,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancelAll()
+	if s.jnl != nil {
+		// Runners are done and cancelAll stops the snapshot loop; a clean
+		// close fsyncs the journal tail.
+		s.aux.Wait()
+		_ = s.jnl.Close()
+	}
 	return forced
 }
 

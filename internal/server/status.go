@@ -40,9 +40,14 @@ const StatusClientClosedRequest = 499
 // carries a classification still reports the lifecycle code.
 func statusFor(err error) (int, string) {
 	var limit *tenant.LimitError
+	var replayed *replayedError
 	switch {
 	case err == nil:
 		return http.StatusOK, ""
+	case errors.As(err, &replayed):
+		// A journal-replayed terminal outcome keeps the status and class
+		// it was originally acknowledged with.
+		return replayed.code, replayed.class
 	case errors.As(err, &limit):
 		return http.StatusTooManyRequests, limit.Reason
 	case errors.Is(err, tenant.ErrUnknownKey):

@@ -73,6 +73,12 @@ type Health struct {
 	// its in-flight attributions invalidated.
 	NodeID  string `json:"node_id,omitempty"`
 	StartNS int64  `json:"start_ns,omitempty"`
+	// Epoch is the *persisted* coordinator epoch: with a write-ahead
+	// journal configured it survives restarts and increments on each one
+	// (replayed epoch + 1), so clients and operators can observe "the
+	// coordinator crashed and recovered" directly. 0 when journaling is
+	// off.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // MetricsSnapshot is the JSON body of GET /metrics. It lives here with
@@ -136,6 +142,47 @@ type MetricsSnapshot struct {
 	RejectedRateLimited  int64           `json:"rejected_rate_limited,omitempty"`
 	RejectedUnauthorized int64           `json:"rejected_unauthorized,omitempty"`
 	Tenants              []TenantMetrics `json:"tenants,omitempty"`
+
+	// Journal is the write-ahead-journal section; nil when journaling is
+	// off.
+	Journal *JournalMetrics `json:"journal,omitempty"`
+}
+
+// JournalMetrics is the /metrics "journal" section: write-ahead log
+// volume, fsync latency, segment/snapshot posture, and what the last
+// crash recovery cost. Present only when a journal is configured.
+type JournalMetrics struct {
+	// Epoch is the persisted coordinator epoch (also on /healthz).
+	Epoch uint64 `json:"epoch"`
+	// RecordsAppended / RecordsReplayed count this process's journal
+	// writes and its startup replay volume.
+	RecordsAppended int64 `json:"records_appended"`
+	RecordsReplayed int64 `json:"records_replayed"`
+	// AppendErrors counts journal writes that failed after admission
+	// control (disk trouble); the service keeps serving but durability
+	// of those transitions is lost.
+	AppendErrors int64 `json:"append_errors,omitempty"`
+	// Fsyncs and the latency quantiles describe the configured fsync
+	// policy's real cost.
+	Fsyncs     int64   `json:"fsyncs"`
+	FsyncP50MS float64 `json:"fsync_p50_ms"`
+	FsyncP99MS float64 `json:"fsync_p99_ms"`
+	// Segments counts live segment files; Snapshots counts compactions
+	// this process wrote; SnapshotAgeMS is the time since the last one
+	// (0 until the first).
+	Segments      int   `json:"segments"`
+	Snapshots     int64 `json:"snapshots"`
+	SnapshotAgeMS int64 `json:"snapshot_age_ms"`
+	// TruncatedTails counts torn/corrupt tail events recovered by
+	// truncation+quarantine at startup replay.
+	TruncatedTails int64 `json:"truncated_tails"`
+	// RecoveryDurationMS is how long startup replay took;
+	// RecoveredJobs counts non-terminal jobs restored into the pending
+	// set, and RecoveryRedispatches how many of those had to be
+	// re-dispatched after the restart.
+	RecoveryDurationMS   int64 `json:"recovery_duration_ms"`
+	RecoveredJobs        int64 `json:"recovered_jobs"`
+	RecoveryRedispatches int64 `json:"recovery_redispatches"`
 }
 
 // TenantMetrics is one tenant's row in MetricsSnapshot.Tenants.

@@ -281,6 +281,15 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 
 // Wait polls until the job finishes, then returns its result (or its
 // mapped error). The poll loop exits early when ctx is done.
+//
+// Wait survives a coordinator restart: a transport failure (connection
+// refused while the process is down, a reply torn mid-restart) or an
+// open breaker does not surface — the job id is still valid on the
+// other side of a journal-backed recovery, so Wait keeps re-polling the
+// status by id under the client's RetryPolicy/Breaker until the service
+// answers again. Decided API errors (including retryable-classed ones
+// like "canceled" or "deadline", which are the *job's own* terminal
+// outcome) still return immediately; bound the restart window with ctx.
 func (c *Client) Wait(ctx context.Context, id string) (*jobs.Result, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
@@ -288,7 +297,7 @@ func (c *Client) Wait(ctx context.Context, id string) (*jobs.Result, error) {
 	}
 	for {
 		res, err := c.Result(ctx, id)
-		if !errors.Is(err, ErrNotReady) {
+		if !errors.Is(err, ErrNotReady) && !waitCanRepoll(err) {
 			return res, err
 		}
 		select {
@@ -297,6 +306,13 @@ func (c *Client) Wait(ctx context.Context, id string) (*jobs.Result, error) {
 		case <-time.After(interval):
 		}
 	}
+}
+
+// waitCanRepoll reports errors Wait absorbs by re-polling: the exchange
+// (not the job) failed, so the job's outcome is still unknown.
+func waitCanRepoll(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te) || errors.Is(err, ErrCircuitOpen)
 }
 
 // Prove submits a job on the synchronous endpoint and returns the proof
